@@ -1,0 +1,85 @@
+"""Shared fixtures for the per-figure/table benchmarks.
+
+Heavy experiments run once per session and are shared by every benchmark
+that reads them (exactly as the paper's own §3.1 dataset feeds Figures
+2-7 and Tables 2-3).  Every benchmark *prints* the rows/series its paper
+counterpart shows and also writes them to ``benchmarks/output/<id>.txt``
+so the run leaves an auditable record.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    BlockingExperimentConfig,
+    BrdgrdExperimentConfig,
+    ShadowsocksExperimentConfig,
+    SinkExperimentConfig,
+    run_blocking_experiment,
+    run_brdgrd_experiment,
+    run_shadowsocks_experiment,
+    run_sink_experiment,
+)
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a benchmark's rendition and persist it under output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> str:
+        print(text)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        return text
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def ss_result():
+    """The §3.1 Shadowsocks experiment at benchmark scale."""
+    return run_shadowsocks_experiment(ShadowsocksExperimentConfig(
+        connections_per_pair=700,
+        duration=14 * 24 * 3600.0,
+        seed=20,
+    ))
+
+
+@pytest.fixture(scope="session")
+def sink_1a():
+    """Exp 1.a: sink server, lengths 1-1000, entropy > 7."""
+    return run_sink_experiment(
+        SinkExperimentConfig.table4("1.a", connections=9000,
+                                    duration=72 * 3600.0, seed=21)
+    )
+
+
+@pytest.fixture(scope="session")
+def sink_2():
+    """Exp 2: sink server, low entropy."""
+    return run_sink_experiment(
+        SinkExperimentConfig.table4("2", connections=4000,
+                                    duration=48 * 3600.0, seed=22)
+    )
+
+
+@pytest.fixture(scope="session")
+def sink_3():
+    """Exp 3: sink server, lengths 1-2000, entropy 0-8."""
+    return run_sink_experiment(
+        SinkExperimentConfig.table4("3", connections=14000,
+                                    duration=96 * 3600.0, seed=23)
+    )
+
+
+@pytest.fixture(scope="session")
+def brdgrd_result():
+    return run_brdgrd_experiment(BrdgrdExperimentConfig(seed=24))
+
+
+@pytest.fixture(scope="session")
+def blocking_result():
+    return run_blocking_experiment(BlockingExperimentConfig(seed=25))

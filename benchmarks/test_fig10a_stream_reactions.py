@@ -1,0 +1,65 @@
+"""Figure 10a: reactions of stream-cipher servers to random probes.
+
+Paper shape, per (implementation generation, IV length) row:
+
+* lengths 1..IV            -> TIMEOUT
+* lengths IV+1..IV+6       -> RST (above 13/16) for v3.0.8-v3.2.5,
+                              TIMEOUT for v3.3.1-v3.3.3
+* lengths >= IV+7          -> RST ~13/16 with TIMEOUT/FIN-ACK below 3/16
+                              (old) or TIMEOUT ~13/16 with FIN-ACK (new)
+"""
+
+from repro.analysis import banner, render_table
+from repro.probesim import ReactionKind, build_random_probe_row, summarize_transitions
+
+ROWS = [
+    ("ss-libev-3.1.3", "chacha20", 8),        # 8-byte IV
+    ("ss-libev-3.1.3", "chacha20-ietf", 12),  # 12-byte IV
+    ("ss-libev-3.1.3", "aes-256-ctr", 16),    # 16-byte IV
+    ("ss-libev-3.3.1", "chacha20", 8),
+    ("ss-libev-3.3.1", "aes-256-ctr", 16),
+]
+
+
+def sweep_lengths(iv):
+    return [1, iv - 1, iv, iv + 1, iv + 3, iv + 6, iv + 7, iv + 10, 33, 49, 221]
+
+
+def test_fig10a_stream_reactions(benchmark, emit):
+    def build():
+        rows = []
+        for profile, method, iv in ROWS:
+            lengths = sorted(set(l for l in sweep_lengths(iv) if l >= 1))
+            row = build_random_probe_row(profile, method, lengths, trials=10,
+                                         seed=31)
+            rows.append((profile, method, iv, row))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    render = []
+    for profile, method, iv, row in rows:
+        transitions = summarize_transitions(row)
+        render.append((profile, method, iv,
+                       "; ".join(f"{l}B:{lab}" for l, lab in transitions)))
+    text = (
+        banner("Figure 10a: stream-cipher server reactions (dominant, by length)")
+        + "\n" + render_table(["profile", "method", "IV", "transitions"], render)
+    )
+    emit("fig10a_stream_reactions", text)
+
+    for profile, method, iv, row in rows:
+        old = profile < "ss-libev-3.3"
+        # Through the IV: always TIMEOUT.
+        assert row.cells[iv].dominant == ReactionKind.TIMEOUT
+        # Just past the IV.
+        just_past = row.cells[iv + 1]
+        if old:
+            assert just_past.fraction(ReactionKind.RST) > 0.6
+        else:
+            assert just_past.fraction(ReactionKind.RST) == 0.0
+        # Far past the IV: FIN/ACK becomes possible, RST only for old.
+        far = row.cells[221]
+        if old:
+            assert 0.6 < far.fraction(ReactionKind.RST) <= 1.0
+        else:
+            assert far.fraction(ReactionKind.RST) == 0.0

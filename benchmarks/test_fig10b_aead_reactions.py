@@ -1,0 +1,60 @@
+"""Figure 10b: reactions of AEAD servers to random probes.
+
+Paper shape, per row:
+
+* Shadowsocks-libev v3.0.8-v3.2.5: TIMEOUT through salt+34, RST from
+  salt+35 (salt 16 -> 51, salt 24 -> 59, salt 32 -> 67).
+* Shadowsocks-libev v3.3.1-v3.3.3: TIMEOUT at every length.
+* OutlineVPN v1.0.6 (salt 32): TIMEOUT below 50, FIN/ACK at exactly 50,
+  RST above 50.
+* OutlineVPN v1.0.7-v1.0.8: TIMEOUT at every length.
+"""
+
+from repro.analysis import banner, render_table
+from repro.probesim import ReactionKind, build_random_probe_row, summarize_transitions
+
+ROWS = [
+    ("ss-libev-3.1.3", "aes-128-gcm", 16, 51),
+    ("ss-libev-3.1.3", "aes-192-gcm", 24, 59),
+    ("ss-libev-3.1.3", "aes-256-gcm", 32, 67),
+    ("ss-libev-3.3.1", "aes-256-gcm", 32, None),
+    ("outline-1.0.6", "chacha20-ietf-poly1305", 32, 51),
+    ("outline-1.0.7", "chacha20-ietf-poly1305", 32, None),
+]
+
+
+def test_fig10b_aead_reactions(benchmark, emit):
+    def build():
+        rows = []
+        for profile, method, salt, rst_at in ROWS:
+            lengths = sorted({1, 49, 50, 51, salt + 34, salt + 35, 100, 221})
+            row = build_random_probe_row(profile, method, lengths, trials=4,
+                                         seed=37)
+            rows.append((profile, method, salt, rst_at, row))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    render = []
+    for profile, method, salt, rst_at, row in rows:
+        transitions = summarize_transitions(row)
+        render.append((profile, method, salt,
+                       "; ".join(f"{l}B:{lab}" for l, lab in transitions)))
+    text = (
+        banner("Figure 10b: AEAD server reactions (dominant, by length)")
+        + "\n" + render_table(["profile", "method", "salt", "transitions"], render)
+    )
+    emit("fig10b_aead_reactions", text)
+
+    for profile, method, salt, rst_at, row in rows:
+        if rst_at is None:
+            for cell in row.cells.values():
+                assert cell.dominant == ReactionKind.TIMEOUT, (profile, cell.length)
+            continue
+        if profile.startswith("outline"):
+            assert row.cells[49].dominant == ReactionKind.TIMEOUT
+            assert row.cells[50].fraction(ReactionKind.FINACK) == 1.0
+            assert row.cells[51].fraction(ReactionKind.RST) == 1.0
+        else:
+            assert row.cells[rst_at - 1].dominant == ReactionKind.TIMEOUT
+            assert row.cells[rst_at].fraction(ReactionKind.RST) == 1.0
+        assert row.cells[221].fraction(ReactionKind.RST) == 1.0

@@ -1,0 +1,41 @@
+"""Figure 11: probing intensity collapses while brdgrd is active.
+
+Paper shape: with legitimate client connections running continuously
+(16 every 5 minutes), prober SYNs arrive at a steady rate; within a few
+hours of enabling brdgrd, probing drops to (near) zero; it resumes as
+soon as brdgrd is disabled.  A control server without brdgrd sees no
+such change.
+"""
+
+from repro.analysis import banner, render_table
+
+
+def test_fig11_brdgrd(benchmark, emit, brdgrd_result):
+    def build():
+        return brdgrd_result.hourly_counts()
+
+    hourly = benchmark(build)
+    active_rate, inactive_rate = brdgrd_result.window_rates()
+    windows = brdgrd_result.config.brdgrd_windows
+    control_total = len(brdgrd_result.control_syn_times)
+
+    def bar(n):
+        return "#" * min(n, 40)
+
+    lines = []
+    for hour, count in enumerate(hourly):
+        t = hour * 3600.0
+        tag = "BRDGRD" if any(s <= t < e for s, e in windows) else "      "
+        lines.append(f"h{hour:>3} {tag} {count:>4} {bar(count)}")
+    text = (
+        banner("Figure 11: prober SYNs per hour vs brdgrd state")
+        + "\n" + "\n".join(lines)
+        + f"\n\nprobes/hour while brdgrd active:   {active_rate:.2f}"
+        + f"\nprobes/hour while brdgrd inactive: {inactive_rate:.2f}"
+        + f"\ncontrol server total probe SYNs:   {control_total}"
+    )
+    emit("fig11_brdgrd", text)
+
+    assert inactive_rate > 1.0
+    assert active_rate < inactive_rate / 5
+    assert control_total > 0

@@ -1,0 +1,47 @@
+"""Figure 2: occurrences of random probes (NR1, NR2) by length.
+
+Paper shape: NR1 lengths are evenly distributed in trios (n-1, n, n+1)
+for n in {8, 12, 16, 22, 33, 41, 49}; NR2 probes are exactly 221 bytes
+and roughly three times as common as all NR1 probes together.
+"""
+
+from collections import Counter
+
+from repro.analysis import banner, render_histogram
+from repro.gfw import NR1_CENTERS, NR1_LENGTHS, NR2_LENGTH, ProbeType
+
+
+def test_fig2_random_probe_lengths(benchmark, emit, ss_result):
+    def build():
+        lengths = Counter(
+            len(r.probe.payload) for r in ss_result.probe_log
+            if r.probe_type in (ProbeType.NR1, ProbeType.NR2)
+        )
+        return lengths
+
+    lengths = benchmark(build)
+    nr1_total = sum(c for l, c in lengths.items() if l in NR1_LENGTHS)
+    nr2_total = lengths.get(NR2_LENGTH, 0)
+    text = (
+        banner("Figure 2: random probe occurrences by length")
+        + "\n" + render_histogram(dict(lengths), key_label="probe len")
+        + f"\n\nNR1 total: {nr1_total}   NR2 (221 B) total: {nr2_total}"
+        + f"\nNR2 : NR1 ratio = {nr2_total / nr1_total if nr1_total else float('inf'):.2f}"
+          "  (paper: ~3)"
+    )
+    emit("fig2_random_probe_lengths", text)
+
+    assert nr2_total > 0
+    # NR1 lengths observed only within the trios.
+    assert all(l in NR1_LENGTHS or l == NR2_LENGTH for l in lengths)
+    if nr1_total:
+        # NR2 dominates NR1, as in the paper (~3x); allow slack at bench scale.
+        assert nr2_total > nr1_total
+        # Trios are roughly even: every center's trio is represented when
+        # NR1 volume is non-trivial.
+        if nr1_total >= 40:
+            seen_centers = {
+                center for center in NR1_CENTERS
+                if any(lengths.get(center + d, 0) for d in (-1, 0, 1))
+            }
+            assert len(seen_centers) >= 5

@@ -1,0 +1,65 @@
+"""§5.2.2: what an attacker learns from random-probe statistics.
+
+For each server model, run the probe-length schedule and report the
+inferred construction, IV/salt length, ATYP masking, and the compatible
+implementation set — the paper's claimed identification power.
+"""
+
+from repro.analysis import banner, render_table
+from repro.probesim import (
+    PROBE_LENGTH_SCHEDULE,
+    build_random_probe_row,
+    identify_server,
+)
+
+CASES = [
+    ("ss-libev-3.1.3", "chacha20", 10),
+    ("ss-libev-3.1.3", "chacha20-ietf", 10),
+    ("ss-libev-3.1.3", "aes-256-ctr", 10),
+    ("ss-libev-3.1.3", "aes-128-gcm", 3),
+    ("ss-libev-3.1.3", "aes-192-gcm", 3),
+    ("ss-libev-3.3.1", "aes-256-gcm", 3),
+    ("outline-1.0.6", "chacha20-ietf-poly1305", 3),
+    ("outline-1.0.7", "chacha20-ietf-poly1305", 3),
+]
+
+
+def test_sec522_identification(benchmark, emit):
+    def build():
+        out = []
+        for profile, method, trials in CASES:
+            row = build_random_probe_row(profile, method,
+                                         PROBE_LENGTH_SCHEDULE,
+                                         trials=trials, seed=53)
+            out.append((profile, method, identify_server(row)))
+        return out
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for profile, method, ident in results:
+        rows.append((
+            profile, method,
+            ident.construction or "?",
+            ident.nonce_len if ident.nonce_len is not None else "?",
+            {True: "yes", False: "no", None: "?"}[ident.masks_atyp],
+            ident.cipher_hint or "-",
+            len(ident.compatible_profiles),
+        ))
+    text = (
+        banner("Section 5.2.2: server identification from probe reactions")
+        + "\n" + render_table(
+            ["truth profile", "truth method", "inferred", "IV/salt",
+             "masks?", "cipher hint", "#compatible"], rows)
+    )
+    emit("sec522_identification", text)
+
+    for profile, method, ident in results:
+        assert profile in ident.compatible_profiles, (profile, ident)
+        if profile == "ss-libev-3.1.3":  # old: rich identification
+            from repro.crypto import get_spec
+
+            assert ident.nonce_len == get_spec(method).iv_len
+        if method == "chacha20-ietf" and profile.endswith("3.1.3"):
+            assert ident.cipher_hint == "chacha20-ietf"
+        if profile == "outline-1.0.6":
+            assert ident.compatible_profiles == ["outline-1.0.6"]

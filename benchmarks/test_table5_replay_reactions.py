@@ -1,0 +1,70 @@
+"""Table 5: reactions to identical vs byte-changed replays.
+
+Paper table:
+
+| implementation           | mode   | identical | byte-changed |
+| ss-libev v3.0.8-v3.2.5   | stream | R         | R/T/F        |
+| ss-libev v3.0.8-v3.2.5   | AEAD   | R         | R            |
+| ss-libev v3.3.1, v3.3.3  | stream | T         | T/F          |
+| ss-libev v3.3.1, v3.3.3  | AEAD   | T         | T            |
+| OutlineVPN               | AEAD   | D         | T            |
+"""
+
+from repro.analysis import banner, render_table
+from repro.probesim import ReactionKind, build_replay_table
+
+CASES = [
+    ("ss-libev-3.1.3", "aes-256-ctr"),
+    ("ss-libev-3.1.3", "aes-256-gcm"),
+    ("ss-libev-3.3.1", "aes-256-ctr"),
+    ("ss-libev-3.3.1", "aes-256-gcm"),
+    ("outline-1.0.7", "chacha20-ietf-poly1305"),
+]
+
+PAPER = {
+    ("ss-libev-3.1.3", "aes-256-ctr"): ("R", "R/T/F"),
+    ("ss-libev-3.1.3", "aes-256-gcm"): ("R", "R"),
+    ("ss-libev-3.3.1", "aes-256-ctr"): ("T", "T/F"),
+    ("ss-libev-3.3.1", "aes-256-gcm"): ("T", "T"),
+    ("outline-1.0.7", "chacha20-ietf-poly1305"): ("D", "T"),
+}
+
+_CODE = {ReactionKind.RST: "R", ReactionKind.TIMEOUT: "T",
+         ReactionKind.FINACK: "F", ReactionKind.DATA: "D"}
+
+
+def codes(counter):
+    return "/".join(sorted({_CODE[r] for r in counter}))
+
+
+def test_table5_replay_reactions(benchmark, emit):
+    def build():
+        return build_replay_table(CASES, trials=5, seed=41)
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for (profile, method), reactions in table.items():
+        paper_identical, paper_changed = PAPER[(profile, method)]
+        rows.append((
+            profile, method,
+            codes(reactions["identical"]), paper_identical,
+            codes(reactions["byte-changed"]), paper_changed,
+        ))
+    text = (
+        banner("Table 5: reactions to identical vs byte-changed replays")
+        + "\n" + render_table(
+            ["profile", "method", "identical", "paper", "byte-changed", "paper"],
+            rows)
+        + "\n\nR: reset, T: timeout, F: FIN/ACK, D: data"
+    )
+    emit("table5_replay_reactions", text)
+
+    for (profile, method), reactions in table.items():
+        paper_identical, paper_changed = PAPER[(profile, method)]
+        got_identical = set(codes(reactions["identical"]).split("/"))
+        got_changed = set(codes(reactions["byte-changed"]).split("/"))
+        assert got_identical == set(paper_identical.split("/")), (profile, method)
+        # Byte-changed reactions must fall within the paper's set (the
+        # R/T/F mixes are probabilistic; a small sample may not hit all).
+        assert got_changed <= set(paper_changed.split("/")), (profile, method)
+        assert got_changed & set(paper_changed.split("/"))

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Blocking during a politically sensitive period (§6).
+
+Deploys a fleet of vantage-point servers running different Shadowsocks
+implementations, schedules a sensitive window during which the GFW's
+human operators act on the confirmed-server list, and reports who got
+probed, who got blocked (by port or by IP), and when the blocks lapse.
+
+Run:  python examples/blocking_timeline.py
+"""
+
+from repro.experiments import BlockingExperimentConfig, run_blocking_experiment
+
+
+def main():
+    config = BlockingExperimentConfig(
+        seed=5,
+        duration=6 * 24 * 3600.0,
+        sensitive_periods=((2 * 24 * 3600.0, 3 * 24 * 3600.0),),
+        block_probability=0.5,
+    )
+    print("6 simulated days; day 3 is politically sensitive...\n")
+    result = run_blocking_experiment(config)
+
+    print(f"{'server':<16} {'implementation':<18} {'probes':>6}  status")
+    blocked_ips = {e.ip: e for e in result.block_events}
+    for ip, profile in result.server_profiles.items():
+        probes = result.probes_per_server.get(ip, 0)
+        if ip in blocked_ips:
+            event = blocked_ips[ip]
+            how = "by IP" if event.port is None else f"port {event.port}"
+            status = (f"BLOCKED {how} at day {event.time / 86400:.1f}, "
+                      f"lapses day {event.unblock_time / 86400:.1f}")
+        else:
+            status = "probed but never blocked"
+        print(f"{ip:<16} {profile:<18} {probes:>6}  {status}")
+
+    print(f"\nblocked fraction: {result.blocked_fraction:.0%}"
+          " (the paper saw 3 of 63 vantage points)")
+    print("Only the replay-vulnerable, RST-on-error implementations")
+    print("(ShadowsocksR, Shadowsocks-python) accumulate conclusive evidence;")
+    print("timeout-style servers are probed intensively yet stay up.")
+    print("Unblocking is silent: no recheck probes precede it (§6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro: reproduction of "How China Detects and Blocks Shadowsocks" (IMC 2020).
+
+Subpackages:
+
+* :mod:`repro.crypto` — pure-Python crypto substrate (AES/GCM, ChaCha20,
+  Poly1305, HKDF, EVP_BytesToKey);
+* :mod:`repro.net` — discrete-event network simulator with a simplified,
+  byte-accurate TCP, middleboxes, and packet capture;
+* :mod:`repro.shadowsocks` — the Shadowsocks protocol and per-version
+  implementation behaviour models;
+* :mod:`repro.gfw` — the Great Firewall model: passive detection, staged
+  active probing, prober fleet, blocking;
+* :mod:`repro.probesim` — the paper's prober simulator and the server
+  identification attack;
+* :mod:`repro.defense` — brdgrd and probing-resistance defenses;
+* :mod:`repro.workloads` — traffic generators and measurement servers;
+* :mod:`repro.analysis` — probe classification and fingerprinting;
+* :mod:`repro.experiments` — turn-key harnesses for the paper's
+  experiments.
+"""
+
+__version__ = "1.0.0"

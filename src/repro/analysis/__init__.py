@@ -1,0 +1,35 @@
+"""Measurement analysis: probe classification, fingerprinting, statistics."""
+
+from .classify import ObservedProbe, classify_payload, extract_probes
+from .fingerprint import (
+    TsvalCluster,
+    cluster_tsval_sequences,
+    ip_id_statistics,
+    port_statistics,
+    ttl_statistics,
+)
+from .overlap import PAPER_FIG4_REGIONS, synthesize_historical_sets, venn3
+from .report import banner, render_cdf_points, render_histogram, render_table
+from .stats import ECDF, probes_per_ip, tally, top_n
+
+__all__ = [
+    "ECDF",
+    "ObservedProbe",
+    "PAPER_FIG4_REGIONS",
+    "TsvalCluster",
+    "banner",
+    "classify_payload",
+    "cluster_tsval_sequences",
+    "extract_probes",
+    "ip_id_statistics",
+    "port_statistics",
+    "probes_per_ip",
+    "render_cdf_points",
+    "render_histogram",
+    "render_table",
+    "synthesize_historical_sets",
+    "tally",
+    "top_n",
+    "ttl_statistics",
+    "venn3",
+]

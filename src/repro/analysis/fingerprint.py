@@ -1,0 +1,151 @@
+"""Prober fingerprinting (§3.4): TSval processes, ports, TTL, IP ID.
+
+The headline result (Figure 6): although probes come from thousands of
+addresses, their TCP timestamps fall on a handful of shared linear
+sequences — evidence of centralized control.  We recover those sequences
+by clustering (time, tsval) points under candidate clock rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TsvalCluster", "cluster_tsval_sequences", "port_statistics",
+           "ttl_statistics", "ip_id_statistics"]
+
+_CANDIDATE_RATES = (250.0, 1000.0, 1009.0)
+_WRAP = 1 << 32
+
+
+@dataclass
+class TsvalCluster:
+    """One recovered TSval process."""
+
+    rate_hz: float
+    offset: float  # tsval at time 0 (mod 2^32)
+    points: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.points)
+
+    def measured_rate(self) -> Optional[float]:
+        """Least-squares slope over the cluster's own points."""
+        if len(self.points) < 2:
+            return None
+        ordered = sorted(self.points)
+        t0 = ordered[0][0]
+        xs = [t - t0 for t, _ in ordered]
+        # Unwrap sequentially: consecutive deltas are assumed < 2^31,
+        # which holds whenever inter-probe gaps stay under ~2^31/rate
+        # seconds (weeks, for the rates in play).  This survives total
+        # spans far beyond a single wraparound.
+        ys = [0]
+        for (_, prev), (_, curr) in zip(ordered, ordered[1:]):
+            delta = ((curr - prev + _WRAP // 2) % _WRAP) - _WRAP // 2
+            ys.append(ys[-1] + delta)
+        n = len(xs)
+        sx, sy = sum(xs), sum(ys)
+        sxx = sum(x * x for x in xs)
+        sxy = sum(x * y for x, y in zip(xs, ys))
+        denom = n * sxx - sx * sx
+        if denom == 0:
+            return None
+        return (n * sxy - sx * sy) / denom
+
+
+def cluster_tsval_sequences(
+    points: Sequence[Tuple[float, int]],
+    rates: Sequence[float] = _CANDIDATE_RATES,
+    tolerance: float = 5000.0,
+) -> List[TsvalCluster]:
+    """Group (time, tsval) observations into shared linear sequences.
+
+    Along one process's sequence at clock rate ``r``, the *intercept*
+    ``(tsval - r*t) mod 2^32`` is constant (and invariant under TSval
+    wraparound).  For each candidate rate in turn, points whose
+    intercepts agree within ``tolerance`` ticks form a cluster; clustered
+    points are removed before trying the next rate.  Two processes with
+    near-identical intercepts merge — hence the paper's careful
+    "at least seven" phrasing.  Each cluster's true rate is then
+    re-estimated from its own points and relabeled to the closest
+    candidate.
+    """
+    remaining = list(sorted(points))
+    clusters: List[TsvalCluster] = []
+    for rate in rates:
+        if not remaining:
+            break
+        items = sorted(
+            (((tsval - rate * t) % _WRAP), t, tsval) for t, tsval in remaining
+        )
+        groups: List[List[Tuple[float, float, int]]] = []
+        current: List[Tuple[float, float, int]] = []
+        for item in items:
+            if current and item[0] - current[0][0] > tolerance:
+                groups.append(current)
+                current = []
+            current.append(item)
+        if current:
+            groups.append(current)
+        # Intercepts live on a circle: merge the first and last groups if
+        # they meet across the 2^32 boundary.
+        if len(groups) > 1 and (groups[0][0][0] + _WRAP - groups[-1][0][0]) <= tolerance:
+            groups[0] = groups.pop() + groups[0]
+        claimed = set()
+        for group in groups:
+            if len(group) < 2:
+                continue
+            cluster = TsvalCluster(
+                rate_hz=rate,
+                offset=group[0][0],
+                points=[(t, tsval) for _, t, tsval in sorted(group, key=lambda g: g[1])],
+            )
+            clusters.append(cluster)
+            claimed.update((t, tsval) for _, t, tsval in group)
+        remaining = [p for p in remaining if p not in claimed]
+    for t, tsval in remaining:  # unmatched singletons
+        clusters.append(TsvalCluster(rate_hz=rates[0],
+                                     offset=(tsval - rates[0] * t) % _WRAP,
+                                     points=[(t, tsval)]))
+    # Relabel each cluster with the candidate rate closest to its own slope.
+    for cluster in clusters:
+        measured = cluster.measured_rate()
+        if measured is not None and measured > 0:
+            cluster.rate_hz = min(rates, key=lambda r: abs(r - measured))
+    return sorted(clusters, key=lambda c: -c.size)
+
+
+def port_statistics(ports: Sequence[int]) -> Dict[str, float]:
+    """Figure 5 summary: share in the Linux default range, min, max."""
+    if not ports:
+        raise ValueError("no ports to analyze")
+    in_linux = sum(1 for p in ports if 32768 <= p <= 60999)
+    below_1024 = sum(1 for p in ports if p < 1024)
+    return {
+        "count": len(ports),
+        "linux_range_share": in_linux / len(ports),
+        "below_1024": below_1024,
+        "min": min(ports),
+        "max": max(ports),
+    }
+
+
+def ttl_statistics(ttls: Sequence[int]) -> Dict[str, int]:
+    if not ttls:
+        raise ValueError("no TTLs to analyze")
+    return {"min": min(ttls), "max": max(ttls), "count": len(ttls)}
+
+
+def ip_id_statistics(ip_ids: Sequence[int]) -> Dict[str, float]:
+    """'No clear pattern' check: distinct fraction and serial correlation."""
+    if len(ip_ids) < 2:
+        raise ValueError("need at least two IP IDs")
+    n = len(ip_ids)
+    distinct = len(set(ip_ids)) / n
+    mean = sum(ip_ids) / n
+    num = sum((a - mean) * (b - mean) for a, b in zip(ip_ids, ip_ids[1:]))
+    den = sum((a - mean) ** 2 for a in ip_ids)
+    autocorr = num / den if den else 0.0
+    return {"count": n, "distinct_fraction": distinct, "lag1_autocorr": autocorr}

@@ -1,0 +1,51 @@
+"""Plain-text rendering of tables, CDFs, and histograms for the benchmarks.
+
+Every benchmark prints the same rows/series its paper counterpart shows,
+using these helpers, so ``pytest benchmarks/ --benchmark-only -s`` reads
+like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["render_table", "render_cdf_points", "render_histogram", "banner"]
+
+
+def banner(title: str) -> str:
+    line = "=" * max(len(title), 8)
+    return f"\n{line}\n{title}\n{line}"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_cdf_points(points: Sequence[Tuple[float, float]],
+                      x_label: str = "x", y_label: str = "CDF") -> str:
+    rows = [(f"{x:g}", f"{100 * y:.1f}%") for x, y in points]
+    return render_table([x_label, y_label], rows)
+
+
+def render_histogram(counts: Dict[object, int], *, width: int = 40,
+                     key_label: str = "value") -> str:
+    """Horizontal bar chart over sorted keys."""
+    if not counts:
+        return "(empty)"
+    peak = max(counts.values())
+    lines = []
+    for key in sorted(counts):
+        n = counts[key]
+        bar = "#" * max(1, round(width * n / peak)) if n else ""
+        lines.append(f"{str(key):>12}  {n:>7}  {bar}")
+    return "\n".join([f"{key_label:>12}  {'count':>7}"] + lines)

@@ -1,0 +1,59 @@
+"""Small statistics helpers shared by the analysis and the benchmarks."""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
+
+__all__ = ["ECDF", "tally", "top_n", "probes_per_ip"]
+
+T = TypeVar("T")
+
+
+class ECDF:
+    """Empirical CDF with interpolation-free step semantics."""
+
+    def __init__(self, values: Iterable[float]):
+        self.values = sorted(values)
+        if not self.values:
+            raise ValueError("ECDF needs at least one value")
+
+    def __call__(self, x: float) -> float:
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        if q == 1.0:
+            return self.values[-1]
+        index = int(q * len(self.values))
+        return self.values[min(index, len(self.values) - 1)]
+
+    @property
+    def min(self) -> float:
+        return self.values[0]
+
+    @property
+    def max(self) -> float:
+        return self.values[-1]
+
+    def sample_points(self, xs: Sequence[float]) -> List[Tuple[float, float]]:
+        return [(x, self(x)) for x in xs]
+
+
+def tally(items: Iterable[T], key: Callable[[T], object] = lambda x: x) -> Counter:
+    """Count items by a key function."""
+    counter: Counter = Counter()
+    for item in items:
+        counter[key(item)] += 1
+    return counter
+
+
+def top_n(counter: Dict, n: int) -> List[Tuple[object, int]]:
+    return Counter(counter).most_common(n)
+
+
+def probes_per_ip(probe_sources: Iterable[str]) -> Counter:
+    """Figure 3's underlying tally: probes sent per source address."""
+    return tally(probe_sources)

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``quickstart``  — tunnel a request under the GFW and print the probes;
+* ``probesim``    — probe one server model and print its reaction row;
+* ``identify``    — probe a server model and print the §5.2.2 inference;
+* ``sink``        — run a §4.1 random-data experiment;
+* ``brdgrd``      — run the §7.1 defense experiment;
+* ``blocking``    — run the §6 blocking fleet;
+* ``profiles``    — list the implementation behaviour profiles;
+* ``ciphers``     — list the supported encryption methods.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'How China Detects and Blocks "
+                    "Shadowsocks' (IMC 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="tunnel traffic under the GFW")
+    p.add_argument("--connections", type=int, default=40)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--profile", default="outline-1.0.7")
+    p.add_argument("--method", default="chacha20-ietf-poly1305")
+
+    p = sub.add_parser("probesim", help="probe a server model (Figure 10 row)")
+    p.add_argument("--profile", default="ss-libev-3.1.3")
+    p.add_argument("--method", default="aes-128-gcm")
+    p.add_argument("--trials", type=int, default=6)
+    p.add_argument("--lengths", type=int, nargs="*", default=None)
+
+    p = sub.add_parser("identify", help="infer a server's implementation (§5.2.2)")
+    p.add_argument("--profile", default="ss-libev-3.1.3")
+    p.add_argument("--method", default="chacha20-ietf")
+    p.add_argument("--trials", type=int, default=10)
+
+    p = sub.add_parser("sink", help="run a §4.1 random-data experiment")
+    p.add_argument("--experiment", choices=["1.a", "1.b", "2", "3"], default="1.a")
+    p.add_argument("--connections", type=int, default=3000)
+    p.add_argument("--hours", type=float, default=24.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("brdgrd", help="run the §7.1 brdgrd experiment")
+    p.add_argument("--hours", type=float, default=36.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("blocking", help="run the §6 blocking fleet")
+    p.add_argument("--days", type=float, default=6.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("profiles", help="list implementation behaviour profiles")
+    sub.add_parser("ciphers", help="list supported encryption methods")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = globals()[f"_cmd_{args.command.replace('.', '_')}"]
+    return handler(args)
+
+
+def _cmd_quickstart(args) -> int:
+    import random
+
+    from .experiments import build_world
+    from .gfw import DetectorConfig
+    from .shadowsocks import ShadowsocksClient, ShadowsocksServer
+    from .workloads import CurlDriver
+
+    world = build_world(seed=args.seed,
+                        detector_config=DetectorConfig(base_rate=0.9),
+                        websites=["example.com", "gfw.report"])
+    server_host = world.add_server("ss-server", region="uk")
+    client_host = world.add_client("client")
+    ShadowsocksServer(server_host, 8388, "pw", args.method, args.profile)
+    client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
+                               args.method)
+    CurlDriver(client, rng=random.Random(args.seed),
+               sites=["example.com", "gfw.report"]).run_schedule(
+                   args.connections, 60.0)
+    world.sim.run(until=args.connections * 60.0 + 3600)
+    print(f"connections: {args.connections}  flagged: "
+          f"{world.gfw.flagged_connections}  probes: {len(world.gfw.probe_log)}")
+    for record in world.gfw.probe_log[:20]:
+        print(f"  {record.time_sent:>8.1f}s {record.probe_type:<4} "
+              f"len={len(record.probe.payload):<4} from {record.src_ip:<16} "
+              f"-> {record.reaction}")
+    return 0
+
+
+def _cmd_probesim(args) -> int:
+    from .analysis import render_table
+    from .probesim import PROBE_LENGTH_SCHEDULE, build_random_probe_row
+
+    lengths = args.lengths or list(PROBE_LENGTH_SCHEDULE)
+    row = build_random_probe_row(args.profile, args.method, lengths,
+                                 trials=args.trials)
+    rows = [(length, row.cells[length].label()) for length in sorted(row.cells)]
+    print(render_table(["probe length", "reactions"], rows))
+    return 0
+
+
+def _cmd_identify(args) -> int:
+    from .probesim import (
+        PROBE_LENGTH_SCHEDULE,
+        build_random_probe_row,
+        identify_server,
+    )
+
+    row = build_random_probe_row(args.profile, args.method,
+                                 PROBE_LENGTH_SCHEDULE, trials=args.trials)
+    ident = identify_server(row)
+    print(f"construction:     {ident.construction or 'unknown'}")
+    print(f"IV/salt length:   {ident.nonce_len if ident.nonce_len else 'unknown'}")
+    print(f"masks ATYP:       {ident.masks_atyp}")
+    print(f"error action:     {ident.error_action}")
+    print(f"cipher hint:      {ident.cipher_hint or '-'}")
+    print(f"compatible with:  {', '.join(ident.compatible_profiles) or '-'}")
+    for note in ident.notes:
+        print(f"note: {note}")
+    return 0
+
+
+def _cmd_sink(args) -> int:
+    from .experiments import SinkExperimentConfig, run_sink_experiment
+
+    result = run_sink_experiment(SinkExperimentConfig.table4(
+        args.experiment, connections=args.connections,
+        duration=args.hours * 3600.0, seed=args.seed))
+    print(f"Exp {args.experiment}: {len(result.sent_payloads)} connections, "
+          f"{len(result.probe_log)} probes")
+    for probe_type, count in sorted(result.probes_by_type().items()):
+        print(f"  {probe_type:<4} {count}")
+    return 0
+
+
+def _cmd_brdgrd(args) -> int:
+    from .experiments import BrdgrdExperimentConfig, run_brdgrd_experiment
+
+    duration = args.hours * 3600.0
+    config = BrdgrdExperimentConfig(
+        seed=args.seed, duration=duration,
+        brdgrd_windows=((duration / 3, 2 * duration / 3),),
+    )
+    result = run_brdgrd_experiment(config)
+    active, inactive = result.window_rates()
+    for hour, count in enumerate(result.hourly_counts()):
+        t = hour * 3600.0
+        on = any(s <= t < e for s, e in config.brdgrd_windows)
+        print(f"h{hour:>3} {'BRDGRD' if on else '      '} "
+              f"{count:>4} {'#' * min(count, 50)}")
+    print(f"\nprobes/hour: active={active:.2f} inactive={inactive:.2f}")
+    return 0
+
+
+def _cmd_blocking(args) -> int:
+    from .experiments import BlockingExperimentConfig, run_blocking_experiment
+
+    duration = args.days * 86400.0
+    result = run_blocking_experiment(BlockingExperimentConfig(
+        seed=args.seed, duration=duration,
+        sensitive_periods=((duration / 3, duration / 2),)))
+    blocked = {e.ip: e for e in result.block_events}
+    for ip, profile in result.server_profiles.items():
+        status = "BLOCKED" if ip in blocked else "up"
+        print(f"{ip:<16} {profile:<16} "
+              f"probes={result.probes_per_server.get(ip, 0):<5} {status}")
+    return 0
+
+
+def _cmd_profiles(args) -> int:
+    from .shadowsocks import all_profiles
+
+    for profile in all_profiles():
+        constructions = "/".join(
+            c for c, ok in (("stream", profile.supports_stream),
+                            ("aead", profile.supports_aead)) if ok)
+        print(f"{profile.name:<18} {profile.display:<28} {constructions:<11} "
+              f"error={profile.error_action:<7} "
+              f"replay_filter={'yes' if profile.replay_filter else 'no'}")
+    return 0
+
+
+def _cmd_ciphers(args) -> int:
+    from .crypto import CIPHERS
+
+    for name, spec in sorted(CIPHERS.items()):
+        print(f"{name:<24} {spec.kind:<7} key={spec.key_len:<3} "
+              f"{'salt' if spec.kind == 'aead' else 'IV'}={spec.iv_len}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

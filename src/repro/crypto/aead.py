@@ -1,0 +1,64 @@
+"""Unified AEAD interface: AES-GCM and ChaCha20-Poly1305 (RFC 8439 §2.8).
+
+Both expose ``seal(nonce, plaintext, aad)`` / ``open(nonce, sealed, aad)``
+with a trailing 16-byte tag, which is exactly the shape the Shadowsocks
+AEAD construction consumes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .chacha20 import ChaCha20, chacha20_block
+from .gcm import AESGCM, AuthenticationError, _eq
+from .poly1305 import poly1305_mac
+
+__all__ = ["AESGCM", "ChaCha20Poly1305", "AuthenticationError", "new_aead"]
+
+
+class ChaCha20Poly1305:
+    """ChaCha20-Poly1305 AEAD per RFC 8439."""
+
+    TAG_SIZE = 16
+    NONCE_SIZE = 12
+    KEY_SIZE = 32
+
+    def __init__(self, key: bytes):
+        if len(key) != self.KEY_SIZE:
+            raise ValueError(f"key must be {self.KEY_SIZE} bytes, got {len(key)}")
+        self._key = key
+
+    def _poly_key(self, nonce: bytes) -> bytes:
+        return chacha20_block(self._key, 0, nonce)[:32]
+
+    def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        def pad16(b: bytes) -> bytes:
+            return b + bytes(-len(b) % 16)
+
+        mac_data = (
+            pad16(aad)
+            + pad16(ciphertext)
+            + struct.pack("<QQ", len(aad), len(ciphertext))
+        )
+        return poly1305_mac(self._poly_key(nonce), mac_data)
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        ciphertext = ChaCha20(self._key, nonce, counter=1).encrypt(plaintext)
+        return ciphertext + self._tag(nonce, aad, ciphertext)
+
+    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        if len(sealed) < self.TAG_SIZE:
+            raise AuthenticationError("ciphertext shorter than tag")
+        ciphertext, tag = sealed[: -self.TAG_SIZE], sealed[-self.TAG_SIZE :]
+        if not _eq(tag, self._tag(nonce, aad, ciphertext)):
+            raise AuthenticationError("Poly1305 tag mismatch")
+        return ChaCha20(self._key, nonce, counter=1).decrypt(ciphertext)
+
+
+def new_aead(name: str, key: bytes):
+    """Construct an AEAD object by OpenSSL-style method name."""
+    if name in ("aes-128-gcm", "aes-192-gcm", "aes-256-gcm"):
+        return AESGCM(key)
+    if name == "chacha20-ietf-poly1305":
+        return ChaCha20Poly1305(key)
+    raise ValueError(f"unknown AEAD method: {name!r}")

@@ -1,0 +1,122 @@
+"""Pure-Python AES block cipher (forward direction only).
+
+Every cipher mode used by Shadowsocks (CTR, CFB, GCM) needs only the
+*encryption* direction of the block cipher, so the inverse cipher is not
+implemented.  The implementation is the straightforward byte-oriented AES
+from FIPS 197 with a precomputed S-box; it is validated against the FIPS
+test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["AES", "BLOCK_SIZE"]
+
+BLOCK_SIZE = 16
+
+# Rijndael S-box, generated once at import time from the multiplicative
+# inverse in GF(2^8) followed by the affine transform.
+
+
+def _build_sbox() -> List[int]:
+    # Multiplicative inverses via log/antilog tables over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 in GF(2^8)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    for i in range(256):
+        inv = 0 if i == 0 else exp[255 - log[i]]
+        # affine transform
+        s = inv
+        for _ in range(4):
+            inv = ((inv << 1) | (inv >> 7)) & 0xFF
+            s ^= inv
+        sbox[i] = s ^ 0x63
+    return sbox
+
+
+_SBOX = _build_sbox()
+
+# xtime tables for MixColumns.
+_MUL2 = [((x << 1) ^ 0x1B) & 0xFF if x & 0x80 else (x << 1) for x in range(256)]
+_MUL3 = [_MUL2[x] ^ x for x in range(256)]
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+
+class AES:
+    """AES-128/192/256 forward block cipher.
+
+    >>> AES(bytes(16)).encrypt_block(bytes(16)).hex()
+    '66e94bd4ef8a2c3b884cfa59ca342b2e'
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16, 24, or 32 bytes, got {len(key)}")
+        self.key_size = len(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        nk = len(key) // 4
+        rounds = {4: 10, 6: 12, 8: 14}[nk]
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (rounds + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        # Group into per-round 16-byte flat keys.
+        return [
+            [words[4 * r + c][j] for c in range(4) for j in range(4)]
+            for r in range(rounds + 1)
+        ]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        sbox, mul2, mul3 = _SBOX, _MUL2, _MUL3
+        rk = self._round_keys
+        s = [block[i] ^ rk[0][i] for i in range(16)]
+        for rnd in range(1, self.rounds):
+            # SubBytes + ShiftRows fused: state is column-major
+            # (s[4c + r] is row r of column c).
+            t = [
+                sbox[s[0]], sbox[s[5]], sbox[s[10]], sbox[s[15]],
+                sbox[s[4]], sbox[s[9]], sbox[s[14]], sbox[s[3]],
+                sbox[s[8]], sbox[s[13]], sbox[s[2]], sbox[s[7]],
+                sbox[s[12]], sbox[s[1]], sbox[s[6]], sbox[s[11]],
+            ]
+            k = rk[rnd]
+            s = [0] * 16
+            for c in range(0, 16, 4):
+                a0, a1, a2, a3 = t[c], t[c + 1], t[c + 2], t[c + 3]
+                s[c] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3 ^ k[c]
+                s[c + 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3 ^ k[c + 1]
+                s[c + 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3] ^ k[c + 2]
+                s[c + 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3] ^ k[c + 3]
+        # Final round: no MixColumns.
+        t = [
+            sbox[s[0]], sbox[s[5]], sbox[s[10]], sbox[s[15]],
+            sbox[s[4]], sbox[s[9]], sbox[s[14]], sbox[s[3]],
+            sbox[s[8]], sbox[s[13]], sbox[s[2]], sbox[s[7]],
+            sbox[s[12]], sbox[s[1]], sbox[s[6]], sbox[s[11]],
+        ]
+        k = rk[self.rounds]
+        return bytes(t[i] ^ k[i] for i in range(16))

@@ -1,0 +1,70 @@
+"""Streaming cipher modes over a block cipher: CTR and CFB.
+
+These are the modes used by the Shadowsocks "stream cipher" construction
+(e.g. ``aes-128-ctr``, ``aes-256-cfb``).  Both are incremental: a mode
+object carries keystream state across ``process`` calls, mirroring how a
+Shadowsocks session encrypts a long TCP stream.
+"""
+
+from __future__ import annotations
+
+from .aes import AES, BLOCK_SIZE
+
+__all__ = ["CTRMode", "CFBMode"]
+
+
+class CTRMode:
+    """AES-CTR with a big-endian full-block counter (OpenSSL semantics).
+
+    Encryption and decryption are the same operation.
+    """
+
+    def __init__(self, key: bytes, iv: bytes):
+        if len(iv) != BLOCK_SIZE:
+            raise ValueError(f"CTR IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+        self._cipher = AES(key)
+        self._counter = int.from_bytes(iv, "big")
+        self._keystream = b""
+
+    def process(self, data: bytes) -> bytes:
+        while len(self._keystream) < len(data):
+            block = self._counter.to_bytes(BLOCK_SIZE, "big")
+            self._counter = (self._counter + 1) % (1 << 128)
+            self._keystream += self._cipher.encrypt_block(block)
+        ks, self._keystream = self._keystream[: len(data)], self._keystream[len(data) :]
+        return bytes(a ^ b for a, b in zip(data, ks))
+
+    encrypt = process
+    decrypt = process
+
+
+class CFBMode:
+    """AES-CFB128 (full-block feedback), incremental, OpenSSL semantics."""
+
+    def __init__(self, key: bytes, iv: bytes, encrypt: bool):
+        if len(iv) != BLOCK_SIZE:
+            raise ValueError(f"CFB IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+        self._cipher = AES(key)
+        self._register = iv
+        self._encrypting = encrypt
+        self._pending = b""  # keystream bytes not yet consumed from current block
+        self._feedback = b""  # ciphertext bytes accumulated toward next register
+
+    def process(self, data: bytes) -> bytes:
+        out = bytearray()
+        for byte in data:
+            if not self._pending:
+                self._pending = self._cipher.encrypt_block(self._register)
+                self._feedback = b""
+            c = byte ^ self._pending[0]
+            self._pending = self._pending[1:]
+            # The feedback register shifts in *ciphertext* bytes.
+            cipher_byte = c if self._encrypting else byte
+            self._feedback += bytes([cipher_byte])
+            if len(self._feedback) == BLOCK_SIZE:
+                self._register = self._feedback
+            out.append(c)
+        return bytes(out)
+
+    encrypt = process
+    decrypt = process

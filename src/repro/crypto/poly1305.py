@@ -1,0 +1,22 @@
+"""Poly1305 one-time authenticator (RFC 8439 §2.5)."""
+
+from __future__ import annotations
+
+__all__ = ["poly1305_mac"]
+
+_P = (1 << 130) - 5
+_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under a 32-byte key."""
+    if len(key) != 32:
+        raise ValueError(f"Poly1305 key must be 32 bytes, got {len(key)}")
+    r = int.from_bytes(key[:16], "little") & _CLAMP
+    s = int.from_bytes(key[16:], "little")
+    acc = 0
+    for i in range(0, len(message), 16):
+        chunk = message[i : i + 16]
+        n = int.from_bytes(chunk + b"\x01", "little")
+        acc = ((acc + n) * r) % _P
+    return ((acc + s) & ((1 << 128) - 1)).to_bytes(16, "little")

@@ -1,0 +1,116 @@
+"""Stream ciphers for the (deprecated) Shadowsocks stream construction.
+
+Implements enough cipher variety to cover every IV length the protocol
+allows (8, 12, or 16 bytes), which is what the GFW's length-targeted
+probes key on:
+
+* ``chacha20``      — original DJB variant, 8-byte nonce
+* ``chacha20-ietf`` — RFC 8439 variant, 12-byte nonce
+* ``aes-{128,192,256}-{ctr,cfb}`` — 16-byte IV
+* ``rc4-md5``       — 16-byte IV, RC4 keyed by MD5(key || IV)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from .chacha20 import _quarter_round, _CONSTANTS
+from .modes import CFBMode, CTRMode
+
+__all__ = ["RC4", "ChaCha20DJB", "new_stream_cipher"]
+
+
+class RC4:
+    """RC4 keystream XOR (for the ``rc4-md5`` method)."""
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise ValueError("RC4 key must be non-empty")
+        s = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + s[i] + key[i % len(key)]) % 256
+            s[i], s[j] = s[j], s[i]
+        self._s = s
+        self._i = 0
+        self._j = 0
+
+    def process(self, data: bytes) -> bytes:
+        s, i, j = self._s, self._i, self._j
+        out = bytearray()
+        for byte in data:
+            i = (i + 1) % 256
+            j = (j + s[i]) % 256
+            s[i], s[j] = s[j], s[i]
+            out.append(byte ^ s[(s[i] + s[j]) % 256])
+        self._i, self._j = i, j
+        return bytes(out)
+
+    encrypt = process
+    decrypt = process
+
+
+def _chacha20_block_djb(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """Original ChaCha20 block: 64-bit counter, 64-bit nonce."""
+    init = list(_CONSTANTS)
+    init.extend(struct.unpack("<8L", key))
+    init.append(counter & 0xFFFFFFFF)
+    init.append((counter >> 32) & 0xFFFFFFFF)
+    init.extend(struct.unpack("<2L", nonce))
+    state = list(init)
+    for _ in range(10):
+        _quarter_round(state, 0, 4, 8, 12)
+        _quarter_round(state, 1, 5, 9, 13)
+        _quarter_round(state, 2, 6, 10, 14)
+        _quarter_round(state, 3, 7, 11, 15)
+        _quarter_round(state, 0, 5, 10, 15)
+        _quarter_round(state, 1, 6, 11, 12)
+        _quarter_round(state, 2, 7, 8, 13)
+        _quarter_round(state, 3, 4, 9, 14)
+    return struct.pack("<16L", *((s + i) & 0xFFFFFFFF for s, i in zip(state, init)))
+
+
+class ChaCha20DJB:
+    """Incremental original-variant ChaCha20 (8-byte nonce)."""
+
+    def __init__(self, key: bytes, nonce: bytes):
+        if len(key) != 32:
+            raise ValueError(f"ChaCha20 key must be 32 bytes, got {len(key)}")
+        if len(nonce) != 8:
+            raise ValueError(f"DJB ChaCha20 nonce must be 8 bytes, got {len(nonce)}")
+        self._key = key
+        self._nonce = nonce
+        self._counter = 0
+        self._keystream = b""
+
+    def process(self, data: bytes) -> bytes:
+        while len(self._keystream) < len(data):
+            self._keystream += _chacha20_block_djb(self._key, self._counter, self._nonce)
+            self._counter += 1
+        ks, self._keystream = self._keystream[: len(data)], self._keystream[len(data) :]
+        return bytes(a ^ b for a, b in zip(data, ks))
+
+    encrypt = process
+    decrypt = process
+
+
+def new_stream_cipher(name: str, key: bytes, iv: bytes, encrypt: bool):
+    """Build an incremental stream cipher object for one direction.
+
+    ``encrypt`` only matters for CFB, whose feedback register differs by
+    direction; CTR/ChaCha/RC4 are symmetric.
+    """
+    from .chacha20 import ChaCha20
+
+    if name == "chacha20":
+        return ChaCha20DJB(key, iv)
+    if name == "chacha20-ietf":
+        return ChaCha20(key, iv)
+    if name == "rc4-md5":
+        return RC4(hashlib.md5(key + iv).digest())
+    if name.startswith("aes-") and name.endswith("-ctr"):
+        return CTRMode(key, iv)
+    if name.startswith("aes-") and name.endswith("-cfb"):
+        return CFBMode(key, iv, encrypt=encrypt)
+    raise ValueError(f"unknown stream cipher method: {name!r}")

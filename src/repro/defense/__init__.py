@@ -1,0 +1,7 @@
+"""Defenses: traffic shaping (brdgrd) and probing resistance."""
+
+from ..shadowsocks.replay import NonceReplayFilter, TimedReplayFilter
+from .brdgrd import Brdgrd
+from .consistent import harden
+
+__all__ = ["Brdgrd", "NonceReplayFilter", "TimedReplayFilter", "harden"]

@@ -1,0 +1,77 @@
+"""brdgrd ("bridge guard") — the §7.1 traffic-shaping workaround.
+
+Runs next to a protected server and rewrites the TCP window announced in
+the server's SYN/ACK to a small value, forcing the client to fragment
+its first write.  The GFW's passive classifier keys on the *first data
+packet's* length (Figure 8), so a tiny first segment falls far outside
+the 160–700-byte replay sweet spot and probing stops (Figure 11).
+
+Limitations modeled, per the paper:
+
+* the random window choice is itself a fingerprint
+  (``fixed_window`` mitigates at the cost of another);
+* the announced windows are unrealistically small for a real stack;
+* implementations that demand a complete target spec in the first read
+  (``rst_on_incomplete_spec`` profiles) RST the fragmented handshake,
+  breaking the connection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..net.network import Middlebox, Network
+from ..net.packet import Flags, Segment
+
+__all__ = ["Brdgrd"]
+
+
+class Brdgrd(Middlebox):
+    """Window-clamping middlebox guarding one server endpoint."""
+
+    def __init__(
+        self,
+        server_ip: str,
+        server_port: int,
+        *,
+        rng: Optional[random.Random] = None,
+        window_low: int = 10,
+        window_high: int = 40,
+        fixed_window: Optional[int] = None,
+        active: bool = True,
+    ):
+        if window_low < 1 or window_high < window_low:
+            raise ValueError("bad window range")
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self.rng = rng or random.Random(0xB12D)
+        self.window_low = window_low
+        self.window_high = window_high
+        self.fixed_window = fixed_window
+        self.active = active
+        self.rewritten = 0
+
+    def enable(self) -> None:
+        self.active = True
+
+    def disable(self) -> None:
+        self.active = False
+
+    def _choose_window(self) -> int:
+        if self.fixed_window is not None:
+            return self.fixed_window
+        return self.rng.randint(self.window_low, self.window_high)
+
+    def process(self, seg: Segment, network: Network) -> List[Segment]:
+        if not self.active:
+            return [seg]
+        if (
+            seg.src_ip == self.server_ip
+            and seg.src_port == self.server_port
+            and seg.has(Flags.SYN)
+            and seg.has(Flags.ACK)
+        ):
+            self.rewritten += 1
+            return [seg.copy(window=self._choose_window())]
+        return [seg]

@@ -1,0 +1,32 @@
+"""Consistent-reaction hardening (§7.2, after Frolov et al.).
+
+Censors fingerprint servers through *differential* reactions: RST vs
+FIN/ACK vs timeout, and the thresholds at which they change.  The
+defense is to make every error path look identical to the non-error
+path: read forever, never reset, close only on the client's terms.
+
+:func:`harden` rewrites any behaviour profile accordingly; the prober
+simulator then shows a single TIMEOUT column for every probe length —
+nothing left to distinguish.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..shadowsocks.implementations.base import BehaviorProfile, ErrorAction
+
+__all__ = ["harden"]
+
+
+def harden(profile: BehaviorProfile, *, add_replay_filter: bool = True) -> BehaviorProfile:
+    """A copy of ``profile`` with every distinguishable reaction removed."""
+    return dataclasses.replace(
+        profile,
+        name=profile.name + "-hardened",
+        display=profile.display + " (hardened)",
+        error_action=ErrorAction.TIMEOUT,
+        finack_on_exact_header=False,
+        rst_on_incomplete_spec=False,
+        replay_filter=profile.replay_filter or add_replay_filter,
+    )

@@ -1,0 +1,43 @@
+"""Turn-key harnesses for every experiment in the paper."""
+
+from .blocking_exp import (
+    BlockingExperimentConfig,
+    BlockingExperimentResult,
+    run_blocking_experiment,
+)
+from .brdgrd_exp import (
+    BrdgrdExperimentConfig,
+    BrdgrdExperimentResult,
+    run_brdgrd_experiment,
+)
+from .common import CHINA_CIDRS, World, build_world
+from .shadowsocks_exp import (
+    ShadowsocksExperimentConfig,
+    ShadowsocksExperimentResult,
+    run_shadowsocks_experiment,
+)
+from .sink_exp import (
+    SinkExperimentConfig,
+    SinkExperimentResult,
+    TABLE4_EXPERIMENTS,
+    run_sink_experiment,
+)
+
+__all__ = [
+    "BlockingExperimentConfig",
+    "BlockingExperimentResult",
+    "BrdgrdExperimentConfig",
+    "BrdgrdExperimentResult",
+    "CHINA_CIDRS",
+    "ShadowsocksExperimentConfig",
+    "ShadowsocksExperimentResult",
+    "SinkExperimentConfig",
+    "SinkExperimentResult",
+    "TABLE4_EXPERIMENTS",
+    "World",
+    "build_world",
+    "run_blocking_experiment",
+    "run_brdgrd_experiment",
+    "run_shadowsocks_experiment",
+    "run_sink_experiment",
+]

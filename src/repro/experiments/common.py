@@ -1,0 +1,113 @@
+"""Shared world-building for the paper's experiments.
+
+A *world* is a simulated Internet split at the Chinese border: client
+hosts inside China, measurement servers outside (or vice versa, for the
+§4.2 directionality experiment), and a :class:`GreatFirewall` middlebox
+on the path.  The inside address space covers the Table 3 prober ASes,
+the fleet anchor, and the experiment's own client subnets, so the GFW
+sees exactly the border-crossing traffic it should.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..gfw import (
+    BlockingPolicy,
+    DetectorConfig,
+    FleetConfig,
+    GreatFirewall,
+    SchedulerConfig,
+)
+from ..net import AS_TABLE, Host, Network, Simulator
+
+__all__ = ["CHINA_CIDRS", "World", "build_world"]
+
+# Inside-China address space: every prober AS prefix, the fleet anchor
+# block, and the subnets we place experiment clients in.
+CLIENT_SUBNET_BEIJING = "192.0.2.0/24"      # Tencent Beijing datacenter stand-in
+CLIENT_SUBNET_RESIDENTIAL = "192.88.99.0/24"  # residential network stand-in
+FLEET_BLOCK = "100.64.0.0/10"
+
+CHINA_CIDRS: List[str] = (
+    [prefix for info in AS_TABLE for prefix in info.prefixes]
+    + [CLIENT_SUBNET_BEIJING, CLIENT_SUBNET_RESIDENTIAL, FLEET_BLOCK]
+)
+
+# Outside-world addressing.
+SERVER_SUBNET_UK = "198.51.100."      # Digital Ocean UK stand-in
+SERVER_SUBNET_US = "203.0.113."       # US datacenter / university stand-in
+WEB_SUBNET = "198.18.0."              # the public web sites being browsed
+
+
+@dataclass
+class World:
+    sim: Simulator
+    net: Network
+    gfw: GreatFirewall
+    rng: random.Random
+    hosts: Dict[str, Host] = field(default_factory=dict)
+    _next_ip: Dict[str, int] = field(default_factory=dict)
+
+    def add_host(self, name: str, subnet: str, **kwargs) -> Host:
+        """Attach a host on the given subnet prefix (e.g. "198.51.100.")."""
+        index = self._next_ip.get(subnet, 10)
+        self._next_ip[subnet] = index + 1
+        host = Host(self.sim, self.net, f"{subnet}{index}", name, **kwargs)
+        self.hosts[name] = host
+        return host
+
+    def add_client(self, name: str, residential: bool = False) -> Host:
+        subnet = (
+            CLIENT_SUBNET_RESIDENTIAL if residential else CLIENT_SUBNET_BEIJING
+        ).rsplit(".", 1)[0] + "."
+        return self.add_host(name, subnet)
+
+    def add_server(self, name: str, region: str = "uk") -> Host:
+        subnet = {"uk": SERVER_SUBNET_UK, "us": SERVER_SUBNET_US,
+                  "web": WEB_SUBNET}[region]
+        return self.add_host(name, subnet)
+
+    def add_website(self, hostname: str) -> Host:
+        """Attach a public web server and register its DNS name."""
+        host = self.add_server(f"web-{hostname}", region="web")
+        self.net.register_name(hostname, host.ip)
+
+        def web_app(conn):
+            conn.on_data = lambda data: conn.send(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 64\r\n\r\n" + b"x" * 64
+            )
+            conn.on_remote_fin = conn.close
+
+        host.listen(80, web_app)
+        host.listen(443, web_app)
+        return host
+
+
+def build_world(
+    seed: int = 0,
+    *,
+    detector_config: Optional[DetectorConfig] = None,
+    scheduler_config: Optional[SchedulerConfig] = None,
+    fleet_config: Optional[FleetConfig] = None,
+    blocking_policy: Optional[BlockingPolicy] = None,
+    websites: Optional[List[str]] = None,
+) -> World:
+    """Build a bordered world with a GFW on the path."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    net = Network(sim)
+    gfw = GreatFirewall(
+        sim, net, CHINA_CIDRS,
+        rng=random.Random(rng.randrange(1 << 30)),
+        detector_config=detector_config,
+        scheduler_config=scheduler_config,
+        fleet_config=fleet_config,
+        blocking_policy=blocking_policy,
+    )
+    world = World(sim=sim, net=net, gfw=gfw, rng=rng)
+    for hostname in websites or []:
+        world.add_website(hostname)
+    return world

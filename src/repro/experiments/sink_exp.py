@@ -1,0 +1,152 @@
+"""The §4.1 random-data experiments (Table 4, Figures 8 and 9).
+
+A bare TCP client in Beijing sends single data packets of controlled
+(length, entropy) to a bare server in the US, which either swallows
+everything ("sink") or answers probers ("responding").  No Shadowsocks
+anywhere — the point of §4 is that the GFW triggers on the *shape* of the
+first data packet alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..gfw import DetectorConfig, ProbeRecord, shannon_entropy
+from ..workloads import RandomDataClient, RespondingServer, SinkServer
+from .common import World, build_world
+
+__all__ = ["SinkExperimentConfig", "SinkExperimentResult", "run_sink_experiment",
+           "TABLE4_EXPERIMENTS"]
+
+# Table 4, verbatim: experiment id -> (length range, entropy range, mode).
+TABLE4_EXPERIMENTS: Dict[str, dict] = {
+    "1.a": {"length_range": (1, 1000), "entropy_range": (7.0, 8.0), "mode": "sink"},
+    "1.b": {"length_range": (1, 1000), "entropy_range": (7.0, 8.0), "mode": "responding"},
+    "2":   {"length_range": (1, 1000), "entropy_range": (0.0, 2.0), "mode": "sink"},
+    "3":   {"length_range": (1, 2000), "entropy_range": (0.0, 8.0), "mode": "sink"},
+}
+
+
+@dataclass
+class SinkExperimentConfig:
+    seed: int = 0
+    mode: str = "sink"                      # "sink" | "responding" | "switch"
+    length_range: Tuple[int, int] = (1, 1000)
+    entropy_range: Tuple[float, float] = (7.0, 8.0)
+    connections: int = 4000
+    duration: float = 48 * 3600.0
+    # After this many seconds, "switch" mode turns the sink into a responder
+    # (the Exp 1.a -> 1.b transition at 310 hours).
+    switch_after: Optional[float] = None
+    base_rate: float = 0.5                   # boosted; see DetectorConfig
+    server_port: int = 9000
+
+    @classmethod
+    def table4(cls, experiment: str, **overrides) -> "SinkExperimentConfig":
+        params = dict(TABLE4_EXPERIMENTS[experiment])
+        params.update(overrides)
+        return cls(**params)
+
+
+@dataclass
+class SinkExperimentResult:
+    world: World
+    config: SinkExperimentConfig
+    probe_log: List[ProbeRecord]
+    sent_payloads: List[Tuple[float, bytes]]
+
+    @property
+    def trigger_lengths(self) -> List[int]:
+        return [len(p) for _, p in self.sent_payloads]
+
+    def replay_records(self) -> List[ProbeRecord]:
+        return [r for r in self.probe_log if r.probe.is_replay]
+
+    def replay_lengths(self, types: Optional[Tuple[str, ...]] = None) -> List[int]:
+        return [
+            len(r.probe.payload) for r in self.replay_records()
+            if types is None or r.probe_type in types
+        ]
+
+    def probes_by_type(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.probe_log:
+            counts[r.probe_type] = counts.get(r.probe_type, 0) + 1
+        return counts
+
+    def replay_ratio_by_entropy(self, bins: int = 8) -> List[Tuple[float, float]]:
+        """Figure 9: (bin center, replays per legitimate connection)."""
+        legit = [0] * bins
+        replays = [0] * bins
+
+        def bin_of(h: float) -> int:
+            return min(bins - 1, int(h / 8.0 * bins))
+
+        entropy_of: Dict[bytes, float] = {}
+        for _, payload in self.sent_payloads:
+            h = shannon_entropy(payload)
+            entropy_of[payload] = h
+            legit[bin_of(h)] += 1
+        for record in self.replay_records():
+            source = record.probe.source_payload
+            if source is None:
+                continue
+            h = entropy_of.get(source)
+            if h is None:
+                h = shannon_entropy(source)
+            replays[bin_of(h)] += 1
+        out = []
+        for i in range(bins):
+            center = (i + 0.5) * 8.0 / bins
+            ratio = replays[i] / legit[i] if legit[i] else 0.0
+            out.append((center, ratio))
+        return out
+
+
+def run_sink_experiment(config: Optional[SinkExperimentConfig] = None,
+                        ) -> SinkExperimentResult:
+    config = config or SinkExperimentConfig()
+    if config.mode not in ("sink", "responding", "switch"):
+        raise ValueError(f"bad mode {config.mode!r}")
+    world = build_world(
+        seed=config.seed,
+        detector_config=DetectorConfig(base_rate=config.base_rate),
+    )
+    server_host = world.add_server("sink-server", region="us")
+    client_host = world.add_client("random-client")
+    rng = random.Random(config.seed + 7)
+
+    if config.mode == "responding":
+        RespondingServer(server_host, config.server_port, [client_host.ip], rng=rng)
+    else:
+        server = SinkServer(server_host, config.server_port)
+        if config.mode == "switch":
+            switch_at = config.switch_after
+            if switch_at is None:
+                switch_at = config.duration / 2
+
+            def do_switch():
+                server_host.unlisten(config.server_port)
+                RespondingServer(server_host, config.server_port,
+                                 [client_host.ip], rng=rng)
+
+            world.sim.schedule(switch_at, do_switch)
+
+    client = RandomDataClient(
+        client_host, server_host.ip, config.server_port,
+        length_range=config.length_range,
+        entropy_range=config.entropy_range,
+        rng=random.Random(config.seed + 11),
+    )
+    interval = config.duration / max(1, config.connections)
+    client.run_schedule(config.connections, interval)
+    world.sim.run(until=config.duration * 1.25)
+
+    return SinkExperimentResult(
+        world=world,
+        config=config,
+        probe_log=list(world.gfw.probe_log),
+        sent_payloads=list(client.sent_payloads),
+    )

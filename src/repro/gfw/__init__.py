@@ -1,0 +1,64 @@
+"""Model of the Great Firewall: passive detection, active probing, blocking."""
+
+from .altdetectors import (
+    DetectorEvaluation,
+    EntropyClassifier,
+    LengthDistributionClassifier,
+    evaluate_detector,
+)
+from .blocking import SENSITIVE_PERIODS_2019, BlockEvent, BlockingModule, BlockingPolicy
+from .delays import FIG7_ANCHORS, ReplayDelayModel
+from .detector import DetectorConfig, PassiveDetector
+from .entropy import shannon_entropy
+from .firewall import FLEET_HOST_IP, FlowState, GreatFirewall
+from .fleet import FleetConfig, ProberFleet, TsvalProcess
+from .probes import (
+    NR1_CENTERS,
+    NR1_LENGTHS,
+    NR2_LENGTH,
+    NR3_LENGTHS,
+    RANDOM_TYPES,
+    REPLAY_TYPES,
+    Probe,
+    ProbeForge,
+    ProbeType,
+)
+from .prober import ProbeRecord, ProberRunner, Reaction
+from .scheduler import ProbeScheduler, SchedulerConfig, ServerProbeState
+
+__all__ = [
+    "BlockEvent",
+    "BlockingModule",
+    "BlockingPolicy",
+    "DetectorConfig",
+    "DetectorEvaluation",
+    "EntropyClassifier",
+    "FIG7_ANCHORS",
+    "FLEET_HOST_IP",
+    "FleetConfig",
+    "FlowState",
+    "LengthDistributionClassifier",
+    "GreatFirewall",
+    "NR1_CENTERS",
+    "NR1_LENGTHS",
+    "NR2_LENGTH",
+    "NR3_LENGTHS",
+    "PassiveDetector",
+    "Probe",
+    "ProbeForge",
+    "ProbeRecord",
+    "ProbeScheduler",
+    "ProbeType",
+    "ProberFleet",
+    "ProberRunner",
+    "RANDOM_TYPES",
+    "REPLAY_TYPES",
+    "Reaction",
+    "ReplayDelayModel",
+    "SENSITIVE_PERIODS_2019",
+    "SchedulerConfig",
+    "ServerProbeState",
+    "TsvalProcess",
+    "evaluate_detector",
+    "shannon_entropy",
+]

@@ -1,0 +1,155 @@
+"""Alternative passive detectors from the related work (§8).
+
+The paper situates the GFW's classifier among published proof-of-concept
+detectors; two recurring designs are implemented here for comparison:
+
+* :class:`EntropyClassifier` — flag a connection if the per-byte entropy
+  of its first data packet exceeds a threshold (Zhixin Wang's attack and
+  the sssniff tools);
+* :class:`LengthDistributionClassifier` — flag a connection whose
+  first-packet length falls where the *target* protocol's length
+  distribution concentrates relative to background traffic (Madeye's
+  sssniff used packet-length distributions).
+
+Both are *trainable* from labeled examples and expose the same
+``flag(payload) -> bool`` interface, so they can be swapped into
+evaluations against the paper's hand-built detector.  An evaluation
+helper computes precision/recall over labeled payload sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .entropy import shannon_entropy
+
+__all__ = ["EntropyClassifier", "LengthDistributionClassifier",
+           "DetectorEvaluation", "evaluate_detector"]
+
+
+class EntropyClassifier:
+    """Threshold on first-packet entropy.
+
+    ``fit`` picks the threshold maximizing balanced accuracy over the
+    training sets; or construct with an explicit ``threshold``.
+    """
+
+    def __init__(self, threshold: float = 7.0, min_length: int = 16):
+        self.threshold = threshold
+        # Entropy of very short payloads is meaninglessly low; skip them.
+        self.min_length = min_length
+
+    def fit(self, positives: Sequence[bytes], negatives: Sequence[bytes]) -> "EntropyClassifier":
+        candidates = [e / 10.0 for e in range(10, 80)]
+        best, best_score = self.threshold, -1.0
+        pos = [shannon_entropy(p) for p in positives if len(p) >= self.min_length]
+        neg = [shannon_entropy(p) for p in negatives if len(p) >= self.min_length]
+        if not pos or not neg:
+            raise ValueError("need non-trivial positive and negative samples")
+        for threshold in candidates:
+            tpr = sum(1 for e in pos if e >= threshold) / len(pos)
+            tnr = sum(1 for e in neg if e < threshold) / len(neg)
+            score = (tpr + tnr) / 2
+            if score > best_score:
+                best, best_score = threshold, score
+        self.threshold = best
+        return self
+
+    def flag(self, payload: bytes) -> bool:
+        if len(payload) < self.min_length:
+            return False
+        return shannon_entropy(payload) >= self.threshold
+
+
+class LengthDistributionClassifier:
+    """Histogram likelihood-ratio test on the first-packet length."""
+
+    def __init__(self, bin_width: int = 32, ratio_threshold: float = 1.0,
+                 smoothing: float = 1.0):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = bin_width
+        self.ratio_threshold = ratio_threshold
+        self.smoothing = smoothing
+        self._pos_hist: Dict[int, float] = {}
+        self._neg_hist: Dict[int, float] = {}
+        self._fitted = False
+
+    def _bin(self, length: int) -> int:
+        return length // self.bin_width
+
+    def fit(self, positives: Sequence[bytes], negatives: Sequence[bytes]
+            ) -> "LengthDistributionClassifier":
+        if not positives or not negatives:
+            raise ValueError("need positive and negative samples")
+        for hist, samples in ((self._pos_hist, positives),
+                              (self._neg_hist, negatives)):
+            hist.clear()
+            for payload in samples:
+                b = self._bin(len(payload))
+                hist[b] = hist.get(b, 0.0) + 1.0
+            total = sum(hist.values())
+            for b in hist:
+                hist[b] /= total
+        self._fitted = True
+        return self
+
+    def likelihood_ratio(self, payload: bytes) -> float:
+        if not self._fitted:
+            raise RuntimeError("call fit() first")
+        b = self._bin(len(payload))
+        # Laplace-style smoothing against empty bins.
+        eps = self.smoothing / 1000.0
+        p = self._pos_hist.get(b, 0.0) + eps
+        q = self._neg_hist.get(b, 0.0) + eps
+        return p / q
+
+    def flag(self, payload: bytes) -> bool:
+        return self.likelihood_ratio(payload) > self.ratio_threshold
+
+
+@dataclass
+class DetectorEvaluation:
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def evaluate_detector(flag, positives: Iterable[bytes],
+                      negatives: Iterable[bytes]) -> DetectorEvaluation:
+    """Score any ``flag(payload) -> bool`` callable on labeled payloads."""
+    tp = fn = fp = tn = 0
+    for payload in positives:
+        if flag(payload):
+            tp += 1
+        else:
+            fn += 1
+    for payload in negatives:
+        if flag(payload):
+            fp += 1
+        else:
+            tn += 1
+    return DetectorEvaluation(tp, fp, fn, tn)

@@ -1,0 +1,25 @@
+"""Shannon entropy of packet payloads (bits per byte).
+
+The GFW's passive detector uses the entropy of the first data packet in
+a connection as one of its two features (§4.2, Figure 9).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+__all__ = ["shannon_entropy"]
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Per-byte Shannon entropy, in bits (0.0 for empty/uniform input)."""
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy

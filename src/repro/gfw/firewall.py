@@ -1,0 +1,176 @@
+"""The Great Firewall as an on-path middlebox.
+
+Ties the pieces together: flow tracking on border-crossing traffic, the
+passive length/entropy detector, the staged probe scheduler driving the
+prober fleet, and the blocking module.  Triggering is bidirectional
+(§4.2): the initiator may be on either side of the border.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..net.capture import Capture
+from ..net.host import Host
+from ..net.ipaddr import ip_to_int, parse_cidr
+from ..net.network import Middlebox, Network
+from ..net.packet import Flags, Segment
+from .blocking import BlockingModule, BlockingPolicy
+from .delays import ReplayDelayModel
+from .detector import DetectorConfig, PassiveDetector
+from .fleet import FleetConfig, ProberFleet
+from .probes import ProbeForge
+from .prober import ProberRunner
+from .scheduler import ProbeScheduler, SchedulerConfig
+
+__all__ = ["GreatFirewall", "FlowState"]
+
+FLEET_HOST_IP = "100.64.0.1"  # the fleet's anchor address (never a probe source)
+
+
+@dataclass
+class FlowState:
+    initiator_ip: str
+    initiator_port: int
+    responder_ip: str
+    responder_port: int
+    saw_initiator_data: bool = False
+    saw_responder_data: bool = False
+
+
+class GreatFirewall(Middlebox):
+    """On-path censor: detect, probe, block."""
+
+    def __init__(
+        self,
+        sim,
+        network: Network,
+        inside_cidrs: List[str],
+        *,
+        rng: Optional[random.Random] = None,
+        detector_config: Optional[DetectorConfig] = None,
+        scheduler_config: Optional[SchedulerConfig] = None,
+        fleet_config: Optional[FleetConfig] = None,
+        blocking_policy: Optional[BlockingPolicy] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.inside_cidrs = list(inside_cidrs)
+        # Precompile the border predicate: it runs on every segment.
+        self._inside_masks = []
+        for cidr in self.inside_cidrs:
+            base, prefix = parse_cidr(cidr)
+            mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
+            self._inside_masks.append((base, mask))
+        self._inside_cache: Dict[str, bool] = {}
+        self.rng = rng or random.Random(0x6F0)
+
+        self.detector = PassiveDetector(detector_config)
+        self.fleet_host = Host(sim, network, FLEET_HOST_IP, "gfw-fleet",
+                               rng=random.Random(self.rng.randrange(1 << 30)))
+        self.fleet = ProberFleet(self.fleet_host,
+                                 rng=random.Random(self.rng.randrange(1 << 30)),
+                                 config=fleet_config)
+        self.runner = ProberRunner(self.fleet,
+                                   rng=random.Random(self.rng.randrange(1 << 30)))
+        self.forge = ProbeForge(random.Random(self.rng.randrange(1 << 30)))
+        self.scheduler = ProbeScheduler(
+            self.runner,
+            forge=self.forge,
+            delay_model=ReplayDelayModel(),
+            rng=random.Random(self.rng.randrange(1 << 30)),
+            config=scheduler_config,
+        )
+        self.blocking = BlockingModule(sim,
+                                       rng=random.Random(self.rng.randrange(1 << 30)),
+                                       policy=blocking_policy)
+        self.scheduler.on_probe_result = self.blocking.consider
+
+        self.flows: Dict[tuple, FlowState] = {}
+        # Off by default: long experiments would otherwise accumulate
+        # millions of records.  Enable for debugging.
+        self.capture = Capture()
+        self.capture.enabled = False
+        self.flagged_connections = 0
+        self.inspected_connections = 0
+        self.dropped_segments = 0
+        # Hook for tests/experiments: called on every flag decision.
+        self.on_flag: Callable[[FlowState, bytes], None] = lambda flow, payload: None
+        network.add_middlebox(self)
+
+    # ------------------------------------------------------------- geometry
+
+    def is_inside(self, ip: str) -> bool:
+        cached = self._inside_cache.get(ip)
+        if cached is None:
+            value = ip_to_int(ip)
+            cached = any((value & mask) == base for base, mask in self._inside_masks)
+            self._inside_cache[ip] = cached
+        return cached
+
+    def crosses_border(self, seg: Segment) -> bool:
+        return self.is_inside(seg.src_ip) != self.is_inside(seg.dst_ip)
+
+    def _is_fleet_traffic(self, seg: Segment) -> bool:
+        fleet_ips = self.fleet_host.extra_ips
+        return (
+            seg.src_ip == FLEET_HOST_IP or seg.dst_ip == FLEET_HOST_IP
+            or seg.src_ip in fleet_ips or seg.dst_ip in fleet_ips
+        )
+
+    # ------------------------------------------------------------ main path
+
+    def process(self, seg: Segment, network: Network) -> List[Segment]:
+        if self.blocking.should_drop(seg):
+            self.dropped_segments += 1
+            return []
+        if not self.crosses_border(seg) or self._is_fleet_traffic(seg):
+            return [seg]
+        self.capture.record(seg, self.sim.now, sent=False)
+        self._track(seg)
+        return [seg]
+
+    def _track(self, seg: Segment) -> None:
+        key = seg.conn_key()
+        flow = self.flows.get(key)
+        if flow is None:
+            if seg.is_syn:
+                self.flows[key] = FlowState(
+                    initiator_ip=seg.src_ip,
+                    initiator_port=seg.src_port,
+                    responder_ip=seg.dst_ip,
+                    responder_port=seg.dst_port,
+                )
+                self.inspected_connections += 1
+            return
+        if seg.is_data:
+            from_initiator = (
+                (seg.src_ip, seg.src_port) == (flow.initiator_ip, flow.initiator_port)
+            )
+            if from_initiator and not flow.saw_initiator_data:
+                flow.saw_initiator_data = True
+                self._first_initiator_data(flow, seg)
+            elif not from_initiator and not flow.saw_responder_data:
+                flow.saw_responder_data = True
+                self.scheduler.note_server_data(flow.responder_ip, flow.responder_port)
+        if seg.has(Flags.RST) or seg.has(Flags.FIN):
+            # Connection teardown: the feature packet (if any) has been
+            # seen by now, so the flow entry can be reclaimed.
+            del self.flows[key]
+
+    def _first_initiator_data(self, flow: FlowState, seg: Segment) -> None:
+        """The feature packet: first data from the connection's initiator."""
+        if self.detector.inspect(seg.payload, self.rng):
+            self.flagged_connections += 1
+            self.on_flag(flow, seg.payload)
+            self.scheduler.on_flagged_connection(
+                flow.responder_ip, flow.responder_port, seg.payload
+            )
+
+    # ------------------------------------------------------------ shortcuts
+
+    @property
+    def probe_log(self):
+        return self.runner.log

@@ -1,0 +1,170 @@
+"""Execution of individual probes: one TCP connection per probe.
+
+The prober connects from a fleet identity (IP, port, TSval process, TTL),
+sends the probe payload, and classifies the server's reaction exactly the
+way the paper's prober simulator does:
+
+* ``RST``      — server reset the connection;
+* ``FINACK``   — server closed first with FIN/ACK;
+* ``DATA``     — server answered with data (the prober then ACKs and
+  closes, per §5.3);
+* ``TIMEOUT``  — nothing happened before the prober's own timeout
+  (the GFW gives up in under 10 s);
+* ``UNREACHABLE`` — the SYN went unanswered (e.g. server blocked/down).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .probes import Probe
+
+__all__ = ["Reaction", "ProbeRecord", "ProberRunner"]
+
+
+class Reaction:
+    RST = "RST"
+    FINACK = "FINACK"
+    DATA = "DATA"
+    TIMEOUT = "TIMEOUT"
+    UNREACHABLE = "UNREACHABLE"
+
+
+@dataclass
+class ProbeRecord:
+    """Everything the measurement side can know about one probe."""
+
+    probe: Probe
+    server_ip: str
+    server_port: int
+    src_ip: str
+    src_port: int
+    time_sent: float
+    tsval: int
+    process_name: str
+    trigger_time: Optional[float] = None  # legit connection a replay derives from
+    reaction: Optional[str] = None
+    response_bytes: int = 0
+    time_done: Optional[float] = None
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Replay delay relative to the triggering legitimate connection."""
+        if self.trigger_time is None:
+            return None
+        return self.time_sent - self.trigger_time
+
+    @property
+    def probe_type(self) -> str:
+        return self.probe.probe_type
+
+
+class ProberRunner:
+    """Sends probes using fleet identities and records reactions."""
+
+    SYN_TIMEOUT = 12.0
+
+    def __init__(self, fleet, rng: Optional[random.Random] = None):
+        self.fleet = fleet
+        self.rng = rng or random.Random(0x9B0E)
+        self.log: list = []
+
+    @property
+    def sim(self):
+        return self.fleet.host.sim
+
+    def send_probe(
+        self,
+        probe: Probe,
+        server_ip: str,
+        server_port: int,
+        *,
+        trigger_time: Optional[float] = None,
+        on_result: Optional[Callable[[ProbeRecord], None]] = None,
+    ) -> ProbeRecord:
+        fleet = self.fleet
+        src_ip = fleet.pick_ip()
+        process = fleet.pick_process()
+        timeout = fleet.pick_timeout()
+
+        conn = None
+        for _ in range(8):  # retry on the (rare) 4-tuple collision
+            src_port = fleet.pick_port()
+            try:
+                conn = fleet.host.connect(
+                    server_ip, server_port,
+                    src_ip=src_ip, src_port=src_port,
+                    ttl=fleet.config.initial_ttl,
+                    tsval_source=process.source(),
+                )
+                break
+            except ValueError:
+                continue
+        if conn is None:
+            raise RuntimeError("could not allocate a prober source port")
+
+        record = ProbeRecord(
+            probe=probe,
+            server_ip=server_ip,
+            server_port=server_port,
+            src_ip=src_ip,
+            src_port=src_port,
+            time_sent=self.sim.now,
+            tsval=process.tsval_at(self.sim.now),
+            process_name=process.name,
+            trigger_time=trigger_time,
+        )
+        self.log.append(record)
+
+        done = False
+        probe_timer = None
+
+        def finish(reaction: str) -> None:
+            nonlocal done
+            if done:
+                return
+            done = True
+            record.reaction = reaction
+            record.time_done = self.sim.now
+            for ev in (syn_timer, probe_timer):
+                if ev is not None:
+                    ev.cancel()
+            if on_result is not None:
+                on_result(record)
+
+        def on_connected() -> None:
+            nonlocal probe_timer
+            syn_timer.cancel()
+            conn.send(probe.payload)
+            probe_timer = self.sim.schedule(timeout, on_timeout)
+
+        def on_data(data: bytes) -> None:
+            record.response_bytes += len(data)
+            if not done:
+                # First response data: ACK then close, per the paper.
+                finish(Reaction.DATA)
+                conn.close()
+
+        def on_fin() -> None:
+            conn.close()
+            finish(Reaction.FINACK)
+
+        def on_reset() -> None:
+            finish(Reaction.RST)
+
+        def on_timeout() -> None:
+            conn.close()
+            finish(Reaction.TIMEOUT)
+
+        def on_syn_timeout() -> None:
+            conn.abort()
+            finish(Reaction.UNREACHABLE)
+
+        conn.on_connected = on_connected
+        conn.on_data = on_data
+        conn.on_remote_fin = on_fin
+        conn.on_reset = on_reset
+        syn_timer = self.sim.schedule(self.SYN_TIMEOUT, on_syn_timeout)
+        return record

@@ -1,0 +1,135 @@
+"""The GFW's seven probe types (§3.2), plus the extra types of §4.2.
+
+Replay-based (payload derived from a recorded legitimate first packet):
+
+* **R1** — identical replay
+* **R2** — replay with byte 0 changed
+* **R3** — replay with bytes 0–7 and 62–63 changed
+* **R4** — replay with byte 16 changed
+* **R5** — replay with bytes 6 and 16 changed
+* **R6** — replay with bytes 16–32 changed (seen only in Exp 1.b)
+
+Seemingly random:
+
+* **NR1** — lengths in trios (n−1, n, n+1) for n ∈ {8,12,16,22,33,41,49}
+* **NR2** — exactly 221 bytes
+* **NR3** — occasional lengths {53, 56, 169, 180, 402} (sink experiments)
+
+The NR1 trios bracket reaction thresholds of stream-cipher servers: IV
+lengths 8/12/16 and the shortest complete target specs at IV+7
+(15/22/23…); see §5.2.2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["ProbeType", "Probe", "ProbeForge", "NR1_CENTERS", "NR1_LENGTHS",
+           "NR2_LENGTH", "NR3_LENGTHS", "REPLAY_TYPES", "RANDOM_TYPES"]
+
+NR1_CENTERS = (8, 12, 16, 22, 33, 41, 49)
+NR1_LENGTHS = tuple(sorted(n + d for n in NR1_CENTERS for d in (-1, 0, 1)))
+NR2_LENGTH = 221
+NR3_LENGTHS = (53, 56, 169, 180, 402)
+
+
+class ProbeType:
+    R1 = "R1"
+    R2 = "R2"
+    R3 = "R3"
+    R4 = "R4"
+    R5 = "R5"
+    R6 = "R6"
+    NR1 = "NR1"
+    NR2 = "NR2"
+    NR3 = "NR3"
+
+
+REPLAY_TYPES = (ProbeType.R1, ProbeType.R2, ProbeType.R3, ProbeType.R4,
+                ProbeType.R5, ProbeType.R6)
+RANDOM_TYPES = (ProbeType.NR1, ProbeType.NR2, ProbeType.NR3)
+
+# Byte offsets each byte-changed replay type mutates.
+_MUTATIONS = {
+    ProbeType.R2: (0,),
+    ProbeType.R3: tuple(range(0, 8)) + (62, 63),
+    ProbeType.R4: (16,),
+    ProbeType.R5: (6, 16),
+    ProbeType.R6: tuple(range(16, 33)),
+}
+
+
+@dataclass
+class Probe:
+    """One forged probe payload, ready to be sent."""
+
+    probe_type: str
+    payload: bytes
+    # For replay types: the payload that was replayed.
+    source_payload: Optional[bytes] = None
+    mutated_offsets: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def is_replay(self) -> bool:
+        return self.probe_type in REPLAY_TYPES
+
+
+class ProbeForge:
+    """Constructs probe payloads the way the GFW does."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng or random.Random(0x6F57)
+
+    # ------------------------------------------------------------- replays
+
+    def replay(self, payload: bytes, probe_type: str = ProbeType.R1) -> Probe:
+        """Forge a replay probe of the given type from a recorded payload."""
+        if probe_type == ProbeType.R1:
+            return Probe(ProbeType.R1, payload, source_payload=payload)
+        offsets = _MUTATIONS.get(probe_type)
+        if offsets is None:
+            raise ValueError(f"{probe_type} is not a replay probe type")
+        mutated = bytearray(payload)
+        applied = []
+        for off in offsets:
+            if off >= len(mutated):
+                continue  # short payloads simply lack the high offsets
+            original = mutated[off]
+            new = self.rng.randrange(256)
+            while new == original:
+                new = self.rng.randrange(256)
+            mutated[off] = new
+            applied.append(off)
+        return Probe(probe_type, bytes(mutated), source_payload=payload,
+                     mutated_offsets=tuple(applied))
+
+    # ------------------------------------------------------- random probes
+
+    def random_payload(self, length: int) -> bytes:
+        return bytes(self.rng.randrange(256) for _ in range(length))
+
+    def nr1(self, length: Optional[int] = None) -> Probe:
+        """An NR1 probe; length drawn uniformly from the trios if not given."""
+        if length is None:
+            length = self.rng.choice(NR1_LENGTHS)
+        elif length not in NR1_LENGTHS:
+            raise ValueError(f"{length} is not an NR1 length")
+        return Probe(ProbeType.NR1, self.random_payload(length))
+
+    def nr2(self) -> Probe:
+        return Probe(ProbeType.NR2, self.random_payload(NR2_LENGTH))
+
+    def nr3(self, length: Optional[int] = None) -> Probe:
+        if length is None:
+            length = self.rng.choice(NR3_LENGTHS)
+        elif length not in NR3_LENGTHS:
+            raise ValueError(f"{length} is not an NR3 length")
+        return Probe(ProbeType.NR3, self.random_payload(length))
+
+    def random_probe_battery(self) -> List[Probe]:
+        """One full sweep of NR1 lengths plus an NR2 (as in Figure 2)."""
+        probes = [self.nr1(length) for length in NR1_LENGTHS]
+        probes.append(self.nr2())
+        return probes

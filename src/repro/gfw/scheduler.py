@@ -1,0 +1,213 @@
+"""Staged probing logic per suspected server (§4.2, §5).
+
+Stage model inferred by the paper:
+
+* **Stage 1** — a flagged connection draws replay probes: an identical
+  replay (R1), often a byte-0-changed replay (R2), sometimes repeated
+  many times (payloads were replayed up to 47 times), plus random NR2
+  probes of 221 bytes.  Delays follow the Figure 7 distribution.
+* **Stage 2** — entered only once the server has *responded with data*
+  to a stage-1 replay probe (the replay-vulnerable implementations):
+  byte-changed replays R3 and R4 arrive in volume, R5 rarely.  This is
+  why Outline (no replay filter then) received R3–R5 and
+  Shadowsocks-libev never did.
+* **NR1 drip** — servers that are long-term suspects (many flagged
+  connections *and* observed to answer their own clients with data)
+  receive the NR1 length-trio battery, a few probes per hour rather
+  than all at once.
+
+The relative probe-type frequencies reproduce Figure 2 (NR2 ≈ 3× all
+NR1 combined) and the Exp 1.a tallies (R1 ≈ 2.5× R2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .delays import ReplayDelayModel
+from .probes import Probe, ProbeForge, ProbeType
+from .prober import ProbeRecord, ProberRunner, Reaction
+
+__all__ = ["SchedulerConfig", "ServerProbeState", "ProbeScheduler"]
+
+
+@dataclass
+class SchedulerConfig:
+    # Stage 1.
+    r2_probability: float = 0.40          # R2 per flagged connection vs R1's 1.0
+    nr2_probability: float = 0.30         # NR2 per flagged connection
+    repeat_geometric_p: float = 0.30      # extra replays of the same payload
+    max_replays_per_payload: int = 47     # hard cap observed in the wild
+    # Stage 2 (after the server responds to a replay).
+    stage2_burst_low: int = 8
+    stage2_burst_high: int = 24
+    stage2_spread_hours: float = 6.0
+    r5_probability: float = 0.02          # only two R5s were ever observed
+    r6_probability: float = 0.01          # Exp 1.b: 11 replays with bytes 16-32 changed
+    # NR1 drip.
+    nr1_flag_threshold: int = 10          # long-term suspect cutoff
+    # Per flagged connection past the threshold; with a 1-3 probe batch this
+    # yields NR2 ~ 3x all NR1 in the long run, the Figure 2 ratio.
+    nr1_probability: float = 0.05
+    nr1_spread_hours: float = 1.0         # "a few in each hour"
+    nr3_probability: float = 0.002        # rare stray lengths
+    # §5.3: ~10% of NR2 probes were sent to the same server more than once
+    # — consistent with the duplicate-probe replay-filter check.
+    nr2_duplicate_probability: float = 0.10
+    # Resource bound per server, far above anything the paper observed.
+    max_probes_per_server: int = 100_000
+
+
+@dataclass
+class ServerProbeState:
+    """Accumulated GFW knowledge about one suspected endpoint."""
+
+    ip: str
+    port: int
+    flag_count: int = 0
+    stage: int = 1
+    serves_data: bool = False     # server answered its own clients with data
+    probes_sent: int = 0
+    replay_responses: int = 0     # replay probes the server answered with data
+    recorded_payloads: List[Tuple[float, bytes]] = field(default_factory=list)
+    reactions: Dict[str, int] = field(default_factory=dict)
+
+    def note_reaction(self, record: ProbeRecord) -> None:
+        self.reactions[record.reaction] = self.reactions.get(record.reaction, 0) + 1
+
+
+class ProbeScheduler:
+    """Drives the staged probing of every suspected server."""
+
+    MAX_RECORDED_PAYLOADS = 512
+
+    def __init__(
+        self,
+        runner: ProberRunner,
+        forge: Optional[ProbeForge] = None,
+        delay_model: Optional[ReplayDelayModel] = None,
+        rng: Optional[random.Random] = None,
+        config: Optional[SchedulerConfig] = None,
+    ):
+        self.runner = runner
+        self.rng = rng or random.Random(0x5CED)
+        self.forge = forge or ProbeForge(self.rng)
+        self.delay_model = delay_model or ReplayDelayModel()
+        self.config = config or SchedulerConfig()
+        self.servers: Dict[Tuple[str, int], ServerProbeState] = {}
+        # Hook for the blocking module: called on every probe result.
+        self.on_probe_result: Callable[[ServerProbeState, ProbeRecord], None] = (
+            lambda state, record: None
+        )
+
+    @property
+    def sim(self):
+        return self.runner.sim
+
+    def state_for(self, ip: str, port: int) -> ServerProbeState:
+        key = (ip, port)
+        if key not in self.servers:
+            self.servers[key] = ServerProbeState(ip, port)
+        return self.servers[key]
+
+    # ------------------------------------------------------------- triggers
+
+    def on_flagged_connection(self, ip: str, port: int, payload: bytes) -> None:
+        """A passively flagged first data packet: start stage-1 probing."""
+        state = self.state_for(ip, port)
+        state.flag_count += 1
+        now = self.sim.now
+        if len(state.recorded_payloads) < self.MAX_RECORDED_PAYLOADS:
+            state.recorded_payloads.append((now, payload))
+
+        cfg = self.config
+        self._schedule_replays(state, payload, now, ProbeType.R1)
+        if self.rng.random() < cfg.r2_probability:
+            self._schedule_replays(state, payload, now, ProbeType.R2)
+        if self.rng.random() < cfg.nr2_probability:
+            nr2 = self.forge.nr2()
+            self._schedule(nr2, state, self.delay_model.sample(self.rng))
+            if self.rng.random() < cfg.nr2_duplicate_probability:
+                # Re-send the *same* payload later: the duplicate-probe
+                # replay-filter check of §5.3.
+                self._schedule(nr2, state, self.delay_model.sample(self.rng))
+        if self.rng.random() < cfg.nr3_probability:
+            self._schedule(self.forge.nr3(), state, self.delay_model.sample(self.rng))
+        if (
+            state.serves_data
+            and state.flag_count >= cfg.nr1_flag_threshold
+            and self.rng.random() < cfg.nr1_probability
+        ):
+            # Drip a small NR1 batch over the next hour or so.
+            for _ in range(self.rng.randint(1, 3)):
+                spread = self.rng.uniform(0, cfg.nr1_spread_hours * 3600)
+                self._schedule(self.forge.nr1(), state, spread)
+
+    def note_server_data(self, ip: str, port: int) -> None:
+        """Passively observed server->client data (it serves *something*)."""
+        self.state_for(ip, port).serves_data = True
+
+    # ----------------------------------------------------------- scheduling
+
+    def _schedule_replays(self, state: ServerProbeState, payload: bytes,
+                          trigger_time: float, probe_type: str) -> None:
+        cfg = self.config
+        repeats = 1
+        while (
+            repeats < cfg.max_replays_per_payload
+            and self.rng.random() < cfg.repeat_geometric_p
+        ):
+            repeats += 1
+        for _ in range(repeats):
+            delay = self.delay_model.sample(self.rng)
+            probe = self.forge.replay(payload, probe_type)
+            self._schedule(probe, state, delay, trigger_time=trigger_time)
+
+    def _schedule(self, probe: Probe, state: ServerProbeState, delay: float,
+                  trigger_time: Optional[float] = None) -> None:
+        if state.probes_sent >= self.config.max_probes_per_server:
+            return
+        state.probes_sent += 1
+        self.sim.schedule(delay, self._fire, probe, state, trigger_time)
+
+    def _fire(self, probe: Probe, state: ServerProbeState,
+              trigger_time: Optional[float]) -> None:
+        self.runner.send_probe(
+            probe, state.ip, state.port,
+            trigger_time=trigger_time,
+            on_result=lambda record: self._handle_result(state, record),
+        )
+
+    # -------------------------------------------------------------- results
+
+    def _handle_result(self, state: ServerProbeState, record: ProbeRecord) -> None:
+        state.note_reaction(record)
+        if record.probe.is_replay and record.reaction == Reaction.DATA:
+            state.replay_responses += 1
+            if state.stage == 1:
+                state.stage = 2
+                self._enter_stage2(state)
+        self.on_probe_result(state, record)
+
+    def _enter_stage2(self, state: ServerProbeState) -> None:
+        """The server answered a replay: unleash R3/R4 (and rarely R5/R6)."""
+        cfg = self.config
+        if not state.recorded_payloads:
+            return
+        burst = self.rng.randint(cfg.stage2_burst_low, cfg.stage2_burst_high)
+        for _ in range(burst):
+            recorded_at, payload = self.rng.choice(state.recorded_payloads)
+            roll = self.rng.random()
+            if roll < cfg.r5_probability:
+                probe_type = ProbeType.R5
+            elif roll < cfg.r5_probability + cfg.r6_probability:
+                probe_type = ProbeType.R6
+            elif roll < 0.5:
+                probe_type = ProbeType.R3
+            else:
+                probe_type = ProbeType.R4
+            delay = self.rng.uniform(0, cfg.stage2_spread_hours * 3600)
+            self._schedule(self.forge.replay(payload, probe_type), state, delay,
+                           trigger_time=recorded_at)

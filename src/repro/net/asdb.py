@@ -1,0 +1,116 @@
+"""Autonomous-system database for the prober address space.
+
+Encodes the AS mix the paper measured (Table 3): AS4837 and AS4134 carry
+the bulk of probes, with a long tail of smaller Chinese ASes.  Prefixes
+are chosen to contain the specific high-frequency prober addresses of
+Table 2 so those exact IPs resolve to the right AS.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .ipaddr import in_cidr, random_ip_in
+
+__all__ = ["ASInfo", "AS_TABLE", "PAPER_AS_COUNTS", "lookup_asn", "ASDatabase"]
+
+
+@dataclass(frozen=True)
+class ASInfo:
+    asn: int
+    name: str
+    prefixes: Tuple[str, ...]
+
+
+# The measured per-AS probe counts from Table 3 of the paper.
+PAPER_AS_COUNTS: Dict[int, int] = {
+    4837: 6262,
+    4134: 5188,
+    17622: 315,
+    17621: 263,
+    17816: 104,
+    4847: 101,
+    58563: 44,
+    17638: 17,
+    9808: 2,
+    4812: 1,
+    24400: 1,
+    56046: 1,
+    56047: 1,
+}
+
+AS_TABLE: List[ASInfo] = [
+    ASInfo(4837, "CHINA169-BACKBONE CNCGROUP China169 Backbone",
+           ("175.42.0.0/16", "124.234.0.0/15", "125.32.0.0/13")),
+    ASInfo(4134, "CHINANET-BACKBONE No.31, Jin-rong Street",
+           ("113.128.0.0/15", "221.212.0.0/15", "112.80.0.0/13", "116.252.0.0/15")),
+    ASInfo(17622, "CNCGROUP-GZ China Unicom Guangzhou network",
+           ("58.248.0.0/13",)),
+    ASInfo(17621, "CNCGROUP-SH China Unicom Shanghai network",
+           ("223.166.0.0/15",)),
+    ASInfo(17816, "CHINA169-GZ China Unicom IP network China169 Guangdong",
+           ("119.120.0.0/13",)),
+    ASInfo(4847, "CNIX-AP China Networks Inter-Exchange",
+           ("210.51.0.0/16",)),
+    ASInfo(58563, "CHINANET-HUBEI-IDC Hubei province",
+           ("111.47.0.0/16",)),
+    ASInfo(17638, "CHINATELECOM-TJ Tianjin",
+           ("60.24.0.0/13",)),
+    ASInfo(9808, "CMNET-GD Guangdong Mobile",
+           ("120.196.0.0/14",)),
+    ASInfo(4812, "CHINANET-SH-AP China Telecom Shanghai",
+           ("116.224.0.0/12",)),
+    ASInfo(24400, "CMNET-SH Shanghai Mobile",
+           ("117.184.0.0/14",)),
+    ASInfo(56046, "CMNET-JS Jiangsu Mobile",
+           ("223.64.0.0/11",)),
+    ASInfo(56047, "CMNET-HN Hunan Mobile",
+           ("223.144.0.0/12",)),
+]
+
+_BY_ASN: Dict[int, ASInfo] = {info.asn: info for info in AS_TABLE}
+
+
+def lookup_asn(ip: str) -> Optional[int]:
+    """Longest-prefix-free lookup (prefixes here are disjoint)."""
+    for info in AS_TABLE:
+        for prefix in info.prefixes:
+            if in_cidr(ip, prefix):
+                return info.asn
+    return None
+
+
+class ASDatabase:
+    """Sampler over the prober address space with the Table 3 AS weights."""
+
+    def __init__(self, weights: Optional[Dict[int, int]] = None):
+        self.weights = dict(weights or PAPER_AS_COUNTS)
+        unknown = set(self.weights) - set(_BY_ASN)
+        if unknown:
+            raise ValueError(f"no prefix data for ASNs {sorted(unknown)}")
+        self._asns = sorted(self.weights)
+        self._cum = []
+        total = 0
+        for asn in self._asns:
+            total += self.weights[asn]
+            self._cum.append(total)
+        self._total = total
+
+    def sample_asn(self, rng: random.Random) -> int:
+        point = rng.randrange(self._total)
+        for asn, cum in zip(self._asns, self._cum):
+            if point < cum:
+                return asn
+        raise AssertionError("unreachable")
+
+    def sample_ip(self, rng: random.Random, asn: Optional[int] = None) -> str:
+        """Sample one address, optionally pinned to a specific AS."""
+        chosen = asn if asn is not None else self.sample_asn(rng)
+        info = _BY_ASN[chosen]
+        prefix = rng.choice(info.prefixes)
+        return random_ip_in(prefix, rng)
+
+    def info(self, asn: int) -> ASInfo:
+        return _BY_ASN[asn]

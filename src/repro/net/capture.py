@@ -1,0 +1,84 @@
+"""Pcap-style packet capture with the query helpers the analysis needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from .packet import Flags, Segment
+
+__all__ = ["CaptureRecord", "Capture"]
+
+
+@dataclass
+class CaptureRecord:
+    time: float
+    sent: bool  # True if this host transmitted the segment
+    segment: Segment
+
+
+class Capture:
+    """An append-only log of segments seen at one observation point."""
+
+    def __init__(self):
+        self.records: List[CaptureRecord] = []
+        self.enabled = True
+
+    def record(self, seg: Segment, time: float, sent: bool) -> None:
+        if self.enabled:
+            self.records.append(CaptureRecord(time, sent, seg))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CaptureRecord]:
+        return iter(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------- queries
+
+    def filter(self, predicate: Callable[[CaptureRecord], bool]) -> List[CaptureRecord]:
+        return [rec for rec in self.records if predicate(rec)]
+
+    def received(self) -> List[CaptureRecord]:
+        return self.filter(lambda rec: not rec.sent)
+
+    def sent(self) -> List[CaptureRecord]:
+        return self.filter(lambda rec: rec.sent)
+
+    def syns_received(self) -> List[CaptureRecord]:
+        return self.filter(lambda rec: not rec.sent and rec.segment.is_syn)
+
+    def data_segments(self, received_only: bool = False) -> List[CaptureRecord]:
+        return self.filter(
+            lambda rec: rec.segment.is_data and (not received_only or not rec.sent)
+        )
+
+    def connections(self) -> dict:
+        """Group records by direction-insensitive connection key."""
+        groups: dict = {}
+        for rec in self.records:
+            groups.setdefault(rec.segment.conn_key(), []).append(rec)
+        return groups
+
+    def first_payload_from(self, src_ip: str, src_port: Optional[int] = None) -> Optional[bytes]:
+        """First data payload received from a given remote endpoint."""
+        for rec in self.records:
+            seg = rec.segment
+            if rec.sent or not seg.is_data:
+                continue
+            if seg.src_ip == src_ip and (src_port is None or seg.src_port == src_port):
+                return seg.payload
+        return None
+
+    def flags_timeline(self, conn_key) -> List[str]:
+        """Human-readable flag sequence for one connection (debug aid)."""
+        out = []
+        for rec in self.records:
+            if rec.segment.conn_key() == conn_key:
+                arrow = ">" if rec.sent else "<"
+                out.append(f"{rec.time:.3f}{arrow}{Flags.render(rec.segment.flags)}"
+                           f"({len(rec.segment.payload)})")
+        return out

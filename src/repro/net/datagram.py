@@ -1,0 +1,66 @@
+"""UDP datagram support for the network substrate.
+
+The paper's measurements are TCP-only (and so is the GFW model), but the
+Shadowsocks protocol includes a UDP relay; the library implements it for
+completeness.  Datagrams are routed by the same Network with the same
+latency model; middleboxes may inspect them via ``process_datagram``
+(default: pass through untouched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Datagram", "UdpEndpoint"]
+
+
+@dataclass
+class Datagram:
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    payload: bytes
+    ttl: int = 64
+    timestamp: float = field(default=0.0, compare=False)
+
+    @property
+    def source(self) -> Tuple[str, int]:
+        return (self.src_ip, self.src_port)
+
+    def __repr__(self) -> str:
+        return (f"<UDP {self.src_ip}:{self.src_port} > "
+                f"{self.dst_ip}:{self.dst_port} len={len(self.payload)}>")
+
+
+class UdpEndpoint:
+    """A bound UDP port on a host."""
+
+    def __init__(self, host, port: int):
+        self.host = host
+        self.port = port
+        self.on_datagram: Callable[[Datagram], None] = lambda dgram: None
+        self.received: int = 0
+        self.sent: int = 0
+
+    def send(self, dst_ip: str, dst_port: int, payload: bytes) -> None:
+        dgram = Datagram(
+            src_ip=self.host.ip,
+            dst_ip=dst_ip,
+            src_port=self.port,
+            dst_port=dst_port,
+            payload=payload,
+            ttl=self.host.default_ttl,
+        )
+        self.sent += 1
+        self.host.udp_log.append((self.host.sim.now, True, dgram))
+        self.host.network.send_datagram(dgram)
+
+    def deliver(self, dgram: Datagram) -> None:
+        self.received += 1
+        self.host.udp_log.append((self.host.sim.now, False, dgram))
+        self.on_datagram(dgram)
+
+    def close(self) -> None:
+        self.host.udp_unbind(self.port)

@@ -1,0 +1,196 @@
+"""Simulated hosts: endpoints that own TCP connections.
+
+A host can hold many IP addresses (``extra_ips``), which is how the GFW's
+prober fleet — thousands of source addresses driven by a handful of
+centralized processes — is modeled without thousands of host objects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Tuple
+
+from .capture import Capture
+from .packet import Flags, Segment
+from .tcp import TcpConnection, TcpState
+
+__all__ = ["Host"]
+
+# Default Linux ephemeral port range (net.ipv4.ip_local_port_range); the
+# paper observes ~90% of probes within it (Figure 5).
+LINUX_EPHEMERAL_RANGE = (32768, 60999)
+
+
+class Host:
+    """A network endpoint with its own clock, ports, and capture."""
+
+    def __init__(
+        self,
+        sim,
+        network,
+        ip: str,
+        name: Optional[str] = None,
+        *,
+        default_ttl: int = 64,
+        tsval_rate: float = 1000.0,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.ip = ip
+        self.name = name or ip
+        self.default_ttl = default_ttl
+        self.rng = rng or random.Random(hash(ip) & 0xFFFFFFFF)
+        self.capture = Capture()
+
+        # TCP timestamp clock: value = (boot_offset + rate * now) mod 2^32.
+        self.tsval_rate = tsval_rate
+        self._tsval_offset = self.rng.randrange(1 << 32)
+
+        self._connections: Dict[Tuple, TcpConnection] = {}
+        self._listeners: Dict[int, Callable[[TcpConnection], object]] = {}
+        self._next_ephemeral = self.rng.randint(*LINUX_EPHEMERAL_RANGE)
+        self.extra_ips: set = set()
+
+        # UDP: bound ports and a (time, sent, datagram) log.
+        self._udp_ports: Dict[int, object] = {}
+        self.udp_log: list = []
+
+        network.attach(self)
+
+    # ----------------------------------------------------------------- clock
+
+    def tsval_now(self) -> int:
+        return int(self._tsval_offset + self.tsval_rate * self.sim.now) & 0xFFFFFFFF
+
+    def next_ip_id(self) -> int:
+        # The paper finds "no clear pattern" in prober IP IDs; model as random.
+        return self.rng.randrange(1 << 16)
+
+    def alloc_port(self) -> int:
+        lo, hi = LINUX_EPHEMERAL_RANGE
+        port = self._next_ephemeral
+        self._next_ephemeral = port + 1 if port < hi else lo
+        return port
+
+    # ------------------------------------------------------------------- API
+
+    def listen(self, port: int, app_factory: Callable[[TcpConnection], object]) -> None:
+        """Accept connections on ``port``; ``app_factory(conn)`` wires an app."""
+        if port in self._listeners:
+            raise ValueError(f"port {port} already listening on {self.name}")
+        self._listeners[port] = app_factory
+
+    def unlisten(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def connect(
+        self,
+        dst_ip: str,
+        dst_port: int,
+        *,
+        src_ip: Optional[str] = None,
+        src_port: Optional[int] = None,
+        ttl: Optional[int] = None,
+        tsval_source: Optional[Callable[[float], int]] = None,
+    ) -> TcpConnection:
+        """Create and open a client connection; returns immediately."""
+        source = src_ip or self.ip
+        if source != self.ip and source not in self.extra_ips:
+            raise ValueError(f"{self.name} does not own source IP {source}")
+        port = src_port if src_port is not None else self.alloc_port()
+        conn = TcpConnection(
+            self, source, port, dst_ip, dst_port, ttl=ttl, tsval_source=tsval_source
+        )
+        key = (source, port, dst_ip, dst_port)
+        if key in self._connections:
+            raise ValueError(f"connection collision on {key}")
+        self._connections[key] = conn
+        conn.open()
+        return conn
+
+    # ------------------------------------------------------------- transport
+
+    def transmit(self, seg: Segment) -> None:
+        """Hand a segment to the network (stamped by the sending capture)."""
+        self.capture.record(seg, self.sim.now, sent=True)
+        self.network.send_segment(seg)
+
+    def deliver(self, seg: Segment) -> None:
+        """Receive a segment from the network."""
+        self.capture.record(seg, self.sim.now, sent=False)
+        key = (seg.dst_ip, seg.dst_port, seg.src_ip, seg.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn.handle_segment(seg)
+            return
+        if seg.is_syn and seg.dst_port in self._listeners:
+            self._accept(seg)
+            return
+        # Closed port: a real stack answers a stray SYN (or data) with RST.
+        if not seg.has(Flags.RST):
+            self._refuse(seg)
+
+    def _accept(self, syn: Segment) -> None:
+        conn = TcpConnection(
+            self, syn.dst_ip, syn.dst_port, syn.src_ip, syn.src_port
+        )
+        conn.state = TcpState.SYN_RCVD
+        conn._rcv_nxt = (syn.seq + 1) & 0xFFFFFFFF
+        conn._peer_window = syn.window
+        if syn.tsval is not None:
+            conn._last_tsval_seen = syn.tsval
+        key = (syn.dst_ip, syn.dst_port, syn.src_ip, syn.src_port)
+        self._connections[key] = conn
+        # Wire the application before the handshake completes so callbacks
+        # set by the factory see every event.
+        self._listeners[syn.dst_port](conn)
+        conn._emit(Flags.SYN | Flags.ACK, seq=conn._snd_nxt)
+        conn._snd_nxt += 1
+
+    def _refuse(self, seg: Segment) -> None:
+        rst = Segment(
+            src_ip=seg.dst_ip,
+            dst_ip=seg.src_ip,
+            src_port=seg.dst_port,
+            dst_port=seg.src_port,
+            flags=Flags.RST | Flags.ACK,
+            seq=0,
+            ack=(seg.seq + len(seg.payload) + (1 if seg.is_syn else 0)) & 0xFFFFFFFF,
+            ttl=self.default_ttl,
+            ip_id=self.next_ip_id(),
+        )
+        self.transmit(rst)
+
+    # ------------------------------------------------------------------ UDP
+
+    def udp_bind(self, port: Optional[int] = None):
+        """Bind a UDP port; returns a :class:`UdpEndpoint`."""
+        from .datagram import UdpEndpoint
+
+        if port is None:
+            port = self.alloc_port()
+            while port in self._udp_ports:
+                port = self.alloc_port()
+        if port in self._udp_ports:
+            raise ValueError(f"UDP port {port} already bound on {self.name}")
+        endpoint = UdpEndpoint(self, port)
+        self._udp_ports[port] = endpoint
+        return endpoint
+
+    def udp_unbind(self, port: int) -> None:
+        self._udp_ports.pop(port, None)
+
+    def deliver_datagram(self, dgram) -> None:
+        endpoint = self._udp_ports.get(dgram.dst_port)
+        if endpoint is not None:
+            endpoint.deliver(dgram)
+        # Unbound port: silently dropped (no ICMP model).
+
+    def forget(self, conn: TcpConnection) -> None:
+        key = (conn.local_ip, conn.local_port, conn.remote_ip, conn.remote_port)
+        self._connections.pop(key, None)
+
+    @property
+    def active_connections(self) -> int:
+        return len(self._connections)

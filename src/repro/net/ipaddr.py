@@ -1,0 +1,51 @@
+"""Small IPv4 helpers used throughout the network model."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+__all__ = ["ip_to_int", "int_to_ip", "parse_cidr", "random_ip_in", "in_cidr"]
+
+
+def ip_to_int(ip: str) -> int:
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {ip!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_cidr(cidr: str) -> Tuple[int, int]:
+    """Return (network_int, prefix_len)."""
+    addr, _, plen = cidr.partition("/")
+    prefix = int(plen) if plen else 32
+    if not 0 <= prefix <= 32:
+        raise ValueError(f"bad prefix length in {cidr!r}")
+    base = ip_to_int(addr)
+    mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
+    return base & mask, prefix
+
+
+def in_cidr(ip: str, cidr: str) -> bool:
+    base, prefix = parse_cidr(cidr)
+    mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
+    return (ip_to_int(ip) & mask) == base
+
+
+def random_ip_in(cidr: str, rng: random.Random) -> str:
+    """Sample a host address uniformly from a CIDR block."""
+    base, prefix = parse_cidr(cidr)
+    span = 1 << (32 - prefix)
+    return int_to_ip(base + rng.randrange(span))

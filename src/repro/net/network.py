@@ -1,0 +1,199 @@
+"""The network fabric: delivery, latency, hops, and on-path middleboxes.
+
+Middleboxes (the GFW, brdgrd) sit on the path and may observe, modify,
+drop, or replace segments in flight.  Delivery is in-order and lossless;
+per-pair latency and hop counts are configurable so that arrival TTLs can
+reproduce the measured prober fingerprint (TTL 46-50 at the server).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .packet import Segment
+
+__all__ = ["Network", "Middlebox"]
+
+
+class Middlebox:
+    """Base class for on-path devices.
+
+    ``process`` returns the list of segments to forward (commonly
+    ``[seg]``); an empty list drops the segment.  A middlebox may also
+    originate traffic by calling :meth:`Network.inject`.
+    ``process_datagram`` is the UDP analogue; the default passes
+    datagrams through untouched.
+    """
+
+    def process(self, seg: Segment, network: "Network") -> List[Segment]:
+        return [seg]
+
+    def process_datagram(self, dgram, network: "Network") -> list:
+        return [dgram]
+
+
+class Network:
+    """Connects hosts and routes segments through middleboxes."""
+
+    DEFAULT_LATENCY = 0.025  # one-way seconds
+    DEFAULT_HOPS = 14
+
+    def __init__(self, sim, unreachable_policy: str = "refuse"):
+        if unreachable_policy not in ("refuse", "drop"):
+            raise ValueError(f"bad unreachable_policy {unreachable_policy!r}")
+        self.sim = sim
+        self._hosts: Dict[str, object] = {}
+        self.middleboxes: List[Middlebox] = []
+        self._latency: Dict[Tuple[str, str], float] = {}
+        self._hops: Dict[Tuple[str, str], int] = {}
+        self.segments_delivered = 0
+        self.segments_dropped = 0
+        # "refuse": SYNs to unattached addresses bounce with RST (fast
+        # failure, the common case on the real Internet); "drop": silence,
+        # leaving the connector hanging in SYN_SENT (the slow-failure path
+        # §5.2.1 mentions).
+        self.unreachable_policy = unreachable_policy
+        # Toy DNS: hostname -> IP.  Unregistered names fail to resolve,
+        # which is what happens to the garbage hostnames random probes
+        # decrypt to.
+        self.dns: Dict[str, str] = {}
+
+    def register_name(self, name: str, ip: str) -> None:
+        self.dns[name] = ip
+
+    def resolve(self, name: str) -> Optional[str]:
+        return self.dns.get(name)
+
+    # ------------------------------------------------------------- topology
+
+    def attach(self, host) -> None:
+        if host.ip in self._hosts:
+            raise ValueError(f"IP {host.ip} already attached")
+        self._hosts[host.ip] = host
+
+    def register_extra_ip(self, host, ip: str) -> None:
+        """Bind an additional address (e.g. one prober IP) to a host."""
+        if ip in self._hosts:
+            raise ValueError(f"IP {ip} already attached")
+        self._hosts[ip] = host
+        host.extra_ips.add(ip)
+
+    def add_middlebox(self, mbox: Middlebox) -> None:
+        self.middleboxes.append(mbox)
+
+    def remove_middlebox(self, mbox: Middlebox) -> None:
+        self.middleboxes.remove(mbox)
+
+    def set_latency(self, src_ip: str, dst_ip: str, seconds: float, symmetric: bool = True) -> None:
+        self._latency[(src_ip, dst_ip)] = seconds
+        if symmetric:
+            self._latency[(dst_ip, src_ip)] = seconds
+
+    def set_hops(self, src_ip: str, dst_ip: str, hops: int, symmetric: bool = True) -> None:
+        """Set the hop count; ``dst_ip`` may be "*" for all destinations."""
+        self._hops[(src_ip, dst_ip)] = hops
+        if symmetric and dst_ip != "*":
+            self._hops[(dst_ip, src_ip)] = hops
+
+    def latency(self, src_ip: str, dst_ip: str) -> float:
+        return self._latency.get((src_ip, dst_ip), self.DEFAULT_LATENCY)
+
+    def hops(self, src_ip: str, dst_ip: str) -> int:
+        exact = self._hops.get((src_ip, dst_ip))
+        if exact is not None:
+            return exact
+        return self._hops.get((src_ip, "*"), self.DEFAULT_HOPS)
+
+    # -------------------------------------------------------------- routing
+
+    def send_segment(self, seg: Segment) -> None:
+        """Route one segment from a host through the middlebox chain."""
+        seg.timestamp = self.sim.now
+        self._through_middleboxes(seg, index=0)
+
+    def inject(self, seg: Segment, skip_middleboxes: bool = False) -> None:
+        """Originate a segment from a middlebox (e.g. a GFW prober SYN)."""
+        seg.timestamp = self.sim.now
+        if skip_middleboxes:
+            self._schedule_delivery(seg)
+        else:
+            self._through_middleboxes(seg, index=0)
+
+    def _through_middleboxes(self, seg: Segment, index: int) -> None:
+        current = [seg]
+        for i in range(index, len(self.middleboxes)):
+            next_round: List[Segment] = []
+            for s in current:
+                next_round.extend(self.middleboxes[i].process(s, self))
+            current = next_round
+            if not current:
+                self.segments_dropped += 1
+                return
+        for s in current:
+            self._schedule_delivery(s)
+
+    def _schedule_delivery(self, seg: Segment) -> None:
+        delay = self.latency(seg.src_ip, seg.dst_ip)
+        self.sim.schedule(delay, self._deliver, seg)
+
+    def _deliver(self, seg: Segment) -> None:
+        host = self._hosts.get(seg.dst_ip)
+        if host is None:
+            self.segments_dropped += 1
+            if self.unreachable_policy == "refuse" and not seg.flags & 0x04:  # not RST
+                self._refuse_unreachable(seg)
+            return
+        arrived = seg.copy(
+            ttl=max(0, seg.ttl - self.hops(seg.src_ip, seg.dst_ip)),
+            timestamp=self.sim.now,
+        )
+        self.segments_delivered += 1
+        host.deliver(arrived)
+
+    # ------------------------------------------------------------------ UDP
+
+    def send_datagram(self, dgram) -> None:
+        dgram.timestamp = self.sim.now
+        current = [dgram]
+        for mbox in self.middleboxes:
+            next_round = []
+            for d in current:
+                next_round.extend(mbox.process_datagram(d, self))
+            current = next_round
+            if not current:
+                self.segments_dropped += 1
+                return
+        for d in current:
+            delay = self.latency(d.src_ip, d.dst_ip)
+            self.sim.schedule(delay, self._deliver_datagram, d)
+
+    def _deliver_datagram(self, dgram) -> None:
+        host = self._hosts.get(dgram.dst_ip)
+        if host is None:
+            self.segments_dropped += 1
+            return
+        import dataclasses
+
+        arrived = dataclasses.replace(
+            dgram,
+            ttl=max(0, dgram.ttl - self.hops(dgram.src_ip, dgram.dst_ip)),
+        )
+        arrived.timestamp = self.sim.now
+        self.segments_delivered += 1
+        host.deliver_datagram(arrived)
+
+    def _refuse_unreachable(self, seg: Segment) -> None:
+        from .packet import Flags
+
+        rst = Segment(
+            src_ip=seg.dst_ip,
+            dst_ip=seg.src_ip,
+            src_port=seg.dst_port,
+            dst_port=seg.src_port,
+            flags=Flags.RST | Flags.ACK,
+            seq=0,
+            ack=(seg.seq + len(seg.payload) + (1 if seg.is_syn else 0)) & 0xFFFFFFFF,
+        )
+        # The RST comes from "the far side"; skip middleboxes to avoid
+        # the GFW reacting to its own synthetic traffic.
+        self.inject(rst, skip_middleboxes=True)

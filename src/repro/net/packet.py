@@ -1,0 +1,85 @@
+"""TCP/IP segment model.
+
+A :class:`Segment` carries exactly the header fields the paper fingerprints:
+IP TTL and ID, TCP ports, flags, sequence/ack numbers, receive window, and
+the TCP timestamp option (TSval/TSecr).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["Flags", "Segment"]
+
+
+class Flags:
+    """TCP flag bits."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+    @staticmethod
+    def render(flags: int) -> str:
+        names = []
+        for bit, name in ((0x02, "SYN"), (0x10, "ACK"), (0x08, "PSH"),
+                          (0x01, "FIN"), (0x04, "RST")):
+            if flags & bit:
+                names.append(name)
+        return "/".join(names) if names else "-"
+
+
+@dataclass
+class Segment:
+    """One TCP segment with the IP fields the analysis cares about."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    flags: int
+    seq: int = 0
+    ack: int = 0
+    payload: bytes = b""
+    window: int = 65535
+    ttl: int = 64
+    ip_id: int = 0
+    tsval: Optional[int] = None
+    tsecr: Optional[int] = None
+    # Capture timestamp, stamped by the network at delivery points.
+    timestamp: float = field(default=0.0, compare=False)
+
+    def has(self, flag_bits: int) -> bool:
+        return bool(self.flags & flag_bits)
+
+    @property
+    def is_syn(self) -> bool:
+        return self.has(Flags.SYN) and not self.has(Flags.ACK)
+
+    @property
+    def is_data(self) -> bool:
+        return len(self.payload) > 0
+
+    def copy(self, **changes) -> "Segment":
+        return replace(self, **changes)
+
+    def flow(self):
+        """4-tuple identifying the direction-sensitive flow."""
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+
+    def reverse_flow(self):
+        return (self.dst_ip, self.dst_port, self.src_ip, self.src_port)
+
+    def conn_key(self):
+        """Direction-insensitive connection key."""
+        return tuple(sorted((self.flow(), self.reverse_flow())))
+
+    def __repr__(self) -> str:  # compact, capture-log friendly
+        return (
+            f"<{self.src_ip}:{self.src_port} > {self.dst_ip}:{self.dst_port} "
+            f"[{Flags.render(self.flags)}] seq={self.seq} ack={self.ack} "
+            f"len={len(self.payload)} win={self.window} ttl={self.ttl}>"
+        )

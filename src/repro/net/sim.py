@@ -1,0 +1,84 @@
+"""Deterministic discrete-event simulator.
+
+All timing in the reproduction — TCP handshakes, server timeouts, the
+GFW's probe delays, multi-week experiment timelines — runs on this clock.
+Events at the same timestamp fire in scheduling order, so runs are
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Minimal event loop: ``schedule``, ``run``, ``now``."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = start_time
+        self._queue: list = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self.now + delay, next(self._counter), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        return self.schedule(time - self.now, fn, *args)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the queue drains or ``until`` is reached."""
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            processed += 1
+            self._processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and self.now < until:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        return self._processed

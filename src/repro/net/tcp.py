@@ -1,0 +1,252 @@
+"""Simplified TCP connection state machine.
+
+The underlying network is in-order and lossless, so there is no
+retransmission machinery; what *is* modeled faithfully is everything the
+paper's measurements observe:
+
+* the 3-way handshake and who closes first with which flags
+  (FIN/ACK vs RST vs neither — the reaction classes of Figure 10);
+* byte-accurate sequence/ack numbers;
+* sender-side sliding window honouring the peer's advertised receive
+  window (the mechanism brdgrd exploits to fragment the first payload);
+* TCP timestamps (TSval/TSecr) with pluggable timestamp sources
+  (the prober fleet shares a handful of TSval processes — Figure 6);
+* IP TTL and ID on every segment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .packet import Flags, Segment
+
+__all__ = ["TcpConnection", "TcpState"]
+
+
+class TcpState:
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT = "FIN_WAIT"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    LAST_ACK = "LAST_ACK"
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection."""
+
+    MSS = 1400
+
+    def __init__(
+        self,
+        host,
+        local_ip: str,
+        local_port: int,
+        remote_ip: str,
+        remote_port: int,
+        *,
+        ttl: Optional[int] = None,
+        tsval_source: Optional[Callable[[float], int]] = None,
+        rcv_window: int = 65535,
+    ):
+        self.host = host
+        self.local_ip = local_ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.state = TcpState.CLOSED
+        self.ttl = ttl if ttl is not None else host.default_ttl
+        self._tsval_source = tsval_source
+
+        # Receive window we advertise.  brdgrd manipulates the *other*
+        # side's view of this by rewriting segments in flight.
+        self.rcv_window = rcv_window
+
+        # Send-side state.
+        self._isn = host.rng.randrange(1 << 32)
+        self._snd_nxt = self._isn
+        self._snd_una = self._isn
+        self._peer_window = self.MSS  # updated from every ACK
+        self._send_buffer = bytearray()
+        self._fin_pending = False
+        self._fin_sent = False
+
+        # Receive-side state.
+        self._rcv_nxt = 0
+        self._last_tsval_seen: Optional[int] = None
+
+        # Observable outcomes.
+        self.fin_received = False
+        self.fin_sent_first: Optional[bool] = None  # True if we FIN'd before peer
+        self.reset_received = False
+        self.reset_sent = False
+        self.bytes_received = 0
+        self.bytes_sent = 0
+
+        # Application callbacks.
+        self.on_connected: Callable[[], None] = lambda: None
+        self.on_data: Callable[[bytes], None] = lambda data: None
+        self.on_remote_fin: Callable[[], None] = lambda: None
+        self.on_reset: Callable[[], None] = lambda: None
+        self.on_closed: Callable[[], None] = lambda: None
+
+    # ------------------------------------------------------------------ util
+
+    def _tsval(self) -> int:
+        if self._tsval_source is not None:
+            return self._tsval_source(self.host.sim.now) & 0xFFFFFFFF
+        return self.host.tsval_now()
+
+    def _emit(self, flags: int, payload: bytes = b"", seq: Optional[int] = None) -> None:
+        seg = Segment(
+            src_ip=self.local_ip,
+            dst_ip=self.remote_ip,
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            flags=flags,
+            seq=seq if seq is not None else self._snd_nxt,
+            ack=self._rcv_nxt if flags & Flags.ACK else 0,
+            payload=payload,
+            window=self.rcv_window,
+            ttl=self.ttl,
+            ip_id=self.host.next_ip_id(),
+            tsval=None if flags & Flags.RST else self._tsval(),
+            tsecr=self._last_tsval_seen if flags & Flags.ACK else None,
+        )
+        self.host.transmit(seg)
+
+    @property
+    def is_open(self) -> bool:
+        return self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+
+    # ------------------------------------------------------------ public API
+
+    def open(self) -> None:
+        """Actively initiate the connection (client side)."""
+        if self.state != TcpState.CLOSED:
+            raise RuntimeError(f"cannot open connection in state {self.state}")
+        self.state = TcpState.SYN_SENT
+        self._emit(Flags.SYN)
+        self._snd_nxt += 1  # SYN consumes one sequence number
+
+    def send(self, data: bytes) -> None:
+        """Queue application data; transmitted as the peer window allows."""
+        if not data:
+            return
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT, TcpState.SYN_SENT, TcpState.SYN_RCVD):
+            raise RuntimeError(f"cannot send in state {self.state}")
+        self._send_buffer.extend(data)
+        self._pump()
+
+    def close(self) -> None:
+        """Graceful close: FIN once the send buffer drains."""
+        if self.state in (TcpState.CLOSED, TcpState.FIN_WAIT, TcpState.LAST_ACK):
+            return
+        self._fin_pending = True
+        self._pump()
+
+    def abort(self) -> None:
+        """Send RST and drop the connection."""
+        if self.state == TcpState.CLOSED:
+            return
+        self.reset_sent = True
+        self._emit(Flags.RST)
+        self._enter_closed()
+
+    # ------------------------------------------------------------- internals
+
+    def _enter_closed(self) -> None:
+        if self.state != TcpState.CLOSED:
+            self.state = TcpState.CLOSED
+            self.host.forget(self)
+            self.on_closed()
+
+    def _pump(self) -> None:
+        """Send as much buffered data as the peer's window allows."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            return
+        while self._send_buffer:
+            in_flight = self._snd_nxt - self._snd_una
+            room = self._peer_window - in_flight
+            if room <= 0:
+                break
+            chunk = bytes(self._send_buffer[: min(self.MSS, room)])
+            del self._send_buffer[: len(chunk)]
+            self._emit(Flags.PSH | Flags.ACK, payload=chunk)
+            self._snd_nxt += len(chunk)
+            self.bytes_sent += len(chunk)
+        if self._fin_pending and not self._send_buffer and not self._fin_sent:
+            self._fin_sent = True
+            if self.fin_sent_first is None:
+                self.fin_sent_first = not self.fin_received
+            self._emit(Flags.FIN | Flags.ACK)
+            self._snd_nxt += 1  # FIN consumes one sequence number
+            self.state = (
+                TcpState.LAST_ACK if self.state == TcpState.CLOSE_WAIT else TcpState.FIN_WAIT
+            )
+
+    def handle_segment(self, seg: Segment) -> None:
+        """Process one incoming segment (called by the host)."""
+        if seg.tsval is not None:
+            self._last_tsval_seen = seg.tsval
+
+        if seg.has(Flags.RST):
+            self.reset_received = True
+            self.on_reset()
+            self._enter_closed()
+            return
+
+        if self.state == TcpState.SYN_SENT:
+            if seg.has(Flags.SYN) and seg.has(Flags.ACK):
+                self._rcv_nxt = (seg.seq + 1) & 0xFFFFFFFF
+                self._snd_una = seg.ack
+                self._peer_window = seg.window
+                self.state = TcpState.ESTABLISHED
+                self._emit(Flags.ACK)
+                self.on_connected()
+                self._pump()
+            return
+
+        if self.state == TcpState.SYN_RCVD:
+            if seg.has(Flags.ACK):
+                self._snd_una = seg.ack
+                self._peer_window = seg.window
+                self.state = TcpState.ESTABLISHED
+                self.on_connected()
+                self._pump()
+            # Fall through: the handshake ACK may carry data (it does not
+            # in this model, but be permissive).
+            if not seg.payload:
+                return
+
+        if seg.has(Flags.ACK):
+            if seg.ack > self._snd_una:
+                self._snd_una = seg.ack
+            self._peer_window = seg.window
+            if self.state == TcpState.LAST_ACK and self._snd_una >= self._snd_nxt:
+                self._enter_closed()
+                return
+            self._pump()
+
+        if seg.payload:
+            self._rcv_nxt = (seg.seq + len(seg.payload)) & 0xFFFFFFFF
+            self.bytes_received += len(seg.payload)
+            self._emit(Flags.ACK)
+            self.on_data(seg.payload)
+            # on_data may have closed/aborted us; nothing further to do then.
+            if self.state == TcpState.CLOSED:
+                return
+
+        if seg.has(Flags.FIN):
+            self.fin_received = True
+            if self.fin_sent_first is None:
+                self.fin_sent_first = False
+            self._rcv_nxt = (seg.seq + len(seg.payload) + 1) & 0xFFFFFFFF
+            self._emit(Flags.ACK)
+            self.on_remote_fin()
+            if self.state == TcpState.FIN_WAIT:
+                self._enter_closed()
+            elif self.state == TcpState.ESTABLISHED:
+                self.state = TcpState.CLOSE_WAIT

@@ -1,0 +1,35 @@
+"""The paper's prober simulator (§5.1) and the §5.2.2 identifier."""
+
+from .attacks import AtypScanResult, RedirectResult, atyp_scan, redirect_attack
+from .filterprobe import FilterProbeResult, detect_replay_filter
+from .identify import Identification, PROBE_LENGTH_SCHEDULE, identify_server
+from .matrix import (
+    ReactionCell,
+    ReactionRow,
+    build_random_probe_row,
+    build_replay_table,
+    summarize_transitions,
+)
+from .reactions import ReactionKind, classify_reaction
+from .simulator import ProbeResult, ProberSimulator
+
+__all__ = [
+    "AtypScanResult",
+    "FilterProbeResult",
+    "Identification",
+    "PROBE_LENGTH_SCHEDULE",
+    "ProbeResult",
+    "ProberSimulator",
+    "ReactionCell",
+    "ReactionKind",
+    "ReactionRow",
+    "build_random_probe_row",
+    "build_replay_table",
+    "RedirectResult",
+    "atyp_scan",
+    "classify_reaction",
+    "detect_replay_filter",
+    "identify_server",
+    "redirect_attack",
+    "summarize_transitions",
+]

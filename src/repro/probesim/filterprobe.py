@@ -1,0 +1,66 @@
+"""Detecting a replay filter without knowing the password (§5.3).
+
+The paper: "with stream ciphers, an attacker can detect whether a replay
+filter exists... send the same random probe to the server twice.  If the
+first probe happens to cause an outgoing connection, while the second is
+blocked by the replay filter, the difference ... will tell the attacker
+that a replay filter is in place."  It also notes ~10% of NR2 probes were
+observed to repeat, consistent with the GFW running this check.
+
+Strategy implemented here:
+
+1. send random probes of a length that can hold a complete IPv4 target
+   spec until one draws FIN/ACK — evidence the server decrypted it into
+   a target and tried (and failed) to connect;
+2. re-send that *exact* probe: a filterless server repeats the FIN/ACK
+   dance; a filtering server now treats the bytes as a replay and reacts
+   differently (RST or silence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..gfw.probes import Probe, ProbeType
+from .reactions import ReactionKind
+from .simulator import ProberSimulator
+
+__all__ = ["FilterProbeResult", "detect_replay_filter"]
+
+
+@dataclass
+class FilterProbeResult:
+    """Outcome of the duplicate-probe experiment."""
+
+    filter_detected: Optional[bool]  # None: no conclusive probe pair found
+    attempts: int                    # probes sent while hunting for FIN/ACK
+    first_reaction: Optional[str] = None
+    second_reaction: Optional[str] = None
+
+
+def detect_replay_filter(
+    simulator: ProberSimulator,
+    probe_length: int = 33,
+    max_attempts: int = 120,
+) -> FilterProbeResult:
+    """Run the §5.3 duplicate-probe check against one server model.
+
+    ``probe_length`` defaults to 33 — an NR1 length comfortably past
+    every stream IV+7 threshold, so any stream server may produce the
+    tell-tale FIN/ACK.
+    """
+    for attempt in range(1, max_attempts + 1):
+        payload = simulator.forge.random_payload(probe_length)
+        first = simulator.send_probe(Probe(ProbeType.NR1, payload))
+        if first.reaction != ReactionKind.FINACK:
+            continue
+        # Same bytes again: for a filtering server the IV is now known.
+        second = simulator.send_probe(Probe(ProbeType.NR1, payload))
+        return FilterProbeResult(
+            filter_detected=second.reaction != ReactionKind.FINACK,
+            attempts=attempt,
+            first_reaction=first.reaction,
+            second_reaction=second.reaction,
+        )
+    return FilterProbeResult(filter_detected=None, attempts=max_attempts)

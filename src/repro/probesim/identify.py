@@ -1,0 +1,156 @@
+"""Statistical server identification from probe reactions (§5.2.2).
+
+Implements the attacker the paper describes: send random probes of
+varying lengths, collect the reaction statistics, and infer
+
+* whether the server speaks the stream or AEAD construction,
+* the IV/salt length (and hence, sometimes, the exact cipher — a 12-byte
+  IV can only be ``chacha20-ietf``),
+* whether the implementation masks the address-type byte (RST fraction
+  near 1−3/16 ≈ 0.81 rather than 1−3/256 ≈ 0.99),
+* whether errors RST or time out (old vs new implementation generations),
+* the Outline v1.0.6 FIN/ACK-at-exactly-50 quirk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .matrix import ReactionRow
+from .reactions import ReactionKind
+
+__all__ = ["Identification", "identify_server", "PROBE_LENGTH_SCHEDULE"]
+
+# Lengths that straddle every threshold of interest: stream IVs (8/12/16),
+# first complete IPv4 specs (15/19/23), AEAD headers (50/58/66) and first
+# chunk envelopes (51/59/67), plus the paper's own NR1/NR2 set.
+PROBE_LENGTH_SCHEDULE = (
+    1, 7, 8, 9, 11, 12, 13, 15, 16, 17, 19, 20, 21, 22, 23, 24,
+    32, 33, 34, 40, 41, 42, 48, 49, 50, 51, 52, 58, 59, 60, 66, 67, 68,
+    73, 100, 221,
+)
+
+_STREAM_IV_LENGTHS = (8, 12, 16)
+_AEAD_SALT_LENGTHS = (16, 24, 32)
+
+
+@dataclass
+class Identification:
+    construction: Optional[str] = None   # "stream" | "aead" | None (unknown)
+    nonce_len: Optional[int] = None      # inferred IV or salt length
+    masks_atyp: Optional[bool] = None
+    error_action: Optional[str] = None   # "rst" | "timeout"
+    quirk_finack_at_header: bool = False
+    cipher_hint: Optional[str] = None
+    compatible_profiles: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+
+def identify_server(row: ReactionRow) -> Identification:
+    """Infer implementation facts from a random-probe reaction row."""
+    ident = Identification()
+    lengths = sorted(row.cells)
+    rst_lengths = [n for n in lengths if row.cells[n].fraction(ReactionKind.RST) > 0]
+
+    if not rst_lengths:
+        ident.error_action = "timeout"
+        ident.notes.append(
+            "server never resets: a post-fix implementation "
+            "(Shadowsocks-libev >=3.3.1 or OutlineVPN >=1.0.7)"
+        )
+        fin50 = [n for n in lengths
+                 if row.cells[n].fraction(ReactionKind.FINACK) > 0.9]
+        if fin50:
+            ident.quirk_finack_at_header = True
+        # FIN/ACKs at >= IV+7 lengths betray the stream construction even
+        # without RSTs (garbage target specs -> failed outbound connects).
+        fin_lengths = [n for n in lengths
+                       if 0 < row.cells[n].fraction(ReactionKind.FINACK) < 0.9]
+        if fin_lengths:
+            ident.construction = "stream"
+            ident.nonce_len = _infer_stream_iv_from_finack(fin_lengths)
+        _fill_profiles(ident)
+        return ident
+
+    ident.error_action = "rst"
+    first_rst = rst_lengths[0]
+
+    # Outline v1.0.6: pure TIMEOUT below 50, FIN/ACK at exactly 50, RST above.
+    cell50 = row.cells.get(50)
+    if (cell50 is not None and cell50.fraction(ReactionKind.FINACK) > 0.9
+            and first_rst > 50):
+        ident.construction = "aead"
+        ident.nonce_len = 32
+        ident.quirk_finack_at_header = True
+        ident.masks_atyp = False
+        ident.cipher_hint = "chacha20-ietf-poly1305"
+        ident.notes.append("FIN/ACK at exactly salt+18=50: OutlineVPN v1.0.6")
+        _fill_profiles(ident)
+        return ident
+
+    # The *position* of the RST threshold is the robust discriminator:
+    # stream servers start resetting at IV+1 (9/13/17), AEAD servers at
+    # salt+35 (51/59/67).  The RST *fraction* (pooled over every length
+    # past the threshold, for sample efficiency) then reveals masking.
+    pooled_rst = pooled_total = 0
+    for n in lengths:
+        if n >= first_rst:
+            cell = row.cells[n]
+            pooled_rst += cell.counts.get(ReactionKind.RST, 0)
+            pooled_total += cell.total
+    rst_frac = pooled_rst / pooled_total if pooled_total else 0.0
+
+    if first_rst - 1 in _STREAM_IV_LENGTHS and first_rst - 35 not in _AEAD_SALT_LENGTHS:
+        ident.construction = "stream"
+        ident.nonce_len = first_rst - 1
+        if ident.nonce_len == 12:
+            ident.cipher_hint = "chacha20-ietf"
+            ident.notes.append(
+                "12-byte IV: the only such stream cipher is chacha20-ietf"
+            )
+        # Masked implementations reset ~13/16 of probes; unmasked ~253/256.
+        ident.masks_atyp = rst_frac < 0.93
+    elif first_rst - 35 in _AEAD_SALT_LENGTHS:
+        ident.construction = "aead"
+        ident.nonce_len = first_rst - 35
+        if ident.nonce_len == 24:
+            ident.cipher_hint = "aes-192-gcm"
+        ident.masks_atyp = None  # not observable through AEAD
+    elif rst_frac > 0.97:
+        ident.construction = "aead"
+        ident.masks_atyp = None
+    else:
+        ident.construction = "stream"
+        ident.masks_atyp = rst_frac < 0.93
+    _fill_profiles(ident)
+    return ident
+
+
+def _infer_stream_iv_from_finack(fin_lengths: List[int]) -> Optional[int]:
+    """Shortest FIN/ACK length is ~IV+7 (a complete IPv4 spec)."""
+    candidates = [fin_lengths[0] - delta for delta in (7, 5, 4)]
+    for candidate in candidates:
+        if candidate in _STREAM_IV_LENGTHS:
+            return candidate
+    return None
+
+
+def _fill_profiles(ident: Identification) -> None:
+    from ..shadowsocks.implementations.registry import all_profiles
+
+    for profile in all_profiles():
+        if ident.error_action == "rst" and profile.error_action != "rst":
+            continue
+        if ident.error_action == "timeout" and profile.error_action != "timeout":
+            continue
+        if ident.construction == "stream" and not profile.supports_stream:
+            continue
+        if ident.construction == "aead" and not profile.supports_aead:
+            continue
+        if ident.quirk_finack_at_header != profile.finack_on_exact_header:
+            continue
+        if ident.masks_atyp is not None and ident.construction == "stream":
+            if profile.mask_atyp != ident.masks_atyp:
+                continue
+        ident.compatible_profiles.append(profile.name)

@@ -1,0 +1,45 @@
+"""Reaction taxonomy and classification (Figure 10's legend).
+
+* ``TIMEOUT`` — the server neither closed nor answered before the prober
+  gave up (<10 s): with a 60 s server idle timeout, the prober is always
+  the first to send FIN/ACK.
+* ``RST`` — the server reset the connection.
+* ``FINACK`` — the server was first to close gracefully.
+* ``DATA`` — the server answered with data (only servers lacking replay
+  protection do this, and only to valid replays).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["ReactionKind", "classify_reaction"]
+
+
+class ReactionKind:
+    TIMEOUT = "TIMEOUT"
+    RST = "RST"
+    FINACK = "FIN/ACK"
+    DATA = "DATA"
+
+
+def classify_reaction(events: List[Tuple[float, str]], start: float,
+                      prober_timeout: float) -> Tuple[str, float]:
+    """Classify from the prober-side event log.
+
+    ``events`` is a list of (time, tag) with tags ``"rst"``, ``"fin"``,
+    or ``"data:<n>"``.  Only events within the prober's patience window
+    count; a server that RSTs after 60 s still reads as TIMEOUT to a
+    prober that left at 10 s.
+    """
+    cutoff = start + prober_timeout
+    for time, tag in events:
+        if time > cutoff:
+            break
+        if tag.startswith("data:"):
+            return ReactionKind.DATA, time - start
+        if tag == "rst":
+            return ReactionKind.RST, time - start
+        if tag == "fin":
+            return ReactionKind.FINACK, time - start
+    return ReactionKind.TIMEOUT, prober_timeout

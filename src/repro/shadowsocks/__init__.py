@@ -1,0 +1,62 @@
+"""Shadowsocks protocol stack: wire formats, client, server, defenses."""
+
+from .aead_session import MAX_CHUNK, AeadDecryptor, AeadEncryptor
+from .bloom import BloomFilter, PingPongBloom
+from .client import ClientSession, ShadowsocksClient
+from .implementations.base import BehaviorProfile, ErrorAction
+from .implementations.registry import PROFILES, all_profiles, get_profile, profiles_for
+from .replay import NonceReplayFilter, TimedReplayFilter
+from .server import ServerSession, ShadowsocksServer
+from .spec import (
+    ATYP_HOSTNAME,
+    ATYP_IPV4,
+    ATYP_IPV6,
+    INVALID,
+    NEED_MORE,
+    SpecParseResult,
+    TargetSpec,
+    encode_target,
+    parse_target,
+)
+from .stream_session import StreamDecryptor, StreamEncryptor
+from .udp import (
+    UdpShadowsocksClient,
+    UdpShadowsocksServer,
+    decode_udp_packet,
+    encode_udp_packet,
+)
+
+__all__ = [
+    "ATYP_HOSTNAME",
+    "ATYP_IPV4",
+    "ATYP_IPV6",
+    "AeadDecryptor",
+    "AeadEncryptor",
+    "BehaviorProfile",
+    "BloomFilter",
+    "ClientSession",
+    "ErrorAction",
+    "INVALID",
+    "MAX_CHUNK",
+    "NEED_MORE",
+    "NonceReplayFilter",
+    "PROFILES",
+    "PingPongBloom",
+    "ServerSession",
+    "ShadowsocksClient",
+    "ShadowsocksServer",
+    "SpecParseResult",
+    "StreamDecryptor",
+    "StreamEncryptor",
+    "TargetSpec",
+    "TimedReplayFilter",
+    "UdpShadowsocksClient",
+    "UdpShadowsocksServer",
+    "all_profiles",
+    "encode_target",
+    "get_profile",
+    "decode_udp_packet",
+    "encode_udp_packet",
+    "parse_target",
+    "profiles_for",
+]

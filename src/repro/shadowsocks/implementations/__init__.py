@@ -1,0 +1,7 @@
+"""Per-implementation behaviour profiles."""
+
+from .base import BehaviorProfile, ErrorAction
+from .registry import PROFILES, all_profiles, get_profile, profiles_for
+
+__all__ = ["BehaviorProfile", "ErrorAction", "PROFILES", "all_profiles",
+           "get_profile", "profiles_for"]

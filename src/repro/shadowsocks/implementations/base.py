@@ -1,0 +1,50 @@
+"""Behaviour profiles: how each Shadowsocks implementation reacts to error.
+
+The GFW's random probes work because implementations differ in exactly
+these knobs (§5.2): whether the address type is masked, whether errors
+produce an immediate RST or an endless read, how many bytes an AEAD
+server wants before first attempting decryption, and whether replays are
+filtered.  A :class:`BehaviorProfile` captures one implementation/version
+range; the concrete reaction logic lives in the server engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ErrorAction", "BehaviorProfile"]
+
+
+class ErrorAction:
+    """What a server does on authentication failure / invalid address type."""
+
+    RST = "rst"          # close immediately with TCP RST
+    TIMEOUT = "timeout"  # swallow the error and read forever
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Static description of one implementation's observable behaviour."""
+
+    name: str                      # registry key, e.g. "ss-libev-3.2.5"
+    display: str                   # human-readable, e.g. "Shadowsocks-libev v3.2.5"
+    supports_stream: bool
+    supports_aead: bool
+    replay_filter: bool            # Bloom filter over IVs/salts
+    mask_atyp: bool                # mask upper 4 bits of the address type
+    error_action: str              # ErrorAction.RST or ErrorAction.TIMEOUT
+    aead_waits_for_payload_tag: bool
+    # Outline v1.0.6 quirk: FIN/ACK when the buffered bytes stop at exactly
+    # salt + 2 + 16 (a complete AEAD header and nothing more).
+    finack_on_exact_header: bool = False
+    # Legacy parsers (ShadowsocksR, Shadowsocks-python) that demand the
+    # complete target spec in the first decrypted read and RST otherwise —
+    # the implementations brdgrd's aggressive fragmentation breaks (§7.1).
+    rst_on_incomplete_spec: bool = False
+    idle_timeout: float = 60.0
+
+    def __post_init__(self):
+        if self.error_action not in (ErrorAction.RST, ErrorAction.TIMEOUT):
+            raise ValueError(f"bad error_action {self.error_action!r}")
+        if not (self.supports_stream or self.supports_aead):
+            raise ValueError("profile must support at least one construction")

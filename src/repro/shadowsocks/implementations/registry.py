@@ -1,0 +1,179 @@
+"""Registry of implementation/version behaviour profiles.
+
+The version ranges and their reactions come from §5.2–§5.3 of the paper
+(Figure 10, Table 5) and the referenced changelogs:
+
+* Shadowsocks-libev v3.0.8–v3.2.5 — RST on error, ATYP mask, Bloom replay
+  filter, waits for a full first AEAD chunk envelope before decrypting.
+* Shadowsocks-libev v3.3.1–v3.3.3 — identical except errors time out
+  (commit a99c39c "Simplify the server auto blocking mechanism").
+* OutlineVPN v1.0.6 — AEAD only, no replay filter, decrypts as soon as the
+  [salt][len][tag] header arrives; FIN/ACK on a probe of *exactly* header
+  size, RST beyond it.
+* OutlineVPN v1.0.7–v1.0.8 — probing resistance via timeout (commit
+  c70d512); still no replay filter.
+* OutlineVPN v1.1.0 — adds the client-data replay defense (Feb 2020).
+* Shadowsocks-python / ShadowsocksR — legacy stream-oriented servers with
+  no replay defense; the implementations the paper's three blocked servers
+  were running (§6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import BehaviorProfile, ErrorAction
+
+__all__ = ["PROFILES", "get_profile", "profiles_for", "all_profiles"]
+
+_LIBEV_OLD_VERSIONS = ("3.0.8", "3.1.3", "3.2.5")
+_LIBEV_NEW_VERSIONS = ("3.3.1", "3.3.3")
+
+PROFILES: Dict[str, BehaviorProfile] = {}
+
+
+def _register(profile: BehaviorProfile) -> None:
+    PROFILES[profile.name] = profile
+
+
+for _v in _LIBEV_OLD_VERSIONS:
+    _register(BehaviorProfile(
+        name=f"ss-libev-{_v}",
+        display=f"Shadowsocks-libev v{_v}",
+        supports_stream=True,
+        supports_aead=True,
+        replay_filter=True,
+        mask_atyp=True,
+        error_action=ErrorAction.RST,
+        aead_waits_for_payload_tag=True,
+    ))
+
+for _v in _LIBEV_NEW_VERSIONS:
+    _register(BehaviorProfile(
+        name=f"ss-libev-{_v}",
+        display=f"Shadowsocks-libev v{_v}",
+        supports_stream=True,
+        supports_aead=True,
+        replay_filter=True,
+        mask_atyp=True,
+        error_action=ErrorAction.TIMEOUT,
+        aead_waits_for_payload_tag=True,
+    ))
+
+_register(BehaviorProfile(
+    name="outline-1.0.6",
+    display="OutlineVPN v1.0.6",
+    supports_stream=False,
+    supports_aead=True,
+    replay_filter=False,
+    mask_atyp=False,
+    error_action=ErrorAction.RST,
+    aead_waits_for_payload_tag=False,
+    finack_on_exact_header=True,
+))
+
+for _v in ("1.0.7", "1.0.8"):
+    _register(BehaviorProfile(
+        name=f"outline-{_v}",
+        display=f"OutlineVPN v{_v}",
+        supports_stream=False,
+        supports_aead=True,
+        replay_filter=False,
+        mask_atyp=False,
+        error_action=ErrorAction.TIMEOUT,
+        aead_waits_for_payload_tag=False,
+    ))
+
+_register(BehaviorProfile(
+    name="outline-1.1.0",
+    display="OutlineVPN v1.1.0",
+    supports_stream=False,
+    supports_aead=True,
+    replay_filter=True,
+    mask_atyp=False,
+    error_action=ErrorAction.TIMEOUT,
+    aead_waits_for_payload_tag=False,
+))
+
+_register(BehaviorProfile(
+    name="ss-python",
+    display="Shadowsocks-python",
+    supports_stream=True,
+    supports_aead=False,
+    replay_filter=False,
+    mask_atyp=True,
+    error_action=ErrorAction.RST,
+    aead_waits_for_payload_tag=False,
+    rst_on_incomplete_spec=True,
+))
+
+_register(BehaviorProfile(
+    name="ssr",
+    display="ShadowsocksR",
+    supports_stream=True,
+    supports_aead=False,
+    replay_filter=False,
+    mask_atyp=True,
+    error_action=ErrorAction.RST,
+    aead_waits_for_payload_tag=False,
+    rst_on_incomplete_spec=True,
+))
+
+
+# Shadowsocks-rust: v1.8.5 added a replay-defense feature in response to
+# the preliminary disclosure of this paper's findings (§11 / Availability).
+_register(BehaviorProfile(
+    name="ss-rust-1.8.4",
+    display="Shadowsocks-rust v1.8.4",
+    supports_stream=True,
+    supports_aead=True,
+    replay_filter=False,
+    mask_atyp=False,
+    error_action=ErrorAction.RST,
+    aead_waits_for_payload_tag=True,
+))
+
+_register(BehaviorProfile(
+    name="ss-rust-1.8.5",
+    display="Shadowsocks-rust v1.8.5",
+    supports_stream=True,
+    supports_aead=True,
+    replay_filter=True,
+    mask_atyp=False,
+    error_action=ErrorAction.RST,
+    aead_waits_for_payload_tag=True,
+))
+
+_register(BehaviorProfile(
+    name="go-shadowsocks2",
+    display="go-shadowsocks2",
+    supports_stream=True,
+    supports_aead=True,
+    replay_filter=False,
+    mask_atyp=False,
+    error_action=ErrorAction.RST,
+    aead_waits_for_payload_tag=False,
+))
+
+
+def get_profile(name: str) -> BehaviorProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown implementation profile {name!r}; "
+            f"known: {', '.join(sorted(PROFILES))}"
+        ) from None
+
+
+def profiles_for(implementation: str) -> List[BehaviorProfile]:
+    """All registered versions of one implementation family."""
+    prefix = implementation.rstrip("-") + "-"
+    found = [p for n, p in sorted(PROFILES.items()) if n.startswith(prefix) or n == implementation]
+    if not found:
+        raise ValueError(f"no profiles for implementation {implementation!r}")
+    return found
+
+
+def all_profiles() -> List[BehaviorProfile]:
+    return [PROFILES[name] for name in sorted(PROFILES)]

@@ -1,0 +1,395 @@
+"""Generic Shadowsocks server engine, parameterized by a behaviour profile.
+
+One engine implements both wire constructions; a
+:class:`~repro.shadowsocks.implementations.base.BehaviorProfile` selects
+the error-handling quirks that distinguish Shadowsocks-libev versions and
+OutlineVPN versions from each other (Figure 10, Table 5).
+
+Observable reactions produced here, per the paper's taxonomy:
+
+* **RST** — ``conn.abort()`` on auth failure / bad address type
+  (old implementations);
+* **FIN/ACK** — graceful close when an outbound connection to the
+  (usually garbage) target fails;
+* **TIMEOUT** — the engine just keeps reading; whoever probes gives up
+  first (new implementations, and all implementations while a target
+  spec is still incomplete).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..crypto import AuthenticationError, evp_bytes_to_key, get_spec
+from ..crypto.registry import CipherKind
+from .aead_session import AeadDecryptor, AeadEncryptor
+from .implementations.base import BehaviorProfile, ErrorAction
+from .implementations.registry import get_profile
+from .replay import NonceReplayFilter, TimedReplayFilter
+from .spec import INVALID, NEED_MORE, ATYP_HOSTNAME, ATYP_IPV4, parse_target
+from .stream_session import StreamDecryptor, StreamEncryptor
+
+__all__ = ["ShadowsocksServer", "ServerSession"]
+
+
+class ShadowsocksServer:
+    """A Shadowsocks server bound to one host:port."""
+
+    def __init__(
+        self,
+        host,
+        port: int,
+        password: str,
+        method: str,
+        profile="ss-libev-3.3.1",
+        *,
+        rng: Optional[random.Random] = None,
+        connect_timeout: float = 6.0,
+        dns_delay: float = 0.05,
+        timed_replay_window: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.method = method
+        self.cipher_spec = get_spec(method)
+        self.profile: BehaviorProfile = (
+            get_profile(profile) if isinstance(profile, str) else profile
+        )
+        if self.cipher_spec.kind == CipherKind.STREAM and not self.profile.supports_stream:
+            raise ValueError(f"{self.profile.display} does not support stream ciphers")
+        if self.cipher_spec.kind == CipherKind.AEAD and not self.profile.supports_aead:
+            raise ValueError(f"{self.profile.display} does not support AEAD ciphers")
+        self.master = evp_bytes_to_key(password.encode("utf-8"), self.cipher_spec.key_len)
+        self.rng = rng or random.Random(0x55AA)
+        self.connect_timeout = connect_timeout
+        self.dns_delay = dns_delay
+        # Shared across connections, like the real daemon's global filter.
+        self.replay_filter = NonceReplayFilter() if self.profile.replay_filter else None
+        # Optional §7.2-style defense, layered on top when configured.
+        self.timed_filter = (
+            TimedReplayFilter(timed_replay_window) if timed_replay_window else None
+        )
+        self.sessions: List[ServerSession] = []
+        host.listen(port, self._accept)
+
+    def _accept(self, conn) -> None:
+        self.sessions.append(ServerSession(self, conn))
+
+    def restart(self) -> None:
+        """Model a daemon restart: volatile replay state is lost."""
+        if self.replay_filter is not None:
+            self.replay_filter.restart()
+        if self.timed_filter is not None:
+            self.timed_filter.restart()
+
+    def stop(self) -> None:
+        self.host.unlisten(self.port)
+
+
+class ServerSession:
+    """One accepted connection."""
+
+    HANDSHAKE = "handshake"
+    CONNECTING = "connecting"
+    PROXY = "proxy"
+    DRAIN = "drain"  # error swallowed; read forever (TIMEOUT behaviour)
+    DONE = "done"
+
+    def __init__(self, server: ShadowsocksServer, conn):
+        self.server = server
+        self.conn = conn
+        self.state = self.HANDSHAKE
+        self.total_received = 0
+        self._plain = bytearray()
+        self._initial_data = b""
+        self.remote = None
+        self.target = None
+        self._idle_event = None
+        self._connect_event = None
+        self.nonce_checked = False
+
+        kind = server.cipher_spec.kind
+        if kind == CipherKind.STREAM:
+            self._decryptor = StreamDecryptor(server.method, server.master)
+        else:
+            self._decryptor = AeadDecryptor(server.method, server.master)
+        self._encryptor = None  # created lazily for the reply direction
+
+        conn.on_data = self._on_data
+        conn.on_remote_fin = self._on_client_fin
+        conn.on_reset = self._teardown
+        self._arm_idle()
+
+    # -------------------------------------------------------------- plumbing
+
+    @property
+    def sim(self):
+        return self.server.host.sim
+
+    @property
+    def profile(self) -> BehaviorProfile:
+        return self.server.profile
+
+    def _arm_idle(self) -> None:
+        if self._idle_event is not None:
+            self._idle_event.cancel()
+        self._idle_event = self.sim.schedule(self.profile.idle_timeout, self._idle_timeout)
+
+    def _idle_timeout(self) -> None:
+        # Real servers reap idle connections with a graceful close.
+        if self.state not in (self.DONE,):
+            self.state = self.DONE
+            self.conn.close()
+            if self.remote is not None:
+                self.remote.close()
+
+    def _teardown(self) -> None:
+        self.state = self.DONE
+        if self._idle_event is not None:
+            self._idle_event.cancel()
+        if self._connect_event is not None:
+            self._connect_event.cancel()
+        if self.remote is not None and self.remote.state != "CLOSED":
+            # Covers both an established pipe and a dial still in SYN_SENT.
+            self.remote.abort()
+            self.remote = None
+
+    def _on_client_fin(self) -> None:
+        if self.remote is not None and self.remote.is_open:
+            self.remote.close()
+        if self.state != self.DONE:
+            self.state = self.DONE
+            self.conn.close()
+        if self._idle_event is not None:
+            self._idle_event.cancel()
+
+    def _fail(self) -> None:
+        """Authentication failure or invalid target: profile-specific."""
+        if self.profile.error_action == ErrorAction.RST:
+            self.state = self.DONE
+            if self._idle_event is not None:
+                self._idle_event.cancel()
+            self.conn.abort()
+        else:
+            self.state = self.DRAIN  # read forever; idle timer keeps running
+
+    # ------------------------------------------------------------ data path
+
+    def _on_data(self, data: bytes) -> None:
+        self.total_received += len(data)
+        self._arm_idle()
+        if self.state == self.DRAIN or self.state == self.DONE:
+            return
+        if self.state == self.PROXY:
+            self._proxy_client_data(data)
+            return
+        if self.state == self.CONNECTING:
+            # Target connection still pending; buffer further client bytes.
+            self._buffer_handshake(data, parse=False)
+            return
+        self._buffer_handshake(data, parse=True)
+
+    def _buffer_handshake(self, data: bytes, parse: bool) -> None:
+        if self.server.cipher_spec.kind == CipherKind.STREAM:
+            self._handshake_stream(data, parse)
+        else:
+            self._handshake_aead(data, parse)
+
+    # Stream construction --------------------------------------------------
+
+    def _handshake_stream(self, data: bytes, parse: bool) -> None:
+        had_iv = self._decryptor.iv_complete
+        self._plain.extend(self._decryptor.decrypt(data))
+        if not self._decryptor.iv_complete:
+            return  # not even a full IV yet: wait silently
+        if not had_iv and not self._check_nonce(self._decryptor.iv):
+            return
+        if parse:
+            self._try_parse_target()
+
+    # AEAD construction ----------------------------------------------------
+
+    def _handshake_aead(self, data: bytes, parse: bool) -> None:
+        had_salt = self._decryptor.salt_complete
+        self._decryptor.feed(data)
+        if not self._decryptor.salt_complete:
+            return
+        if not had_salt and not self._check_nonce(self._decryptor.salt):
+            return
+        threshold = 2 + 16 + 16 + 1 if self.profile.aead_waits_for_payload_tag else 2 + 16
+        if not self._plain and self._decryptor.buffered < threshold:
+            return  # keep waiting for the first chunk envelope
+        try:
+            chunks = self._decryptor.decrypt_available()
+        except AuthenticationError:
+            header_len = self.server.cipher_spec.salt_len + 2 + 16
+            if (
+                self.profile.finack_on_exact_header
+                and self.total_received == header_len
+            ):
+                # Outline v1.0.6: a probe of exactly [salt][len][tag] size
+                # draws an immediate FIN/ACK instead of a RST.
+                self.state = self.DONE
+                if self._idle_event is not None:
+                    self._idle_event.cancel()
+                self.conn.close()
+            else:
+                self._fail()
+            return
+        self._plain.extend(b"".join(chunks))
+        if parse:
+            self._try_parse_target()
+
+    def _check_nonce(self, nonce: bytes) -> bool:
+        """Run replay filters on a freshly completed IV/salt."""
+        self.nonce_checked = True
+        if self.server.timed_filter is not None:
+            # The timestamp the client embeds is modeled as its send time;
+            # a replay presents a stale one.
+            if not self.server.timed_filter.check(nonce, self._claimed_time(), self.sim.now):
+                self._fail()
+                return False
+        if self.server.replay_filter is not None and self.server.replay_filter.is_replay(nonce):
+            self._fail()
+            return False
+        return True
+
+    def _claimed_time(self) -> float:
+        # See TimedReplayFilter: legitimate connections embed (approximately)
+        # the current time.  Replays carry the original timestamp, which the
+        # GFW cannot forge without the key.  The prober simulator registers
+        # original timestamps in this registry when it records a payload.
+        registry = getattr(self.server, "timestamp_registry", None)
+        nonce = self._decryptor.iv if hasattr(self._decryptor, "iv") else self._decryptor.salt
+        if registry is not None and nonce in registry:
+            return registry[nonce]
+        return self.sim.now
+
+    # Target handling --------------------------------------------------------
+
+    def _try_parse_target(self) -> None:
+        result = parse_target(bytes(self._plain), mask_atyp=self.profile.mask_atyp)
+        if result.status == NEED_MORE:
+            # Legacy parsers insist on a complete spec in the first read;
+            # a fragmented handshake (e.g. under brdgrd) draws a RST.
+            if self.profile.rst_on_incomplete_spec and self._plain:
+                self._fail()
+            return
+        if result.status == INVALID:
+            self._fail()
+            return
+        self.target = result.spec
+        self._initial_data = bytes(self._plain[result.consumed :])
+        self._plain.clear()
+        self._connect_target()
+
+    def _connect_target(self) -> None:
+        self.state = self.CONNECTING
+        spec = self.target
+        if spec.atyp == ATYP_HOSTNAME:
+            ip = self.server.host.network.resolve(spec.host)
+            if ip is None:
+                # Resolution failure surfaces after a resolver round trip.
+                self._connect_event = self.sim.schedule(
+                    self.server.dns_delay, self._connect_failed
+                )
+                return
+            self._dial(ip, spec.port)
+        elif spec.atyp == ATYP_IPV4:
+            self._dial(spec.host, spec.port)
+        else:
+            # No IPv6 fabric in the model; fails like an unreachable host.
+            self._connect_event = self.sim.schedule(
+                self.server.dns_delay, self._connect_failed
+            )
+
+    def _dial(self, ip: str, port: int) -> None:
+        try:
+            self.remote = self.server.host.connect(ip, port)
+        except ValueError:
+            # e.g. connecting to ourselves on a colliding 4-tuple
+            self._connect_event = self.sim.schedule(0.0, self._connect_failed)
+            return
+        self.remote.on_connected = self._connect_succeeded
+        self.remote.on_reset = self._connect_failed
+        self._connect_event = self.sim.schedule(
+            self.server.connect_timeout, self._connect_failed
+        )
+
+    def _connect_failed(self) -> None:
+        if self.state != self.CONNECTING:
+            return
+        if self._connect_event is not None:
+            self._connect_event.cancel()
+        if (
+            self.remote is not None
+            and not self.remote.reset_received
+            and self.remote.state != "CLOSED"
+        ):
+            self.remote.abort()
+        self.remote = None
+        # Failure to reach the target: graceful FIN/ACK toward the client.
+        self.state = self.DONE
+        if self._idle_event is not None:
+            self._idle_event.cancel()
+        self.conn.close()
+
+    def _connect_succeeded(self) -> None:
+        if self.state != self.CONNECTING:
+            # The client went away while we were dialing.
+            if self.remote is not None and self.remote.state != "CLOSED":
+                self.remote.abort()
+            return
+        if self._connect_event is not None:
+            self._connect_event.cancel()
+        self.state = self.PROXY
+        remote = self.remote
+        remote.on_data = self._proxy_remote_data
+        remote.on_remote_fin = self._remote_closed
+        remote.on_reset = self._remote_reset
+        if self._initial_data:
+            remote.send(self._initial_data)
+            self._initial_data = b""
+        # Decrypt anything that arrived while we were connecting.
+        backlog = bytes(self._plain)
+        self._plain.clear()
+        if backlog:
+            remote.send(backlog)
+
+    def _proxy_client_data(self, data: bytes) -> None:
+        try:
+            plaintext = self._decryptor.decrypt(data)
+        except AuthenticationError:
+            self._fail()
+            return
+        if plaintext and self.remote is not None:
+            self.remote.send(plaintext)
+
+    def _proxy_remote_data(self, data: bytes) -> None:
+        if self._encryptor is None:
+            kind = self.server.cipher_spec.kind
+            if kind == CipherKind.STREAM:
+                self._encryptor = StreamEncryptor(
+                    self.server.method, self.server.master, rng=self.server.rng
+                )
+            else:
+                self._encryptor = AeadEncryptor(
+                    self.server.method, self.server.master, rng=self.server.rng
+                )
+        self.conn.send(self._encryptor.encrypt(data))
+        self._arm_idle()
+
+    def _remote_closed(self) -> None:
+        if self.state == self.PROXY:
+            self.state = self.DONE
+            self.conn.close()
+            if self._idle_event is not None:
+                self._idle_event.cancel()
+
+    def _remote_reset(self) -> None:
+        if self.state == self.PROXY:
+            self.state = self.DONE
+            self.conn.abort()
+            if self._idle_event is not None:
+                self._idle_event.cancel()

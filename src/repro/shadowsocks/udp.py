@@ -1,0 +1,199 @@
+"""Shadowsocks UDP relay.
+
+Each datagram is independently encrypted (there is no stream state):
+
+* stream construction: ``[IV][encrypted: target spec || payload]``
+* AEAD construction:   ``[salt][sealed:   target spec || payload]``
+  with an all-zero nonce — safe because every datagram has a fresh salt.
+
+The server keeps a NAT-style association per client source address: a
+relay UDP port facing the targets, so replies can be routed back and
+re-encrypted with the client's expected format.  Associations expire
+after an idle timeout, as in real implementations.
+
+The paper's measurements (and hence the GFW model here) are TCP-only;
+this module exists because the protocol a user would deploy includes it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..crypto import AuthenticationError, derive_subkey, evp_bytes_to_key, get_spec, new_aead
+from ..crypto.registry import CipherKind
+from ..crypto.stream import new_stream_cipher
+from .spec import ATYP_HOSTNAME, ATYP_IPV4, encode_target, parse_target
+
+__all__ = ["encode_udp_packet", "decode_udp_packet", "UdpShadowsocksServer",
+           "UdpShadowsocksClient"]
+
+_ZERO_NONCE = bytes(12)
+
+
+def encode_udp_packet(method: str, master: bytes, spec_bytes: bytes,
+                      payload: bytes, rng: random.Random) -> bytes:
+    """Encrypt one UDP packet body ([spec][payload])."""
+    spec = get_spec(method)
+    plaintext = spec_bytes + payload
+    nonce_len = spec.iv_len
+    nonce = bytes(rng.randrange(256) for _ in range(nonce_len))
+    if spec.kind == CipherKind.STREAM:
+        cipher = new_stream_cipher(method, master, nonce, encrypt=True)
+        return nonce + cipher.encrypt(plaintext)
+    aead = new_aead(method, derive_subkey(master, nonce))
+    return nonce + aead.seal(_ZERO_NONCE, plaintext)
+
+
+def decode_udp_packet(method: str, master: bytes, wire: bytes) -> bytes:
+    """Decrypt one UDP packet body; returns [spec][payload] plaintext.
+
+    Raises :class:`AuthenticationError` on AEAD failure and ValueError on
+    truncation.
+    """
+    spec = get_spec(method)
+    if len(wire) < spec.iv_len:
+        raise ValueError("datagram shorter than IV/salt")
+    nonce, body = wire[: spec.iv_len], wire[spec.iv_len :]
+    if spec.kind == CipherKind.STREAM:
+        cipher = new_stream_cipher(method, master, nonce, encrypt=False)
+        return cipher.decrypt(body)
+    aead = new_aead(method, derive_subkey(master, nonce))
+    return aead.open(_ZERO_NONCE, body)
+
+
+@dataclass
+class _Association:
+    client: Tuple[str, int]
+    relay_endpoint: object
+    last_target: Optional[Tuple[str, int]] = None
+    last_active: float = 0.0
+
+
+class UdpShadowsocksServer:
+    """UDP side of a Shadowsocks server."""
+
+    IDLE_TIMEOUT = 60.0
+
+    def __init__(self, host, port: int, password: str, method: str,
+                 *, rng: Optional[random.Random] = None):
+        self.host = host
+        self.port = port
+        self.method = method
+        self.cipher_spec = get_spec(method)
+        self.master = evp_bytes_to_key(password.encode("utf-8"),
+                                       self.cipher_spec.key_len)
+        self.rng = rng or random.Random(0x0D6)
+        self.endpoint = host.udp_bind(port)
+        self.endpoint.on_datagram = self._from_client
+        self.associations: Dict[Tuple[str, int], _Association] = {}
+        self.decode_failures = 0
+
+    def _from_client(self, dgram) -> None:
+        try:
+            plaintext = decode_udp_packet(self.method, self.master,
+                                          dgram.payload)
+        except (AuthenticationError, ValueError):
+            self.decode_failures += 1
+            return  # UDP: invalid packets are silently dropped
+        result = parse_target(plaintext)
+        if not result.ok:
+            self.decode_failures += 1
+            return
+        target_ip = self._resolve(result.spec)
+        if target_ip is None:
+            return
+        assoc = self._association_for(dgram.source)
+        assoc.last_target = (target_ip, result.spec.port)
+        assoc.last_active = self.host.sim.now
+        assoc.relay_endpoint.send(target_ip, result.spec.port,
+                                  plaintext[result.consumed :])
+
+    def _resolve(self, spec) -> Optional[str]:
+        if spec.atyp == ATYP_IPV4:
+            return spec.host
+        if spec.atyp == ATYP_HOSTNAME:
+            return self.host.network.resolve(spec.host)
+        return None
+
+    def _association_for(self, client: Tuple[str, int]) -> _Association:
+        assoc = self.associations.get(client)
+        if assoc is not None:
+            return assoc
+        relay = self.host.udp_bind()
+        assoc = _Association(client=client, relay_endpoint=relay,
+                             last_active=self.host.sim.now)
+
+        def from_target(reply_dgram) -> None:
+            assoc.last_active = self.host.sim.now
+            # Reply format: [spec of the target it came from][payload].
+            spec_bytes = encode_target(reply_dgram.src_ip,
+                                       reply_dgram.src_port)
+            wire = encode_udp_packet(self.method, self.master, spec_bytes,
+                                     reply_dgram.payload, self.rng)
+            self.endpoint.send(client[0], client[1], wire)
+
+        relay.on_datagram = from_target
+        self.associations[client] = assoc
+        self.host.sim.schedule(self.IDLE_TIMEOUT, self._reap, client)
+        return assoc
+
+    def _reap(self, client: Tuple[str, int]) -> None:
+        assoc = self.associations.get(client)
+        if assoc is None:
+            return
+        idle = self.host.sim.now - assoc.last_active
+        if idle >= self.IDLE_TIMEOUT:
+            assoc.relay_endpoint.close()
+            del self.associations[client]
+        else:
+            self.host.sim.schedule(self.IDLE_TIMEOUT - idle, self._reap, client)
+
+    def stop(self) -> None:
+        self.endpoint.close()
+        for assoc in self.associations.values():
+            assoc.relay_endpoint.close()
+        self.associations.clear()
+
+
+class UdpShadowsocksClient:
+    """UDP side of a Shadowsocks client."""
+
+    def __init__(self, host, server_ip: str, server_port: int, password: str,
+                 method: str, *, rng: Optional[random.Random] = None):
+        self.host = host
+        self.server = (server_ip, server_port)
+        self.method = method
+        self.cipher_spec = get_spec(method)
+        self.master = evp_bytes_to_key(password.encode("utf-8"),
+                                       self.cipher_spec.key_len)
+        self.rng = rng or random.Random(0x0D7)
+        self.endpoint = host.udp_bind()
+        self.endpoint.on_datagram = self._from_server
+        # Callback receives (target_host, target_port, payload).
+        self.on_reply: Callable[[str, int, bytes], None] = (
+            lambda host_, port, payload: None)
+        self.replies = []
+
+    def send(self, target_host: str, target_port: int, payload: bytes) -> None:
+        spec_bytes = encode_target(target_host, target_port)
+        wire = encode_udp_packet(self.method, self.master, spec_bytes,
+                                 payload, self.rng)
+        self.endpoint.send(self.server[0], self.server[1], wire)
+
+    def _from_server(self, dgram) -> None:
+        try:
+            plaintext = decode_udp_packet(self.method, self.master,
+                                          dgram.payload)
+        except (AuthenticationError, ValueError):
+            return
+        result = parse_target(plaintext)
+        if not result.ok:
+            return
+        payload = plaintext[result.consumed :]
+        self.replies.append((result.spec.host, result.spec.port, payload))
+        self.on_reply(result.spec.host, result.spec.port, payload)
+
+    def close(self) -> None:
+        self.endpoint.close()

@@ -1,0 +1,38 @@
+"""VMess protocol model — the paper's §9 future work.
+
+Implements the legacy VMess handshake and the 2020-disclosed
+active-probing weaknesses (replay within the auth window, the
+unauthenticated header-length oracle), plus the hardened v4.23 behaviour,
+so the GFW model's probing machinery can be evaluated against a second
+fully-encrypted protocol.
+"""
+
+from .client import VmessClient, VmessSession
+from .protocol import (
+    AUTH_WINDOW,
+    VMESS_MAGIC,
+    VmessRequest,
+    auth_for,
+    build_request,
+    command_iv,
+    command_key,
+    fnv1a32,
+    parse_command,
+)
+from .server import VMESS_PROFILES, VmessServer
+
+__all__ = [
+    "AUTH_WINDOW",
+    "VMESS_MAGIC",
+    "VMESS_PROFILES",
+    "VmessClient",
+    "VmessRequest",
+    "VmessServer",
+    "VmessSession",
+    "auth_for",
+    "build_request",
+    "command_iv",
+    "command_key",
+    "fnv1a32",
+    "parse_command",
+]

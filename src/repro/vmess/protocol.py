@@ -1,0 +1,204 @@
+"""VMess-style protocol (the paper's §9 future work).
+
+VMess (V2Ray's native protocol) is, like Shadowsocks, a fully encrypted
+proxy protocol — which is exactly why the paper expects the GFW's
+random-data trigger to catch it too.  This module implements the legacy
+(pre-AEAD) header format closely enough to reproduce the two
+vulnerability classes disclosed in 2020 (V2Ray issues #2523 and the
+"Summary on Recently Discovered V2Ray Weaknesses" the paper cites):
+
+* **replay within the timestamp window** — the 16-byte auth is
+  HMAC-MD5(user-id, timestamp) and valid for ±2 minutes, so recorded
+  handshakes can be replayed inside that window;
+* **unauthenticated header-length oracle** — the command section is
+  encrypted with AES-CFB (malleable, no MAC before v4.23.4), and the
+  padding-length nibble is *decrypted and acted on before any integrity
+  check*, so an attacker can measure how many bytes the server consumes
+  before it gives up.
+
+Wire format (client -> server)::
+
+    [16-byte auth = HMAC-MD5(uuid, 8-byte BE unix time)]
+    [AES-128-CFB encrypted command section:]
+        [1  version]
+        [16 response key][16 response IV][1 response auth byte]
+        [1  options][1 padding_len<<4 | security][1 reserved][1 command]
+        [2  port][1 addr type][address...]
+        [padding_len bytes of padding]
+        [4  FNV1a-32 hash of the section so far]
+
+The command key is MD5(uuid || magic); the command IV is
+MD5(ts || ts || ts || ts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..crypto.modes import CFBMode
+
+__all__ = ["VMESS_MAGIC", "auth_for", "command_key", "command_iv",
+           "fnv1a32", "VmessRequest", "build_request", "parse_command"]
+
+VMESS_MAGIC = b"c48619fe-8f02-49e0-b9e9-edf763e17e21"
+AUTH_WINDOW = 120.0  # seconds of clock skew the server tolerates
+
+ATYP_IPV4 = 0x01
+ATYP_HOSTNAME = 0x02  # VMess numbering differs from SOCKS
+
+
+def auth_for(user_id: bytes, timestamp: int) -> bytes:
+    """The 16-byte authentication header."""
+    return hmac.new(user_id, struct.pack(">Q", timestamp), hashlib.md5).digest()
+
+
+def command_key(user_id: bytes) -> bytes:
+    return hashlib.md5(user_id + VMESS_MAGIC).digest()
+
+
+def command_iv(timestamp: int) -> bytes:
+    ts = struct.pack(">Q", timestamp)
+    return hashlib.md5(ts * 4).digest()
+
+
+def fnv1a32(data: bytes) -> int:
+    value = 0x811C9DC5
+    for byte in data:
+        value ^= byte
+        value = (value * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+@dataclass
+class VmessRequest:
+    """Decoded command section."""
+
+    version: int
+    response_key: bytes
+    response_iv: bytes
+    response_auth: int
+    options: int
+    padding_len: int
+    security: int
+    command: int
+    port: int
+    atyp: int
+    host: str
+
+
+def build_request(
+    user_id: bytes,
+    timestamp: int,
+    host: str,
+    port: int,
+    rng: Optional[random.Random] = None,
+    padding_len: Optional[int] = None,
+) -> Tuple[bytes, VmessRequest]:
+    """Encode the full request head (auth + encrypted command section)."""
+    rng = rng or random.Random()
+    if padding_len is None:
+        padding_len = rng.randint(0, 15)
+    if not 0 <= padding_len <= 15:
+        raise ValueError("padding_len must fit in a nibble")
+    response_key = bytes(rng.randrange(256) for _ in range(16))
+    response_iv = bytes(rng.randrange(256) for _ in range(16))
+    response_auth = rng.randrange(256)
+
+    if _is_ipv4(host):
+        atyp, address = ATYP_IPV4, bytes(int(p) for p in host.split("."))
+    else:
+        name = host.encode("ascii")
+        atyp, address = ATYP_HOSTNAME, bytes([len(name)]) + name
+
+    section = bytearray()
+    section.append(1)  # version
+    section += response_key + response_iv
+    section.append(response_auth)
+    section.append(0x01)  # options: standard stream
+    security = 0x03  # "aes-128-cfb" legacy marker
+    section.append((padding_len << 4) | security)
+    section.append(0)  # reserved
+    section.append(0x01)  # command: TCP
+    section += struct.pack(">H", port)
+    section.append(atyp)
+    section += address
+    section += bytes(rng.randrange(256) for _ in range(padding_len))
+    section += struct.pack(">I", fnv1a32(bytes(section)))
+
+    cipher = CFBMode(command_key(user_id), command_iv(timestamp), encrypt=True)
+    request = VmessRequest(
+        version=1, response_key=response_key, response_iv=response_iv,
+        response_auth=response_auth, options=0x01, padding_len=padding_len,
+        security=security, command=0x01, port=port, atyp=atyp, host=host,
+    )
+    return auth_for(user_id, timestamp) + cipher.encrypt(bytes(section)), request
+
+
+# Fixed-size prefix of the command section, through the address-type byte.
+_FIXED_PREFIX = 1 + 16 + 16 + 1 + 1 + 1 + 1 + 1 + 2 + 1
+
+
+def parse_command(user_id: bytes, timestamp: int, ciphertext: bytes
+                  ) -> Tuple[str, Optional[VmessRequest], int]:
+    """Incrementally parse an encrypted command section.
+
+    Returns (status, request, bytes_needed): status is "ok", "need_more",
+    or "bad_hash".  ``bytes_needed`` is the minimum total section length
+    implied so far — the quantity the length-oracle attack measures.
+    """
+    cipher = CFBMode(command_key(user_id), command_iv(timestamp), encrypt=False)
+    plain = cipher.decrypt(ciphertext)
+    if len(plain) < _FIXED_PREFIX:
+        return "need_more", None, _FIXED_PREFIX
+    # Section layout: 0 version | 1..32 resp key+IV | 33 resp auth |
+    # 34 options | 35 padding<<4|security | 36 reserved | 37 command |
+    # 38..39 port | 40 atyp | 41.. address
+    padding_len = plain[35] >> 4
+    atyp = plain[40]
+    if atyp == ATYP_IPV4:
+        addr_len = 4
+    elif atyp == ATYP_HOSTNAME:
+        if len(plain) < _FIXED_PREFIX + 1:
+            return "need_more", None, _FIXED_PREFIX + 1
+        addr_len = 1 + plain[41]
+    else:
+        # Unknown address type: the legacy server still trusts the padding
+        # nibble and waits for the implied total before checking the hash.
+        addr_len = 0
+    total = _FIXED_PREFIX + addr_len + padding_len + 4
+    if len(plain) < total:
+        return "need_more", None, total
+    body, received_hash = plain[: total - 4], struct.unpack(
+        ">I", plain[total - 4 : total])[0]
+    if fnv1a32(body) != received_hash:
+        return "bad_hash", None, total
+    if atyp == ATYP_IPV4:
+        host = ".".join(str(b) for b in plain[41:45])
+    elif atyp == ATYP_HOSTNAME:
+        host = plain[42 : 42 + plain[41]].decode("latin-1")
+    else:
+        host = ""
+    request = VmessRequest(
+        version=plain[0],
+        response_key=bytes(plain[1:17]),
+        response_iv=bytes(plain[17:33]),
+        response_auth=plain[33],
+        options=plain[34],
+        padding_len=padding_len,
+        security=plain[35] & 0x0F,
+        command=plain[37],
+        port=struct.unpack(">H", plain[38:40])[0],
+        atyp=atyp,
+        host=host,
+    )
+    return "ok", request, total
+
+
+def _is_ipv4(host: str) -> bool:
+    parts = host.split(".")
+    return len(parts) == 4 and all(p.isdigit() and 0 <= int(p) <= 255 for p in parts)

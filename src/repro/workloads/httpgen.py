@@ -1,0 +1,110 @@
+"""HTTP and TLS-shaped first packets.
+
+The GFW's length feature works because Shadowsocks does not pad: the
+first tunnelled packet is (address header) + (the first packet of the
+underlying protocol), which is usually an HTTP request or a TLS
+ClientHello.  These generators produce first packets with realistic
+lengths and entropies for both protocols, used by the browsing workload
+and the false-positive ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+__all__ = ["http_get_request", "tls_client_hello", "SITES", "site_request"]
+
+# A small stand-in for "a subset of the Alexa top 1M" (§3.1).
+SITES: List[str] = [
+    "www.wikipedia.org",
+    "example.com",
+    "gfw.report",
+    "www.nytimes.com",
+    "github.com",
+    "stackoverflow.com",
+    "www.bbc.co.uk",
+    "twitter.com",
+    "www.google.com",
+    "news.ycombinator.com",
+    "en.wikipedia.org",
+    "www.reddit.com",
+]
+
+_USER_AGENTS = [
+    "Mozilla/5.0 (X11; Linux x86_64; rv:68.0) Gecko/20100101 Firefox/68.0",
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36",
+    "curl/7.64.0",
+]
+
+
+def http_get_request(host: str, rng: random.Random, path: Optional[str] = None) -> bytes:
+    """A plausible plaintext HTTP/1.1 GET (entropy ~4.5-5.5 bits/byte)."""
+    if path is None:
+        depth = rng.randint(0, 3)
+        segments = [
+            "".join(rng.choice("abcdefghijklmnopqrstuvwxyz-") for _ in range(rng.randint(3, 12)))
+            for _ in range(depth)
+        ]
+        path = "/" + "/".join(segments)
+    headers = [
+        f"GET {path} HTTP/1.1",
+        f"Host: {host}",
+        f"User-Agent: {rng.choice(_USER_AGENTS)}",
+        "Accept: text/html,application/xhtml+xml,*/*;q=0.8",
+        "Accept-Language: en-US,en;q=0.5",
+        "Accept-Encoding: gzip, deflate",
+        "Connection: keep-alive",
+    ]
+    if rng.random() < 0.3:
+        headers.append("Cache-Control: max-age=0")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii")
+
+
+def tls_client_hello(host: str, rng: random.Random) -> bytes:
+    """A TLS 1.2/1.3-shaped ClientHello (high entropy, ~250-600 bytes).
+
+    Structurally faithful enough for length/entropy measurement: record
+    header, handshake header, random, session id, cipher suites, and an
+    SNI extension carrying the hostname, padded with extension bytes.
+    """
+    client_random = bytes(rng.randrange(256) for _ in range(32))
+    session_id = bytes(rng.randrange(256) for _ in range(32))
+    suites = b"".join(
+        rng.choice([b"\x13\x01", b"\x13\x02", b"\x13\x03", b"\xc0\x2f", b"\xc0\x30",
+                    b"\xcc\xa9", b"\xcc\xa8", b"\x00\x9e"])
+        for _ in range(rng.randint(12, 18))
+    )
+    sni_name = host.encode("ascii")
+    sni = (
+        b"\x00\x00"
+        + (len(sni_name) + 5).to_bytes(2, "big")
+        + (len(sni_name) + 3).to_bytes(2, "big")
+        + b"\x00"
+        + len(sni_name).to_bytes(2, "big")
+        + sni_name
+    )
+    key_share = b"\x00\x33" + (38).to_bytes(2, "big") + b"\x00\x24\x00\x1d\x00\x20" + bytes(
+        rng.randrange(256) for _ in range(32)
+    )
+    padding_len = rng.randint(0, 180)
+    padding = b"\x00\x15" + padding_len.to_bytes(2, "big") + bytes(padding_len)
+    extensions = sni + key_share + padding
+    body = (
+        b"\x03\x03"
+        + client_random
+        + bytes([len(session_id)]) + session_id
+        + len(suites).to_bytes(2, "big") + suites
+        + b"\x01\x00"  # compression methods
+        + len(extensions).to_bytes(2, "big") + extensions
+    )
+    handshake = b"\x01" + len(body).to_bytes(3, "big") + body
+    record = b"\x16\x03\x01" + len(handshake).to_bytes(2, "big") + handshake
+    return record
+
+
+def site_request(host: str, rng: random.Random, https_share: float = 0.7) -> bytes:
+    """First packet of a browse to ``host``: HTTPS ClientHello or HTTP GET."""
+    if rng.random() < https_share:
+        return tls_client_hello(host, rng)
+    return http_get_request(host, rng)

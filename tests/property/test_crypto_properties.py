@@ -1,0 +1,89 @@
+"""Property-based tests over the crypto substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    AESGCM,
+    AuthenticationError,
+    CTRMode,
+    ChaCha20,
+    ChaCha20Poly1305,
+    evp_bytes_to_key,
+    hkdf_sha1,
+)
+
+keys128 = st.binary(min_size=16, max_size=16)
+keys256 = st.binary(min_size=32, max_size=32)
+nonces = st.binary(min_size=12, max_size=12)
+payloads = st.binary(min_size=0, max_size=300)
+
+
+@given(key=keys256, nonce=nonces, plaintext=payloads, aad=st.binary(max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_chacha20poly1305_roundtrip(key, nonce, plaintext, aad):
+    box = ChaCha20Poly1305(key)
+    assert box.open(nonce, box.seal(nonce, plaintext, aad), aad) == plaintext
+
+
+@given(key=keys128, nonce=nonces, plaintext=payloads)
+@settings(max_examples=25, deadline=None)
+def test_aesgcm_roundtrip(key, nonce, plaintext):
+    box = AESGCM(key)
+    assert box.open(nonce, box.seal(nonce, plaintext)) == plaintext
+
+
+@given(key=keys256, nonce=nonces, plaintext=st.binary(min_size=1, max_size=200),
+       flip=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_chacha20poly1305_tamper_always_detected(key, nonce, plaintext, flip):
+    box = ChaCha20Poly1305(key)
+    sealed = bytearray(box.seal(nonce, plaintext))
+    index = flip % len(sealed)
+    bit = 1 << (flip % 8)
+    sealed[index] ^= bit
+    with pytest.raises(AuthenticationError):
+        box.open(nonce, bytes(sealed))
+
+
+@given(key=keys256, nonce=nonces, data=st.binary(min_size=1, max_size=500),
+       chunks=st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                       max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_chacha20_chunked_equals_oneshot(key, nonce, data, chunks):
+    oneshot = ChaCha20(key, nonce).encrypt(data)
+    stream = ChaCha20(key, nonce)
+    out = bytearray()
+    position = 0
+    for size in chunks:
+        if position >= len(data):
+            break
+        out.extend(stream.encrypt(data[position : position + size]))
+        position += size
+    out.extend(stream.encrypt(data[position:]))
+    assert bytes(out) == oneshot
+
+
+@given(key=keys128, iv=st.binary(min_size=16, max_size=16), data=payloads)
+@settings(max_examples=25, deadline=None)
+def test_ctr_self_inverse(key, iv, data):
+    assert CTRMode(key, iv).decrypt(CTRMode(key, iv).encrypt(data)) == data
+
+
+@given(password=st.binary(min_size=1, max_size=40),
+       length=st.integers(min_value=1, max_value=64))
+@settings(max_examples=50, deadline=None)
+def test_evp_prefix_property(password, length):
+    """Shorter derivations are prefixes of longer ones."""
+    full = evp_bytes_to_key(password, 64)
+    assert evp_bytes_to_key(password, length) == full[:length]
+
+
+@given(ikm=st.binary(min_size=1, max_size=64), salt=st.binary(max_size=32),
+       info=st.binary(max_size=16),
+       length=st.integers(min_value=1, max_value=100))
+@settings(max_examples=50, deadline=None)
+def test_hkdf_prefix_property(ikm, salt, info, length):
+    long = hkdf_sha1(ikm, salt, info, 120)
+    assert hkdf_sha1(ikm, salt, info, length) == long[:length]

@@ -1,0 +1,91 @@
+"""Property-based tests over the GFW model and analysis invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ECDF, classify_payload
+from repro.gfw import PassiveDetector, ProbeForge, ReplayDelayModel, shannon_entropy
+from repro.workloads import payload_with_entropy
+
+
+@given(data=st.binary(max_size=500))
+@settings(max_examples=100, deadline=None)
+def test_entropy_bounds(data):
+    h = shannon_entropy(data)
+    assert 0.0 <= h <= 8.0
+
+
+@given(data=st.binary(min_size=1, max_size=200), seed=st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_entropy_permutation_invariant(data, seed):
+    shuffled = list(data)
+    random.Random(seed).shuffle(shuffled)
+    # Summation order may differ (Counter insertion order), so compare to
+    # floating-point tolerance.
+    assert abs(shannon_entropy(bytes(shuffled)) - shannon_entropy(data)) < 1e-9
+
+
+@given(target=st.floats(min_value=0.0, max_value=8.0),
+       length=st.integers(min_value=2000, max_value=4000),
+       seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_payload_entropy_converges(target, length, seed):
+    import math
+
+    rng = random.Random(seed)
+    payload = payload_with_entropy(length, target, rng)
+    achieved = shannon_entropy(payload)
+    # The generator hits log2(round(2^target)) exactly in the limit.
+    from repro.workloads import alphabet_size_for_entropy
+
+    expected = math.log2(alphabet_size_for_entropy(target))
+    assert abs(achieved - expected) < 0.25
+
+
+@given(payload=st.binary(max_size=2000))
+@settings(max_examples=100, deadline=None)
+def test_flag_probability_is_probability(payload):
+    p = PassiveDetector().flag_probability(payload)
+    assert 0.0 <= p <= 1.0
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=100, deadline=None)
+def test_delay_model_in_bounds(seed):
+    delay = ReplayDelayModel().sample(random.Random(seed))
+    assert 0.28 <= delay <= 569.55 * 3600 + 1e-6
+
+
+@given(x=st.floats(min_value=0.01, max_value=1e7),
+       y=st.floats(min_value=0.01, max_value=1e7))
+@settings(max_examples=100, deadline=None)
+def test_delay_model_cdf_monotone(x, y):
+    model = ReplayDelayModel()
+    lo, hi = sorted((x, y))
+    assert model.cdf(lo) <= model.cdf(hi)
+
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=200),
+       x=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_ecdf_properties(values, x):
+    cdf = ECDF(values)
+    assert 0.0 <= cdf(x) <= 1.0
+    assert cdf(cdf.max) == 1.0
+    assert cdf(cdf.min - 1) == 0.0
+
+
+@given(payload=st.binary(min_size=70, max_size=400), seed=st.integers(0, 1000),
+       probe_type=st.sampled_from(["R1", "R2", "R3", "R4", "R5", "R6"]))
+@settings(max_examples=60, deadline=None)
+def test_forged_replays_classify_as_themselves(payload, seed, probe_type):
+    """Classification inverts forging for payloads long enough that the
+    mutated offsets exist and distinct from other legit payloads."""
+    forge = ProbeForge(random.Random(seed))
+    probe = forge.replay(payload, probe_type)
+    got, matched = classify_payload(probe.payload, [payload])
+    assert got == probe_type
+    assert matched == payload

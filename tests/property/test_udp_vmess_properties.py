@@ -1,0 +1,83 @@
+"""Property-based tests for the UDP codec and the VMess header."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import AuthenticationError, evp_bytes_to_key, get_spec
+from repro.shadowsocks import encode_target
+from repro.shadowsocks.udp import decode_udp_packet, encode_udp_packet
+from repro.vmess import build_request, fnv1a32, parse_command
+
+AEAD_METHODS = ("aes-128-gcm", "aes-256-gcm", "chacha20-ietf-poly1305")
+
+
+@given(method=st.sampled_from(AEAD_METHODS),
+       port=st.integers(0, 65535),
+       payload=st.binary(max_size=400),
+       seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_udp_codec_roundtrip_any_payload(method, port, payload, seed):
+    rng = random.Random(seed)
+    key = evp_bytes_to_key(b"pw", get_spec(method).key_len)
+    spec_bytes = encode_target("203.0.113.9", port)
+    wire = encode_udp_packet(method, key, spec_bytes, payload, rng)
+    assert decode_udp_packet(method, key, wire) == spec_bytes + payload
+
+
+@given(method=st.sampled_from(AEAD_METHODS),
+       payload=st.binary(min_size=1, max_size=200),
+       flip=st.integers(min_value=0, max_value=100_000),
+       seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_udp_codec_aead_tamper_always_detected(method, payload, flip, seed):
+    rng = random.Random(seed)
+    key = evp_bytes_to_key(b"pw", get_spec(method).key_len)
+    wire = bytearray(encode_udp_packet(method, key,
+                                       encode_target("1.2.3.4", 1), payload,
+                                       rng))
+    wire[flip % len(wire)] ^= 1 << (flip % 8)
+    with pytest.raises(AuthenticationError):
+        decode_udp_packet(method, key, bytes(wire))
+
+
+@given(data=st.binary(max_size=1000))
+@settings(max_examples=100, deadline=None)
+def test_fnv1a32_range(data):
+    assert 0 <= fnv1a32(data) <= 0xFFFFFFFF
+
+
+hostnames = st.from_regex(r"[a-z][a-z0-9\-]{0,40}\.[a-z]{2,5}", fullmatch=True)
+
+
+@given(host=hostnames, port=st.integers(0, 65535),
+       timestamp=st.integers(0, 2**32), seed=st.integers(0, 2**32 - 1),
+       padding=st.integers(0, 15))
+@settings(max_examples=60, deadline=None)
+def test_vmess_header_roundtrip(host, port, timestamp, seed, padding):
+    user_id = bytes(range(16))
+    head, built = build_request(user_id, timestamp, host, port,
+                                rng=random.Random(seed), padding_len=padding)
+    status, parsed, total = parse_command(user_id, timestamp, head[16:])
+    assert status == "ok"
+    assert parsed.host == host and parsed.port == port
+    assert parsed.padding_len == padding
+    assert total == len(head) - 16
+
+
+@given(host=hostnames, port=st.integers(0, 65535),
+       seed=st.integers(0, 2**16),
+       flip=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_vmess_header_corruption_never_parses_ok(host, port, seed, flip):
+    """Any bit flip in the command section fails the FNV hash or derails
+    parsing — it never yields a silently different valid request."""
+    user_id = bytes(range(16))
+    head, _ = build_request(user_id, 1000, host, port,
+                            rng=random.Random(seed))
+    section = bytearray(head[16:])
+    section[flip % len(section)] ^= 1 << (flip % 8)
+    status, parsed, _ = parse_command(user_id, 1000, bytes(section))
+    assert status in ("bad_hash", "need_more")

@@ -1,0 +1,72 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_profiles_command(capsys):
+    assert main(["profiles"]) == 0
+    out = capsys.readouterr().out
+    assert "ss-libev-3.1.3" in out
+    assert "outline-1.1.0" in out
+    assert "replay_filter=yes" in out
+
+
+def test_ciphers_command(capsys):
+    assert main(["ciphers"]) == 0
+    out = capsys.readouterr().out
+    assert "chacha20-ietf-poly1305" in out
+    assert "salt=32" in out
+
+
+def test_probesim_command(capsys):
+    assert main(["probesim", "--profile", "outline-1.0.6",
+                 "--method", "chacha20-ietf-poly1305",
+                 "--trials", "2", "--lengths", "49", "50", "51"]) == 0
+    out = capsys.readouterr().out
+    assert "FIN/ACK" in out
+    assert "RST" in out
+
+
+def test_identify_command(capsys):
+    assert main(["identify", "--profile", "ss-libev-3.1.3",
+                 "--method", "aes-128-gcm", "--trials", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "construction:     aead" in out
+    assert "IV/salt length:   16" in out
+
+
+def test_sink_command(capsys):
+    assert main(["sink", "--experiment", "1.a", "--connections", "400",
+                 "--hours", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Exp 1.a" in out
+    assert "400 connections" in out
+
+
+def test_quickstart_command(capsys):
+    assert main(["quickstart", "--connections", "4", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "connections: 4" in out
+    assert "flagged:" in out
+
+
+def test_blocking_command(capsys):
+    assert main(["blocking", "--days", "0.5", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "probes=" in out
+    assert "ssr" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("quickstart", "probesim", "identify", "sink", "brdgrd",
+                    "blocking", "profiles", "ciphers"):
+        assert command in text

@@ -1,0 +1,55 @@
+"""AES block cipher against FIPS 197 / SP 800-38A vectors."""
+
+import pytest
+
+from repro.crypto import AES
+
+
+def test_fips197_aes128():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert AES(key).encrypt_block(pt).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_fips197_aes192():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert AES(key).encrypt_block(pt).hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+
+def test_fips197_aes256():
+    key = bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+    )
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert AES(key).encrypt_block(pt).hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+
+def test_sp80038a_ecb_aes128_first_block():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+    assert AES(key).encrypt_block(pt).hex() == "3ad77bb40d7a3660a89ecaf32466ef97"
+
+
+def test_zero_key_zero_block():
+    assert AES(bytes(16)).encrypt_block(bytes(16)).hex() == (
+        "66e94bd4ef8a2c3b884cfa59ca342b2e"
+    )
+
+
+def test_rejects_bad_key_length():
+    with pytest.raises(ValueError):
+        AES(bytes(15))
+    with pytest.raises(ValueError):
+        AES(bytes(33))
+
+
+def test_rejects_bad_block_length():
+    with pytest.raises(ValueError):
+        AES(bytes(16)).encrypt_block(bytes(15))
+
+
+def test_deterministic():
+    cipher = AES(b"0123456789abcdef")
+    block = b"fedcba9876543210"
+    assert cipher.encrypt_block(block) == cipher.encrypt_block(block)

@@ -1,0 +1,76 @@
+"""AES-GCM against NIST GCM test vectors."""
+
+import pytest
+
+from repro.crypto import AESGCM, AuthenticationError
+
+
+def test_nist_case1_empty():
+    # Key = 0^128, IV = 0^96, empty plaintext and AAD.
+    box = AESGCM(bytes(16))
+    sealed = box.seal(bytes(12), b"")
+    assert sealed.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+
+def test_nist_case2_single_block():
+    box = AESGCM(bytes(16))
+    sealed = box.seal(bytes(12), bytes(16))
+    assert sealed[:16].hex() == "0388dace60b6a392f328c2b971b2fe78"
+    assert sealed[16:].hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+
+def test_nist_case3_four_blocks():
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    pt = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255"
+    )
+    sealed = AESGCM(key).seal(iv, pt)
+    assert sealed[:-16].hex() == (
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985"
+    )
+    assert sealed[-16:].hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+
+def test_nist_case4_with_aad():
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    pt = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39"
+    )
+    aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+    sealed = AESGCM(key).seal(iv, pt, aad)
+    assert sealed[-16:].hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+    assert AESGCM(key).open(iv, sealed, aad) == pt
+
+
+def test_aes256_gcm_roundtrip():
+    box = AESGCM(bytes(32))
+    sealed = box.seal(b"\x01" * 12, b"payload bytes here", b"aad")
+    assert box.open(b"\x01" * 12, sealed, b"aad") == b"payload bytes here"
+
+
+def test_tamper_detection_every_position():
+    box = AESGCM(bytes(16))
+    sealed = box.seal(bytes(12), b"abcdef")
+    for i in range(len(sealed)):
+        bad = bytearray(sealed)
+        bad[i] ^= 0x80
+        with pytest.raises(AuthenticationError):
+            box.open(bytes(12), bytes(bad))
+
+
+def test_wrong_aad_rejected():
+    box = AESGCM(bytes(16))
+    sealed = box.seal(bytes(12), b"x", b"right")
+    with pytest.raises(AuthenticationError):
+        box.open(bytes(12), sealed, b"wrong")

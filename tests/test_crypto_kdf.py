@@ -1,0 +1,71 @@
+"""EVP_BytesToKey and HKDF-SHA1 derivations."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto import derive_subkey, evp_bytes_to_key, hkdf_sha1
+
+
+def test_evp_bytes_to_key_16():
+    # Single MD5 round: md5(password).
+    assert evp_bytes_to_key(b"password", 16) == hashlib.md5(b"password").digest()
+
+
+def test_evp_bytes_to_key_32():
+    d1 = hashlib.md5(b"password").digest()
+    d2 = hashlib.md5(d1 + b"password").digest()
+    assert evp_bytes_to_key(b"password", 32) == d1 + d2
+
+
+def test_evp_bytes_to_key_24_truncates():
+    full = evp_bytes_to_key(b"barfoo!", 32)
+    assert evp_bytes_to_key(b"barfoo!", 24) == full[:24]
+
+
+def test_evp_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        evp_bytes_to_key(b"p", 0)
+
+
+def test_hkdf_sha1_rfc5869_case4():
+    # RFC 5869 A.4 (SHA-1 basic test case).
+    ikm = bytes.fromhex("0b0b0b0b0b0b0b0b0b0b0b")
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    okm = hkdf_sha1(ikm, salt, info, 42)
+    assert okm.hex() == (
+        "085a01ea1b10f36933068b56efa5ad81"
+        "a4f14b822f5b091568a9cdd4f155fda2"
+        "c22e422478d305f3f896"
+    )
+
+
+def test_hkdf_sha1_rfc5869_case6_empty_salt():
+    # RFC 5869 A.6: zero-length salt defaults to HashLen zero bytes.
+    ikm = bytes([0x0B] * 22)
+    okm = hkdf_sha1(ikm, b"", b"", 42)
+    assert okm.hex() == (
+        "0ac1af7002b3d761d1e55298da9d0506"
+        "b9ae52057220a306e07b6b87e8df21d0"
+        "ea00033de03984d34918"
+    )
+
+
+def test_hkdf_length_bounds():
+    with pytest.raises(ValueError):
+        hkdf_sha1(b"k", b"s", b"i", 0)
+    with pytest.raises(ValueError):
+        hkdf_sha1(b"k", b"s", b"i", 255 * 20 + 1)
+
+
+def test_derive_subkey_length_matches_master():
+    for klen in (16, 24, 32):
+        master = bytes(range(klen))
+        sub = derive_subkey(master, b"\xaa" * 32)
+        assert len(sub) == klen
+
+
+def test_derive_subkey_salt_sensitivity():
+    master = bytes(16)
+    assert derive_subkey(master, bytes(16)) != derive_subkey(master, b"\x01" + bytes(15))

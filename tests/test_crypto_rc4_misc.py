@@ -1,0 +1,51 @@
+"""RC4 known-answer vectors and package metadata."""
+
+import pytest
+
+from repro.crypto import RC4, new_stream_cipher
+
+
+def test_rc4_wikipedia_vector_key():
+    # RC4("Key") keystream ^ "Plaintext" = BBF316E8D940AF0AD3
+    assert RC4(b"Key").encrypt(b"Plaintext").hex().upper() == "BBF316E8D940AF0AD3"
+
+
+def test_rc4_wikipedia_vector_wiki():
+    assert RC4(b"Wiki").encrypt(b"pedia").hex().upper() == "1021BF0420"
+
+
+def test_rc4_wikipedia_vector_secret():
+    assert RC4(b"Secret").encrypt(b"Attack at dawn").hex().upper() == (
+        "45A01F645FC35B383552544B9BF5"
+    )
+
+
+def test_rc4_incremental_state():
+    one = RC4(b"abc").encrypt(b"hello world")
+    two = RC4(b"abc")
+    assert two.encrypt(b"hello") + two.encrypt(b" world") == one
+
+
+def test_rc4_empty_key_rejected():
+    with pytest.raises(ValueError):
+        RC4(b"")
+
+
+def test_rc4_md5_method_keying():
+    import hashlib
+
+    key, iv = b"k" * 16, b"i" * 16
+    cipher = new_stream_cipher("rc4-md5", key, iv, encrypt=True)
+    reference = RC4(hashlib.md5(key + iv).digest())
+    assert cipher.encrypt(b"data") == reference.encrypt(b"data")
+
+
+def test_unknown_stream_method_rejected():
+    with pytest.raises(ValueError):
+        new_stream_cipher("rot13", b"k" * 16, b"i" * 16, encrypt=True)
+
+
+def test_package_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,121 @@
+"""Defenses: brdgrd traffic shaping and consistent-reaction hardening."""
+
+import random
+
+import pytest
+
+from repro.defense import Brdgrd, harden
+from repro.experiments.common import build_world
+from repro.gfw import DetectorConfig
+from repro.net import Host, Network, Simulator
+from repro.probesim import ProberSimulator, ReactionKind, build_random_probe_row
+from repro.shadowsocks import ShadowsocksClient, ShadowsocksServer, get_profile
+
+
+def test_brdgrd_fragments_first_packet():
+    sim = Simulator()
+    net = Network(sim)
+    client_host = Host(sim, net, "192.0.2.10", "client")
+    server_host = Host(sim, net, "198.51.100.10", "server")
+    web = Host(sim, net, "198.18.0.10", "web")
+    web.listen(80, lambda c: setattr(c, "on_data", lambda d: c.send(b"ok")))
+    net.register_name("example.com", web.ip)
+    guard = Brdgrd(server_host.ip, 8388, rng=random.Random(1))
+    net.add_middlebox(guard)
+    ShadowsocksServer(server_host, 8388, "pw", "aes-256-gcm", "ss-libev-3.3.1")
+    client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw", "aes-256-gcm")
+    session = client.open("example.com", 80, b"GET / HTTP/1.1\r\n\r\n" + b"x" * 300)
+    sim.run(until=30)
+    assert bytes(session.reply) == b"ok"  # the tunnel still works
+    assert guard.rewritten >= 1
+    first_data = [r.segment for r in client_host.capture.sent() if r.segment.is_data][0]
+    assert len(first_data.payload) <= 40  # clamped by brdgrd's window
+
+
+def test_brdgrd_window_range_validated():
+    with pytest.raises(ValueError):
+        Brdgrd("1.2.3.4", 80, window_low=0)
+    with pytest.raises(ValueError):
+        Brdgrd("1.2.3.4", 80, window_low=50, window_high=10)
+
+
+def test_brdgrd_fixed_window():
+    guard = Brdgrd("1.2.3.4", 80, fixed_window=24)
+    assert guard._choose_window() == 24
+
+
+def test_brdgrd_toggle():
+    guard = Brdgrd("1.2.3.4", 80)
+    guard.disable()
+    assert not guard.active
+    guard.enable()
+    assert guard.active
+
+
+def test_brdgrd_defeats_passive_detector():
+    """With brdgrd on, first-packet lengths leave the replay sweet spot."""
+    detector_cfg = DetectorConfig(base_rate=1.0)  # everything else default
+    world = build_world(seed=11, detector_config=detector_cfg,
+                        websites=["example.com"])
+    server_host = world.add_server("ss", region="uk")
+    client_host = world.add_client("client")
+    guard = Brdgrd(server_host.ip, 8388, rng=random.Random(2))
+    world.net.add_middlebox(guard)
+    ShadowsocksServer(server_host, 8388, "pw", "chacha20-ietf-poly1305",
+                      "outline-1.0.7")
+    client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
+                               "chacha20-ietf-poly1305")
+    from repro.workloads import CurlDriver
+
+    driver = CurlDriver(client, rng=random.Random(3), sites=["example.com"])
+    driver.run_schedule(count=40, interval=5.0)
+    world.sim.run(until=3600)
+    assert world.gfw.flagged_connections == 0
+
+    # Control: same workload with brdgrd disabled draws flags.
+    guard.disable()
+    driver.run_schedule(count=40, interval=5.0)
+    world.sim.run(until=world.sim.now + 3600)
+    assert world.gfw.flagged_connections > 0
+
+
+def test_brdgrd_breaks_legacy_parsers():
+    """§7.1 limitation: implementations demanding a complete spec in the
+    first read RST the fragmented handshake."""
+    sim = Simulator()
+    net = Network(sim)
+    client_host = Host(sim, net, "192.0.2.10", "client")
+    server_host = Host(sim, net, "198.51.100.10", "server")
+    # Window sized so the first segment carries the IV plus a partial
+    # target spec (IV=16: lengths 17-22) — the case that trips legacy parsers.
+    guard = Brdgrd(server_host.ip, 8388, rng=random.Random(4), window_low=17,
+                   window_high=22)
+    net.add_middlebox(guard)
+    ShadowsocksServer(server_host, 8388, "pw", "aes-256-ctr", "ssr")
+    client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
+                               "aes-256-ctr")
+    session = client.open("example.com", 80, b"GET /")
+    sim.run(until=30)
+    assert session.reset  # connection failed with RST
+
+
+def test_hardened_profile_shows_only_timeouts():
+    base = get_profile("outline-1.0.6")
+    hardened = harden(base)
+    row = build_random_probe_row(hardened, "chacha20-ietf-poly1305",
+                                 [49, 50, 51, 100, 221], trials=4)
+    for cell in row.cells.values():
+        assert cell.dominant == ReactionKind.TIMEOUT
+
+
+def test_hardened_profile_gains_replay_filter():
+    base = get_profile("outline-1.0.7")
+    assert not base.replay_filter
+    hardened = harden(base)
+    assert hardened.replay_filter
+    sim = ProberSimulator(hardened, "chacha20-ietf-poly1305")
+    payload = sim.record_legitimate_payload()
+    from repro.gfw import ProbeType
+
+    result = sim.send_probe(sim.forge.replay(payload, ProbeType.R1))
+    assert result.reaction != ReactionKind.DATA

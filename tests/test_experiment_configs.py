@@ -1,0 +1,66 @@
+"""Experiment configuration plumbing."""
+
+import pytest
+
+from repro.experiments import (
+    BrdgrdExperimentConfig,
+    ShadowsocksExperimentConfig,
+    SinkExperimentConfig,
+    TABLE4_EXPERIMENTS,
+    build_world,
+    run_sink_experiment,
+)
+
+
+def test_table4_presets_match_paper():
+    assert TABLE4_EXPERIMENTS["1.a"]["mode"] == "sink"
+    assert TABLE4_EXPERIMENTS["1.b"]["mode"] == "responding"
+    assert TABLE4_EXPERIMENTS["2"]["entropy_range"] == (0.0, 2.0)
+    assert TABLE4_EXPERIMENTS["3"]["length_range"] == (1, 2000)
+
+
+def test_table4_factory_with_overrides():
+    config = SinkExperimentConfig.table4("2", connections=10, seed=42)
+    assert config.mode == "sink"
+    assert config.entropy_range == (0.0, 2.0)
+    assert config.connections == 10
+    assert config.seed == 42
+
+
+def test_table4_unknown_experiment():
+    with pytest.raises(KeyError):
+        SinkExperimentConfig.table4("9.z")
+
+
+def test_sink_rejects_bad_mode():
+    with pytest.raises(ValueError):
+        run_sink_experiment(SinkExperimentConfig(mode="chaos"))
+
+
+def test_world_add_host_allocates_sequential_ips():
+    world = build_world(seed=1)
+    a = world.add_server("a", region="uk")
+    b = world.add_server("b", region="uk")
+    c = world.add_client("c")
+    assert a.ip.startswith("198.51.100.")
+    assert b.ip != a.ip
+    assert c.ip.startswith("192.0.2.")
+    assert world.hosts["a"] is a
+
+
+def test_world_website_registration():
+    world = build_world(seed=2, websites=["w.example"])
+    assert world.net.resolve("w.example") is not None
+    host = world.hosts["web-w.example"]
+    assert host.ip.startswith("198.18.0.")
+
+
+def test_brdgrd_config_defaults_sane():
+    config = BrdgrdExperimentConfig()
+    for start, end in config.brdgrd_windows:
+        assert 0 <= start < end <= config.duration
+
+
+def test_shadowsocks_config_profiles_cycle():
+    config = ShadowsocksExperimentConfig(libev_pairs=3)
+    assert len(config.libev_profiles) >= 2  # cycled across pairs

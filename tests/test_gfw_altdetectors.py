@@ -1,0 +1,87 @@
+"""Related-work detectors (§8) and the evaluation helper."""
+
+import random
+
+import pytest
+
+from repro.gfw.altdetectors import (
+    DetectorEvaluation,
+    EntropyClassifier,
+    LengthDistributionClassifier,
+    evaluate_detector,
+)
+from repro.shadowsocks import encode_target
+from repro.shadowsocks.aead_session import AeadEncryptor, aead_master_key
+from repro.workloads import SITES, http_get_request, site_request
+
+
+def make_samples(n=150, seed=0):
+    rng = random.Random(seed)
+    master = aead_master_key("pw", "chacha20-ietf-poly1305")
+    positives = []
+    for _ in range(n):
+        site = rng.choice(SITES)
+        enc = AeadEncryptor("chacha20-ietf-poly1305", master, rng=rng)
+        positives.append(enc.encrypt(encode_target(site, 443)
+                                     + site_request(site, rng)))
+    negatives = [http_get_request(rng.choice(SITES), rng) for _ in range(n)]
+    return positives, negatives
+
+
+def test_entropy_classifier_separates_encrypted_from_http():
+    positives, negatives = make_samples()
+    clf = EntropyClassifier().fit(positives[:100], negatives[:100])
+    ev = evaluate_detector(clf.flag, positives[100:], negatives[100:])
+    assert ev.recall > 0.9
+    assert ev.false_positive_rate < 0.1
+    # HTTP tops out around 5.5 bits/byte; encrypted payloads are ~7.9.
+    assert 5.4 <= clf.threshold < 8.0
+
+
+def test_entropy_classifier_short_payloads_not_flagged():
+    clf = EntropyClassifier(threshold=1.0)
+    assert not clf.flag(b"\x01\x02")
+
+
+def test_entropy_classifier_fit_validates():
+    with pytest.raises(ValueError):
+        EntropyClassifier().fit([], [b"x" * 100])
+
+
+def test_length_classifier_learns_histograms():
+    rng = random.Random(1)
+    # Positives cluster at 400-500 bytes; negatives at 100-200.
+    positives = [bytes(rng.randint(400, 500)) for _ in range(200)]
+    negatives = [bytes(rng.randint(100, 200)) for _ in range(200)]
+    clf = LengthDistributionClassifier().fit(positives, negatives)
+    ev = evaluate_detector(clf.flag, positives, negatives)
+    assert ev.recall > 0.95
+    assert ev.false_positive_rate < 0.05
+
+
+def test_length_classifier_likelihood_ratio_monotone():
+    rng = random.Random(2)
+    positives = [bytes(450)] * 50
+    negatives = [bytes(150)] * 50
+    clf = LengthDistributionClassifier().fit(positives, negatives)
+    assert clf.likelihood_ratio(bytes(450)) > clf.likelihood_ratio(bytes(150))
+
+
+def test_length_classifier_requires_fit():
+    with pytest.raises(RuntimeError):
+        LengthDistributionClassifier().flag(b"x")
+    with pytest.raises(ValueError):
+        LengthDistributionClassifier(bin_width=0)
+    with pytest.raises(ValueError):
+        LengthDistributionClassifier().fit([], [b"x"])
+
+
+def test_evaluation_metrics():
+    ev = DetectorEvaluation(true_positives=8, false_positives=2,
+                            false_negatives=2, true_negatives=8)
+    assert ev.precision == 0.8
+    assert ev.recall == 0.8
+    assert ev.false_positive_rate == 0.2
+    assert ev.f1 == pytest.approx(0.8)
+    empty = DetectorEvaluation(0, 0, 0, 0)
+    assert empty.precision == 0.0 and empty.f1 == 0.0

@@ -1,0 +1,151 @@
+"""GreatFirewall middlebox mechanics: borders, flows, self-exclusion."""
+
+import random
+
+import pytest
+
+from repro.experiments.common import CHINA_CIDRS, build_world
+from repro.gfw import DetectorConfig, GreatFirewall
+from repro.net import Flags, Host, Network, Segment, Simulator
+
+AGGRESSIVE = DetectorConfig(base_rate=1.0, length_filter=False,
+                            entropy_filter=False)
+
+
+def make_gfw(**kwargs):
+    sim = Simulator()
+    net = Network(sim)
+    gfw = GreatFirewall(sim, net, ["192.0.2.0/24"],
+                        detector_config=kwargs.pop("detector_config", AGGRESSIVE),
+                        **kwargs)
+    return sim, net, gfw
+
+
+def test_is_inside_cached_lookup():
+    sim, net, gfw = make_gfw()
+    assert gfw.is_inside("192.0.2.55")
+    assert not gfw.is_inside("198.51.100.1")
+    # Second call hits the cache (same result).
+    assert gfw.is_inside("192.0.2.55")
+    assert "192.0.2.55" in gfw._inside_cache
+
+
+def test_crosses_border():
+    sim, net, gfw = make_gfw()
+    cross = Segment(src_ip="192.0.2.1", dst_ip="198.51.100.1", src_port=1,
+                    dst_port=2, flags=Flags.SYN)
+    inside = Segment(src_ip="192.0.2.1", dst_ip="192.0.2.2", src_port=1,
+                     dst_port=2, flags=Flags.SYN)
+    outside = Segment(src_ip="198.51.100.1", dst_ip="198.51.100.2", src_port=1,
+                      dst_port=2, flags=Flags.SYN)
+    assert gfw.crosses_border(cross)
+    assert not gfw.crosses_border(inside)
+    assert not gfw.crosses_border(outside)
+
+
+def test_domestic_traffic_not_inspected():
+    sim, net, gfw = make_gfw()
+    a = Host(sim, net, "192.0.2.1")
+    b = Host(sim, net, "192.0.2.2")
+    b.listen(80, lambda c: None)
+    conn = a.connect("192.0.2.2", 80)
+    conn.on_connected = lambda: conn.send(bytes(300))
+    sim.run(until=5)
+    assert gfw.inspected_connections == 0
+    assert gfw.flagged_connections == 0
+
+
+def test_border_traffic_inspected_and_flagged():
+    sim, net, gfw = make_gfw()
+    a = Host(sim, net, "192.0.2.1")
+    b = Host(sim, net, "198.51.100.1")
+    b.listen(80, lambda c: None)
+    conn = a.connect("198.51.100.1", 80)
+    conn.on_connected = lambda: conn.send(bytes(300))
+    sim.run(until=5)
+    assert gfw.inspected_connections == 1
+    assert gfw.flagged_connections == 1
+
+
+def test_only_first_data_packet_matters():
+    sim, net, gfw = make_gfw()
+    flags = []
+    gfw.on_flag = lambda flow, payload: flags.append(payload)
+    a = Host(sim, net, "192.0.2.1")
+    b = Host(sim, net, "198.51.100.1")
+    b.listen(80, lambda c: None)
+    conn = a.connect("198.51.100.1", 80)
+    conn.on_connected = lambda: conn.send(b"first")
+    sim.schedule(1.0, conn.send, b"second")
+    sim.run(until=5)
+    assert flags == [b"first"]
+
+
+def test_flow_state_reclaimed_on_close():
+    sim, net, gfw = make_gfw()
+    a = Host(sim, net, "192.0.2.1")
+    b = Host(sim, net, "198.51.100.1")
+    b.listen(80, lambda c: setattr(c, "on_remote_fin", c.close))
+    conn = a.connect("198.51.100.1", 80)
+    conn.on_connected = lambda: (conn.send(b"data"), conn.close())
+    sim.run(until=10)
+    assert len(gfw.flows) == 0
+
+
+def test_fleet_traffic_excluded_from_detection():
+    sim, net, gfw = make_gfw()
+    server = Host(sim, net, "198.51.100.1")
+    server.listen(8388, lambda c: None)
+    # A probe connection from the fleet's own address space.
+    ip = gfw.fleet.pick_ip()
+    conn = gfw.fleet_host.connect("198.51.100.1", 8388, src_ip=ip)
+    conn.on_connected = lambda: conn.send(bytes(400))
+    sim.run(until=5)
+    assert gfw.inspected_connections == 0
+    assert gfw.flagged_connections == 0
+
+
+def test_responder_data_marks_serves_data():
+    sim, net, gfw = make_gfw()
+    a = Host(sim, net, "192.0.2.1")
+    b = Host(sim, net, "198.51.100.1")
+    b.listen(80, lambda c: setattr(c, "on_data", lambda d: c.send(b"reply")))
+    conn = a.connect("198.51.100.1", 80)
+    conn.on_connected = lambda: conn.send(bytes(200))
+    sim.run(until=5)
+    state = gfw.scheduler.state_for("198.51.100.1", 80)
+    assert state.serves_data
+
+
+def test_capture_disabled_by_default():
+    sim, net, gfw = make_gfw()
+    a = Host(sim, net, "192.0.2.1")
+    b = Host(sim, net, "198.51.100.1")
+    b.listen(80, lambda c: None)
+    conn = a.connect("198.51.100.1", 80)
+    sim.run(until=5)
+    assert len(gfw.capture) == 0
+    gfw.capture.enabled = True
+    conn.send(b"x")
+    sim.run(until=6)
+    assert len(gfw.capture) > 0
+
+
+def test_china_cidrs_cover_fleet_and_clients():
+    from repro.net import in_cidr
+
+    sim = Simulator()
+    net = Network(sim)
+    gfw = GreatFirewall(sim, net, CHINA_CIDRS)
+    assert gfw.is_inside("100.64.0.1")      # fleet anchor
+    assert gfw.is_inside("192.0.2.10")      # Beijing clients
+    for _ in range(50):
+        assert gfw.is_inside(gfw.fleet.pick_ip())
+
+
+def test_sensitive_periods_2019_constants():
+    from repro.gfw.blocking import SENSITIVE_PERIODS_2019
+
+    assert len(SENSITIVE_PERIODS_2019) == 3
+    for start, end in SENSITIVE_PERIODS_2019:
+        assert 0 < start < end < 366 * 86400

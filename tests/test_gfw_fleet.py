@@ -1,0 +1,90 @@
+"""Prober fleet fingerprints (§3.3-3.4): IP churn, ports, TSvals, TTL."""
+
+import random
+
+from repro.net import Host, Network, Simulator, lookup_asn
+from repro.gfw import FleetConfig, ProberFleet
+
+
+def make_fleet(seed=3):
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, net, "100.64.0.1", "fleet")
+    return sim, net, ProberFleet(host, rng=random.Random(seed))
+
+
+def test_ips_all_resolve_to_known_ases():
+    _, _, fleet = make_fleet()
+    for _ in range(200):
+        assert lookup_asn(fleet.pick_ip()) is not None
+
+
+def test_ip_reuse_dominates():
+    """>75% of addresses are used more than once at paper-scale volumes."""
+    _, _, fleet = make_fleet()
+    for _ in range(5000):
+        fleet.pick_ip()
+    counts = fleet.use_counts
+    multi = sum(1 for c in counts.values() if c > 1)
+    assert multi / len(counts) > 0.6
+    # Preferential reuse produces a heavy head, like Table 2.
+    assert max(counts.values()) >= 15
+
+
+def test_new_ip_fraction_near_churn_rate():
+    _, _, fleet = make_fleet()
+    n = 5000
+    for _ in range(n):
+        fleet.pick_ip()
+    assert 0.18 < fleet.unique_ips / n < 0.30
+
+
+def test_ports_mostly_linux_default_range():
+    _, _, fleet = make_fleet()
+    ports = [fleet.pick_port() for _ in range(4000)]
+    in_linux = sum(1 for p in ports if 32768 <= p <= 60999)
+    assert 0.86 < in_linux / len(ports) < 0.94
+    assert min(ports) >= 1024
+
+
+def test_tsval_processes_shared_and_linear():
+    sim, _, fleet = make_fleet()
+    proc = fleet.processes[0]
+    t0 = proc.tsval_at(0.0)
+    t1 = proc.tsval_at(100.0)
+    assert (t1 - t0) % (1 << 32) == int(250.0 * 100)
+
+
+def test_tsval_process_mix():
+    _, _, fleet = make_fleet()
+    picks = [fleet.pick_process().name for _ in range(5000)]
+    dominant = picks.count("proc-250hz-0")
+    assert dominant / len(picks) > 0.7
+    assert any(name.startswith("proc-1000hz") for name in picks)
+    assert len(set(picks)) >= 5  # several distinct processes observed
+
+
+def test_tsval_wraps_at_2_32():
+    from repro.gfw import TsvalProcess
+
+    proc = TsvalProcess("p", 250.0, (1 << 32) - 100)
+    assert proc.tsval_at(10.0) == ((1 << 32) - 100 + 2500) % (1 << 32)
+
+
+def test_ttl_arrival_range():
+    """Hops are set so probe segments arrive with TTL 46-50."""
+    sim, net, fleet = make_fleet()
+    for _ in range(100):
+        ip = fleet.pick_ip()
+        arrival_ttl = fleet.config.initial_ttl - net.hops(ip, "198.51.100.1")
+        assert 46 <= arrival_ttl <= 50
+
+
+def test_config_overrides():
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, net, "100.64.0.2", "fleet2")
+    fleet = ProberFleet(host, rng=random.Random(0),
+                        config=FleetConfig(new_ip_probability=1.0))
+    ips = {fleet.pick_ip() for _ in range(50)}
+    assert len(ips) == 50  # every probe mints a fresh address

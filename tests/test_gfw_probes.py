@@ -1,0 +1,137 @@
+"""Probe forging (§3.2) and the delay model (Figure 7)."""
+
+import random
+
+import pytest
+
+from repro.gfw import (
+    FIG7_ANCHORS,
+    NR1_LENGTHS,
+    NR2_LENGTH,
+    ProbeForge,
+    ProbeType,
+    ReplayDelayModel,
+)
+
+
+@pytest.fixture
+def forge():
+    return ProbeForge(random.Random(42))
+
+
+PAYLOAD = bytes(range(200))
+
+
+def test_r1_identical(forge):
+    probe = forge.replay(PAYLOAD, ProbeType.R1)
+    assert probe.payload == PAYLOAD
+    assert probe.is_replay
+
+
+def test_r2_changes_byte_zero_only(forge):
+    probe = forge.replay(PAYLOAD, ProbeType.R2)
+    assert probe.payload[0] != PAYLOAD[0]
+    assert probe.payload[1:] == PAYLOAD[1:]
+    assert probe.mutated_offsets == (0,)
+
+
+def test_r3_changes_bytes_0_7_and_62_63(forge):
+    probe = forge.replay(PAYLOAD, ProbeType.R3)
+    changed = {i for i in range(len(PAYLOAD)) if probe.payload[i] != PAYLOAD[i]}
+    assert changed == set(range(8)) | {62, 63}
+
+
+def test_r4_changes_byte_16(forge):
+    probe = forge.replay(PAYLOAD, ProbeType.R4)
+    changed = {i for i in range(len(PAYLOAD)) if probe.payload[i] != PAYLOAD[i]}
+    assert changed == {16}
+
+
+def test_r5_changes_bytes_6_and_16(forge):
+    probe = forge.replay(PAYLOAD, ProbeType.R5)
+    changed = {i for i in range(len(PAYLOAD)) if probe.payload[i] != PAYLOAD[i]}
+    assert changed == {6, 16}
+
+
+def test_r6_changes_bytes_16_to_32(forge):
+    probe = forge.replay(PAYLOAD, ProbeType.R6)
+    changed = {i for i in range(len(PAYLOAD)) if probe.payload[i] != PAYLOAD[i]}
+    assert changed == set(range(16, 33))
+
+
+def test_mutation_skips_offsets_beyond_payload(forge):
+    short = bytes(range(10))
+    probe = forge.replay(short, ProbeType.R3)
+    # Offsets 62-63 do not exist; only 0-7 changed.
+    assert probe.mutated_offsets == tuple(range(8))
+    assert len(probe.payload) == 10
+
+
+def test_nr1_lengths_are_trios():
+    assert NR1_LENGTHS == tuple(sorted(
+        n + d for n in (8, 12, 16, 22, 33, 41, 49) for d in (-1, 0, 1)
+    ))
+
+
+def test_nr1_default_sampling(forge):
+    for _ in range(50):
+        assert len(forge.nr1().payload) in NR1_LENGTHS
+
+
+def test_nr1_invalid_length_rejected(forge):
+    with pytest.raises(ValueError):
+        forge.nr1(100)
+
+
+def test_nr2_is_221_bytes(forge):
+    assert len(forge.nr2().payload) == NR2_LENGTH == 221
+    assert forge.nr2().probe_type == ProbeType.NR2
+
+
+def test_battery_covers_all_nr1_lengths(forge):
+    battery = forge.random_probe_battery()
+    lengths = sorted(len(p.payload) for p in battery if p.probe_type == ProbeType.NR1)
+    assert tuple(lengths) == NR1_LENGTHS
+    assert battery[-1].probe_type == ProbeType.NR2
+
+
+def test_replay_type_validation(forge):
+    with pytest.raises(ValueError):
+        forge.replay(PAYLOAD, ProbeType.NR1)
+
+
+# ----------------------------------------------------------- delay model
+
+
+def test_delay_model_bounds():
+    model = ReplayDelayModel()
+    rng = random.Random(1)
+    samples = [model.sample(rng) for _ in range(5000)]
+    assert min(samples) >= 0.28
+    assert max(samples) <= 569.55 * 3600 + 1
+
+
+def test_delay_model_matches_anchor_quantiles():
+    model = ReplayDelayModel()
+    rng = random.Random(2)
+    samples = sorted(model.sample(rng) for _ in range(20000))
+
+    def empirical_cdf(x):
+        import bisect
+
+        return bisect.bisect_right(samples, x) / len(samples)
+
+    assert empirical_cdf(1.0) == pytest.approx(0.22, abs=0.02)
+    assert empirical_cdf(60.0) == pytest.approx(0.52, abs=0.02)
+    assert empirical_cdf(900.0) == pytest.approx(0.77, abs=0.02)
+
+
+def test_delay_model_cdf_inverse_consistency():
+    model = ReplayDelayModel()
+    for u, d in FIG7_ANCHORS[1:-1]:
+        assert model.cdf(d) == pytest.approx(u, abs=1e-9)
+
+
+def test_delay_model_rejects_bad_anchors():
+    with pytest.raises(ValueError):
+        ReplayDelayModel([(0.0, 1.0), (0.5, 0.5)])

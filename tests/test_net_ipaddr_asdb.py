@@ -1,0 +1,126 @@
+"""IPv4 helpers and the AS database."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    AS_TABLE,
+    ASDatabase,
+    PAPER_AS_COUNTS,
+    in_cidr,
+    int_to_ip,
+    ip_to_int,
+    lookup_asn,
+    parse_cidr,
+    random_ip_in,
+)
+
+
+def test_ip_roundtrip():
+    for ip in ("0.0.0.0", "255.255.255.255", "10.1.2.3", "198.51.100.7"):
+        assert int_to_ip(ip_to_int(ip)) == ip
+
+
+def test_ip_to_int_known_value():
+    assert ip_to_int("1.0.0.0") == 1 << 24
+    assert ip_to_int("0.0.0.1") == 1
+
+
+@pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", ""])
+def test_ip_to_int_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        ip_to_int(bad)
+
+
+def test_int_to_ip_range_checked():
+    with pytest.raises(ValueError):
+        int_to_ip(-1)
+    with pytest.raises(ValueError):
+        int_to_ip(1 << 32)
+
+
+def test_parse_cidr():
+    base, prefix = parse_cidr("10.0.0.0/8")
+    assert base == ip_to_int("10.0.0.0") and prefix == 8
+    # Host bits are masked off.
+    base, prefix = parse_cidr("10.1.2.3/8")
+    assert base == ip_to_int("10.0.0.0")
+    # Bare address = /32.
+    assert parse_cidr("1.2.3.4") == (ip_to_int("1.2.3.4"), 32)
+
+
+def test_parse_cidr_rejects_bad_prefix():
+    with pytest.raises(ValueError):
+        parse_cidr("1.2.3.4/33")
+
+
+def test_in_cidr():
+    assert in_cidr("192.168.1.7", "192.168.0.0/16")
+    assert not in_cidr("192.169.0.1", "192.168.0.0/16")
+    assert in_cidr("5.6.7.8", "0.0.0.0/0")
+
+
+def test_random_ip_in_stays_inside():
+    rng = random.Random(1)
+    for _ in range(100):
+        ip = random_ip_in("175.42.0.0/16", rng)
+        assert in_cidr(ip, "175.42.0.0/16")
+
+
+def test_lookup_asn_paper_table2_ips():
+    # Table 2's heavy hitters resolve to the right ASes.
+    assert lookup_asn("175.42.1.21") == 4837
+    assert lookup_asn("223.166.74.207") == 17621
+    assert lookup_asn("113.128.105.20") == 4134
+    assert lookup_asn("112.80.138.231") == 4134
+    assert lookup_asn("124.235.138.113") == 4837
+
+
+def test_lookup_asn_unknown():
+    assert lookup_asn("8.8.8.8") is None
+
+
+def test_as_prefixes_disjoint():
+    """Prefix sets must not overlap or lookups would be ambiguous."""
+    seen = []
+    for info in AS_TABLE:
+        for prefix in info.prefixes:
+            base, plen = parse_cidr(prefix)
+            for other_base, other_plen, other in seen:
+                short = min(plen, other_plen)
+                mask = (0xFFFFFFFF << (32 - short)) & 0xFFFFFFFF
+                assert (base & mask) != (other_base & mask), (prefix, other)
+            seen.append((base, plen, prefix))
+
+
+def test_asdb_sampling_weights():
+    db = ASDatabase()
+    rng = random.Random(2)
+    counts = {}
+    for _ in range(5000):
+        asn = db.sample_asn(rng)
+        counts[asn] = counts.get(asn, 0) + 1
+    total_weight = sum(PAPER_AS_COUNTS.values())
+    # The two big ASes get their paper share.
+    for asn in (4837, 4134):
+        expected = PAPER_AS_COUNTS[asn] / total_weight
+        assert abs(counts.get(asn, 0) / 5000 - expected) < 0.05
+
+
+def test_asdb_pinned_as():
+    db = ASDatabase()
+    rng = random.Random(3)
+    for _ in range(20):
+        ip = db.sample_ip(rng, asn=17622)
+        assert lookup_asn(ip) == 17622
+
+
+def test_asdb_rejects_unknown_asn_weights():
+    with pytest.raises(ValueError):
+        ASDatabase({99999: 1})
+
+
+def test_asdb_info():
+    info = ASDatabase().info(4134)
+    assert "CHINANET" in info.name

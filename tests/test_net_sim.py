@@ -1,0 +1,73 @@
+"""Event loop semantics: ordering, cancellation, run-until."""
+
+import pytest
+
+from repro.net import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_fifo():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_cancel():
+    sim = Simulator()
+    order = []
+    ev = sim.schedule(1.0, order.append, "x")
+    sim.schedule(2.0, order.append, "y")
+    ev.cancel()
+    sim.run()
+    assert order == ["y"]
+
+
+def test_run_until_advances_clock():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert sim.pending == 1
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    hits = []
+
+    def recur(n):
+        hits.append(sim.now)
+        if n:
+            sim.schedule(1.0, recur, n - 1)
+
+    sim.schedule(0.0, recur, 3)
+    sim.run()
+    assert hits == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_absolute_scheduling():
+    sim = Simulator(start_time=100.0)
+    hits = []
+    sim.at(105.0, hits.append, "x")
+    sim.run()
+    assert hits == ["x"] and sim.now == 105.0

@@ -1,0 +1,210 @@
+"""TCP model: handshake, data transfer, close semantics, windows, RST."""
+
+import pytest
+
+from repro.net import Flags, Host, Network, Simulator, TcpState
+
+
+def make_pair():
+    sim = Simulator()
+    net = Network(sim)
+    client = Host(sim, net, "10.0.0.1", "client")
+    server = Host(sim, net, "10.0.0.2", "server")
+    return sim, net, client, server
+
+
+class Echo:
+    """Test app: echoes received data back."""
+
+    def __init__(self, conn):
+        self.conn = conn
+        conn.on_data = lambda data: conn.send(data)
+        conn.on_remote_fin = conn.close
+
+
+class Collector:
+    def __init__(self, conn):
+        self.conn = conn
+        self.data = bytearray()
+        self.fin = False
+        self.reset = False
+        conn.on_data = self.data.extend
+        conn.on_remote_fin = self._fin
+        conn.on_reset = self._rst
+
+    def _fin(self):
+        self.fin = True
+
+    def _rst(self):
+        self.reset = True
+
+
+def test_handshake_and_echo():
+    sim, net, client, server = make_pair()
+    server.listen(8388, Echo)
+    conn = client.connect("10.0.0.2", 8388)
+    got = bytearray()
+    conn.on_data = got.extend
+    conn.on_connected = lambda: conn.send(b"hello world")
+    sim.run()
+    assert bytes(got) == b"hello world"
+    assert conn.state == TcpState.ESTABLISHED
+
+
+def test_send_before_established_is_buffered():
+    sim, net, client, server = make_pair()
+    server.listen(80, Echo)
+    conn = client.connect("10.0.0.2", 80)
+    got = bytearray()
+    conn.on_data = got.extend
+    conn.send(b"early data")  # queued while SYN in flight
+    sim.run()
+    assert bytes(got) == b"early data"
+
+
+def test_graceful_close_fin_order():
+    sim, net, client, server = make_pair()
+    apps = []
+    server.listen(80, lambda c: apps.append(Collector(c)))
+    conn = client.connect("10.0.0.2", 80)
+    conn.on_connected = lambda: (conn.send(b"bye"), conn.close())
+    sim.run()
+    (app,) = apps
+    assert bytes(app.data) == b"bye"
+    assert app.fin
+    assert conn.fin_sent_first is True
+    assert app.conn.fin_sent_first is False  # the client FIN'd first
+
+
+def test_server_initiated_finack():
+    sim, net, client, server = make_pair()
+
+    def close_on_data(c):
+        c.on_data = lambda d: c.close()
+
+    server.listen(80, close_on_data)
+    conn = client.connect("10.0.0.2", 80)
+    got_fin = []
+    conn.on_remote_fin = lambda: got_fin.append(True)
+    conn.on_connected = lambda: conn.send(b"x")
+    sim.run()
+    assert got_fin == [True]
+
+
+def test_abort_sends_rst():
+    sim, net, client, server = make_pair()
+
+    def abort_on_data(c):
+        c.on_data = lambda d: c.abort()
+
+    server.listen(80, abort_on_data)
+    conn = client.connect("10.0.0.2", 80)
+    conn.on_connected = lambda: conn.send(b"x")
+    sim.run()
+    assert conn.reset_received
+    assert conn.state == TcpState.CLOSED
+
+
+def test_closed_port_refused_with_rst():
+    sim, net, client, server = make_pair()
+    conn = client.connect("10.0.0.2", 9999)
+    sim.run()
+    assert conn.reset_received
+
+
+def test_large_write_segmented_by_mss():
+    sim, net, client, server = make_pair()
+    apps = []
+    server.listen(80, lambda c: apps.append(Collector(c)))
+    payload = bytes(5000)
+    conn = client.connect("10.0.0.2", 80)
+    conn.on_connected = lambda: conn.send(payload)
+    sim.run()
+    assert len(apps[0].data) == 5000
+    data_segs = [r for r in server.capture.received() if r.segment.is_data]
+    assert all(len(r.segment.payload) <= conn.MSS for r in data_segs)
+    assert len(data_segs) >= 4
+
+
+def test_small_peer_window_fragments_send():
+    """A clamped receive window must fragment the first write (brdgrd)."""
+    sim, net, client, server = make_pair()
+    apps = []
+
+    def small_window(c):
+        c.rcv_window = 100
+        apps.append(Collector(c))
+
+    server.listen(80, small_window)
+    conn = client.connect("10.0.0.2", 80)
+    conn.on_connected = lambda: conn.send(bytes(350))
+    sim.run()
+    assert len(apps[0].data) == 350
+    sizes = [len(r.segment.payload) for r in server.capture.received() if r.segment.is_data]
+    assert sizes[0] == 100  # first segment clamped to the advertised window
+    assert all(s <= 100 for s in sizes)
+    assert len(sizes) >= 4
+
+
+def test_sequence_numbers_byte_accurate():
+    sim, net, client, server = make_pair()
+    server.listen(80, Echo)
+    conn = client.connect("10.0.0.2", 80)
+    conn.on_connected = lambda: conn.send(b"abcdef")
+    sim.run()
+    data = [r.segment for r in server.capture.received() if r.segment.is_data]
+    syn = [r.segment for r in server.capture.received() if r.segment.is_syn]
+    assert data[0].seq == (syn[0].seq + 1) & 0xFFFFFFFF
+
+
+def test_tsval_progresses_with_clock():
+    sim, net, client, server = make_pair()
+    server.listen(80, Echo)
+    conn = client.connect("10.0.0.2", 80)
+    conn.on_connected = lambda: conn.send(b"a")
+    sim.schedule(5.0, conn.send, b"b")
+    sim.run()
+    tsvals = [r.segment.tsval for r in server.capture.received() if r.segment.is_data]
+    assert len(tsvals) == 2
+    # Client clock is 1000 Hz: ~5000 ticks apart.
+    delta = (tsvals[1] - tsvals[0]) % (1 << 32)
+    assert 4900 <= delta <= 5100
+
+
+def test_ttl_decremented_by_hops():
+    sim, net, client, server = make_pair()
+    net.set_hops("10.0.0.1", "10.0.0.2", 18)
+    server.listen(80, Echo)
+    conn = client.connect("10.0.0.2", 80)
+    conn.on_connected = lambda: conn.send(b"x")
+    sim.run()
+    seen = [r.segment.ttl for r in server.capture.received()]
+    assert all(ttl == 64 - 18 for ttl in seen)
+
+
+def test_custom_source_ip_requires_ownership():
+    sim, net, client, server = make_pair()
+    with pytest.raises(ValueError):
+        client.connect("10.0.0.2", 80, src_ip="1.2.3.4")
+    net.register_extra_ip(client, "1.2.3.4")
+    server.listen(80, Echo)
+    conn = client.connect("10.0.0.2", 80, src_ip="1.2.3.4")
+    ok = []
+    conn.on_connected = lambda: ok.append(True)
+    sim.run()
+    assert ok == [True]
+
+
+def test_rst_has_no_tsval():
+    """Per RFC 7323 the probers attach timestamps to every non-RST segment."""
+    sim, net, client, server = make_pair()
+
+    def abort_on_data(c):
+        c.on_data = lambda d: c.abort()
+
+    server.listen(80, abort_on_data)
+    conn = client.connect("10.0.0.2", 80)
+    conn.on_connected = lambda: conn.send(b"x")
+    sim.run()
+    rsts = [r.segment for r in client.capture.received() if r.segment.has(Flags.RST)]
+    assert rsts and all(s.tsval is None for s in rsts)

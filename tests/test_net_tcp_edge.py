@@ -1,0 +1,128 @@
+"""TCP edge cases: misuse errors, idempotency, close-state sends."""
+
+import pytest
+
+from repro.net import Host, Network, Simulator, TcpState
+
+
+def pair():
+    sim = Simulator()
+    net = Network(sim)
+    a = Host(sim, net, "10.0.0.1")
+    b = Host(sim, net, "10.0.0.2")
+    return sim, net, a, b
+
+
+def test_double_open_raises():
+    sim, net, a, b = pair()
+    b.listen(80, lambda c: None)
+    conn = a.connect("10.0.0.2", 80)
+    with pytest.raises(RuntimeError):
+        conn.open()
+
+
+def test_send_after_close_raises():
+    sim, net, a, b = pair()
+    b.listen(80, lambda c: None)
+    conn = a.connect("10.0.0.2", 80)
+    conn.on_connected = conn.close
+    sim.run(until=5)
+    with pytest.raises(RuntimeError):
+        conn.send(b"late")
+
+
+def test_abort_idempotent():
+    sim, net, a, b = pair()
+    b.listen(80, lambda c: None)
+    conn = a.connect("10.0.0.2", 80)
+    sim.run(until=5)
+    conn.abort()
+    conn.abort()  # second abort is a no-op
+    assert conn.state == TcpState.CLOSED
+
+
+def test_close_before_established_then_delivers():
+    """close() with queued data still flushes the data before the FIN."""
+    sim, net, a, b = pair()
+    got = bytearray()
+    fin = []
+
+    def app(conn):
+        conn.on_data = got.extend
+        conn.on_remote_fin = lambda: fin.append(True)
+
+    b.listen(80, app)
+    conn = a.connect("10.0.0.2", 80)
+    conn.send(b"flush me")
+    conn.close()
+    sim.run(until=5)
+    assert bytes(got) == b"flush me"
+    assert fin == [True]
+
+
+def test_send_in_close_wait():
+    """After the peer FINs, our side can still send (half-close)."""
+    sim, net, a, b = pair()
+    server_conns = []
+
+    def app(conn):
+        server_conns.append(conn)
+        conn.on_data = lambda d: None
+
+    b.listen(80, app)
+    conn = a.connect("10.0.0.2", 80)
+    got = bytearray()
+    conn.on_data = got.extend
+    conn.on_connected = lambda: (conn.send(b"x"), conn.close())
+    sim.run(until=5)
+    (sconn,) = server_conns
+    assert sconn.state == TcpState.CLOSE_WAIT
+    sconn.send(b"late reply")
+    sconn.close()
+    sim.run(until=10)
+    assert bytes(got) == b"late reply"
+    assert sconn.state == TcpState.CLOSED  # LAST_ACK completed
+
+
+def test_empty_send_noop():
+    sim, net, a, b = pair()
+    b.listen(80, lambda c: None)
+    conn = a.connect("10.0.0.2", 80)
+    sim.run(until=5)
+    before = len(a.capture.sent())
+    conn.send(b"")
+    assert len(a.capture.sent()) == before
+
+
+def test_close_idempotent():
+    sim, net, a, b = pair()
+    b.listen(80, lambda c: setattr(c, "on_remote_fin", c.close))
+    conn = a.connect("10.0.0.2", 80)
+    conn.on_connected = lambda: (conn.close(), conn.close())
+    sim.run(until=5)
+    fins = [r for r in a.capture.sent() if r.segment.has(0x01)]
+    assert len(fins) == 1
+
+
+def test_listen_port_conflict():
+    sim, net, a, b = pair()
+    b.listen(80, lambda c: None)
+    with pytest.raises(ValueError):
+        b.listen(80, lambda c: None)
+    b.unlisten(80)
+    b.listen(80, lambda c: None)  # rebindable after unlisten
+
+
+def test_ephemeral_ports_wrap():
+    sim, net, a, b = pair()
+    a._next_ephemeral = 60998
+    ports = [a.alloc_port() for _ in range(4)]
+    assert ports == [60998, 60999, 32768, 32769]
+
+
+def test_connection_collision_rejected():
+    sim, net, a, b = pair()
+    b.listen(80, lambda c: None)
+    a.connect("10.0.0.2", 80, src_port=5555)
+    with pytest.raises(ValueError):
+        a.connect("10.0.0.2", 80, src_port=5555)

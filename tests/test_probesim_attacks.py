@@ -1,0 +1,102 @@
+"""Historical stream-cipher attacks (§2.1): ATYP scan and redirect oracle."""
+
+import pytest
+
+from repro.probesim import ProberSimulator, ReactionKind, atyp_scan, redirect_attack
+
+APP = b"GET /secret HTTP/1.1\r\nCookie: sessionid=hunter2\r\n\r\n"
+
+
+def recorded(profile, method, seed=0):
+    sim = ProberSimulator(profile, method, seed=seed)
+    payload = sim.record_legitimate_payload(APP, target=("target.example", 80))
+    return sim, payload
+
+
+# -------------------------------------------------------------- ATYP scan
+
+
+def test_atyp_scan_masked_fraction():
+    """Against a masked, filterless stream server, ~3/16 of deltas react
+    differently from the RST majority (BreakWa11's measurement)."""
+    sim, payload = recorded("ssr", "aes-256-ctr")
+    result = atyp_scan(sim, payload, deltas=list(range(1, 128)))
+    # Valid masked ATYPs occur at rate 3/16 among the deltas; the real
+    # ATYP is 0x03 so delta^0x03 must have low nibble in {1,3,4}.
+    assert 0.70 < result.rst_fraction < 0.92
+    assert result.infers_mask() is True
+
+
+def test_atyp_scan_distinct_deltas_are_structured():
+    """The non-RST deltas are exactly those flipping the masked ATYP to a
+    valid type."""
+    sim, payload = recorded("ssr", "aes-256-ctr", seed=1)
+    result = atyp_scan(sim, payload, deltas=list(range(1, 64)))
+    for delta, reaction in result.reactions_by_delta.items():
+        effective = (0x03 ^ delta) & 0x0F
+        if effective in (1, 3, 4):
+            assert reaction != ReactionKind.RST, delta
+        else:
+            assert reaction == ReactionKind.RST, delta
+
+
+def test_atyp_scan_rejected_for_aead():
+    sim = ProberSimulator("ss-libev-3.1.3", "aes-256-gcm")
+    with pytest.raises(ValueError):
+        atyp_scan(sim, b"irrelevant")
+
+
+def test_atyp_scan_blunted_by_replay_filter():
+    """libev's Bloom filter sees the recorded IV every time: every variant
+    draws the same replay reaction, and the scan learns nothing."""
+    sim, payload = recorded("ss-libev-3.1.3", "aes-256-ctr", seed=2)
+    result = atyp_scan(sim, payload, deltas=list(range(1, 32)))
+    assert len(set(result.reactions_by_delta.values())) == 1
+
+
+# -------------------------------------------------------- redirect attack
+
+
+def test_redirect_attack_recovers_plaintext():
+    """Peng's oracle: the attacker receives the decrypted recording."""
+    sim, payload = recorded("ssr", "aes-256-ctr", seed=3)
+    result = redirect_attack(sim, payload, "target.example", 80, APP)
+    assert result.succeeded
+    assert APP in result.recovered_plaintext
+    assert b"hunter2" in result.recovered_plaintext  # the victim's cookie
+
+
+def test_redirect_attack_works_with_chacha20():
+    sim, payload = recorded("ss-rust-1.8.4", "chacha20-ietf", seed=4)
+    result = redirect_attack(sim, payload, "target.example", 80, APP)
+    assert result.succeeded
+
+
+def test_redirect_attack_blocked_by_replay_filter():
+    sim, payload = recorded("ss-libev-3.1.3", "aes-256-ctr", seed=5)
+    result = redirect_attack(sim, payload, "target.example", 80, APP)
+    assert not result.succeeded
+    assert result.recovered_plaintext == b""
+    assert result.reaction == ReactionKind.RST  # replay detected
+
+
+def test_redirect_attack_rejected_for_cfb():
+    sim, payload = recorded("ssr", "aes-256-cfb", seed=6)
+    with pytest.raises(ValueError, match="CFB"):
+        redirect_attack(sim, payload, "target.example", 80, APP)
+
+
+def test_redirect_attack_rejected_for_aead():
+    sim = ProberSimulator("outline-1.0.7", "chacha20-ietf-poly1305")
+    with pytest.raises(ValueError):
+        redirect_attack(sim, b"x" * 100, "target.example", 80, APP)
+
+
+def test_redirect_attack_ipv4_original():
+    """Equal-length rewrite: an IPv4 original spec swaps cleanly for the
+    attacker's IPv4 spec, recovering exactly the application data."""
+    sim = ProberSimulator("ssr", "aes-256-ctr", seed=7)
+    payload = sim.record_legitimate_payload(APP, target=("198.18.0.77", 80))
+    result = redirect_attack(sim, payload, "198.18.0.77", 80, APP)
+    assert result.succeeded
+    assert result.recovered_plaintext == APP

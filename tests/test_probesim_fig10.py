@@ -1,0 +1,127 @@
+"""Figure 10: server reactions to random probes, per implementation/cipher.
+
+These tests pin the thresholds the paper reports:
+
+10a (stream):  TIMEOUT through the IV length; RST (usually) just past it
+               for old libev; never RST for new libev; FIN/ACK possible
+               once a complete target spec fits (IV+7).
+10b (AEAD):    old libev RSTs at salt+35 and beyond; new libev always
+               times out; Outline v1.0.6 times out below 50, FIN/ACKs at
+               exactly 50, RSTs above; Outline v1.0.7+ always times out.
+"""
+
+import pytest
+
+from repro.probesim import ProberSimulator, ReactionKind, build_random_probe_row
+
+
+def sweep(profile, method, lengths, trials=6, seed=0):
+    return build_random_probe_row(profile, method, lengths, trials=trials, seed=seed)
+
+
+# ------------------------------------------------------------- Figure 10a
+
+
+def test_libev_old_stream_iv8_timeout_through_iv():
+    row = sweep("ss-libev-3.1.3", "chacha20", [1, 4, 8], trials=4)
+    for length in (1, 4, 8):
+        assert row.cells[length].dominant == ReactionKind.TIMEOUT
+
+
+def test_libev_old_stream_iv8_rst_after_iv():
+    row = sweep("ss-libev-3.1.3", "chacha20", [9, 10, 14], trials=16)
+    for length in (9, 10, 14):
+        assert row.cells[length].fraction(ReactionKind.RST) > 0.6
+        assert row.cells[length].fraction(ReactionKind.FINACK) == 0.0
+
+
+def test_libev_old_stream_iv8_finack_possible_at_15():
+    row = sweep("ss-libev-3.1.3", "chacha20", [15], trials=120, seed=2)
+    cell = row.cells[15]
+    # RST ~13/16, the rest TIMEOUT or FIN/ACK.
+    assert 0.70 < cell.fraction(ReactionKind.RST) < 0.92
+    assert cell.fraction(ReactionKind.FINACK) > 0.0
+
+
+def test_libev_old_stream_iv12_threshold():
+    row = sweep("ss-libev-3.2.5", "chacha20-ietf", [12, 13], trials=12)
+    assert row.cells[12].dominant == ReactionKind.TIMEOUT
+    assert row.cells[13].fraction(ReactionKind.RST) > 0.6
+
+
+def test_libev_old_stream_iv16_threshold():
+    row = sweep("ss-libev-3.0.8", "aes-256-ctr", [16, 17], trials=12)
+    assert row.cells[16].dominant == ReactionKind.TIMEOUT
+    assert row.cells[17].fraction(ReactionKind.RST) > 0.6
+
+
+def test_libev_new_stream_never_rst():
+    row = sweep("ss-libev-3.3.1", "aes-256-ctr", [9, 17, 23, 40, 100], trials=16)
+    for cell in row.cells.values():
+        assert cell.fraction(ReactionKind.RST) == 0.0
+
+
+def test_libev_new_stream_mostly_timeout_some_finack():
+    row = sweep("ss-libev-3.3.3", "chacha20", [33], trials=150, seed=3)
+    cell = row.cells[33]
+    assert cell.fraction(ReactionKind.TIMEOUT) > 0.70
+    assert cell.fraction(ReactionKind.FINACK) > 0.0
+
+
+# ------------------------------------------------------------- Figure 10b
+
+
+def test_libev_old_aead_salt16_thresholds():
+    row = sweep("ss-libev-3.1.3", "aes-128-gcm", [49, 50, 51, 52, 73, 221], trials=4)
+    assert row.cells[49].dominant == ReactionKind.TIMEOUT
+    assert row.cells[50].dominant == ReactionKind.TIMEOUT
+    for length in (51, 52, 73, 221):
+        assert row.cells[length].fraction(ReactionKind.RST) == 1.0
+
+
+def test_libev_old_aead_salt24_thresholds():
+    row = sweep("ss-libev-3.2.5", "aes-192-gcm", [58, 59], trials=4)
+    assert row.cells[58].dominant == ReactionKind.TIMEOUT
+    assert row.cells[59].fraction(ReactionKind.RST) == 1.0
+
+
+def test_libev_old_aead_salt32_thresholds():
+    row = sweep("ss-libev-3.0.8", "aes-256-gcm", [66, 67], trials=4)
+    assert row.cells[66].dominant == ReactionKind.TIMEOUT
+    assert row.cells[67].fraction(ReactionKind.RST) == 1.0
+
+
+def test_libev_new_aead_always_timeout():
+    row = sweep("ss-libev-3.3.1", "aes-256-gcm", [1, 50, 67, 100, 221], trials=4)
+    for cell in row.cells.values():
+        assert cell.dominant == ReactionKind.TIMEOUT
+
+
+def test_outline_106_quirk_at_exactly_50():
+    row = sweep("outline-1.0.6", "chacha20-ietf-poly1305",
+                [48, 49, 50, 51, 60, 221], trials=4)
+    assert row.cells[49].dominant == ReactionKind.TIMEOUT
+    assert row.cells[50].fraction(ReactionKind.FINACK) == 1.0
+    for length in (51, 60, 221):
+        assert row.cells[length].fraction(ReactionKind.RST) == 1.0
+
+
+def test_outline_107_always_timeout():
+    row = sweep("outline-1.0.7", "chacha20-ietf-poly1305",
+                [49, 50, 51, 100, 221], trials=4)
+    for cell in row.cells.values():
+        assert cell.dominant == ReactionKind.TIMEOUT
+
+
+def test_outline_108_always_timeout():
+    row = sweep("outline-1.0.8", "chacha20-ietf-poly1305", [50, 221], trials=3)
+    for cell in row.cells.values():
+        assert cell.dominant == ReactionKind.TIMEOUT
+
+
+def test_gfw_probe_lengths_straddle_stream_thresholds():
+    """NR1 trios (7,8,9 / 11,12,13 / 15,16,17) bracket the IV reactions."""
+    row = sweep("ss-libev-3.1.3", "chacha20", [7, 8, 9], trials=10)
+    assert row.cells[7].dominant == ReactionKind.TIMEOUT
+    assert row.cells[8].dominant == ReactionKind.TIMEOUT
+    assert row.cells[9].dominant == ReactionKind.RST

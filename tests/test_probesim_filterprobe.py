@@ -1,0 +1,65 @@
+"""§5.3: detecting a replay filter with duplicate probes."""
+
+import pytest
+
+from repro.gfw import ProbeType, SchedulerConfig
+from repro.probesim import ProberSimulator, detect_replay_filter
+
+
+def test_detects_filter_on_old_libev():
+    sim = ProberSimulator("ss-libev-3.1.3", "aes-256-ctr", seed=11)
+    result = detect_replay_filter(sim)
+    assert result.filter_detected is True
+    assert result.first_reaction == "FIN/ACK"
+    assert result.second_reaction != "FIN/ACK"
+
+
+def test_detects_filter_on_new_libev():
+    sim = ProberSimulator("ss-libev-3.3.1", "chacha20", seed=12)
+    result = detect_replay_filter(sim)
+    assert result.filter_detected is True
+
+
+def test_no_filter_on_ssr():
+    sim = ProberSimulator("ssr", "aes-256-ctr", seed=13)
+    result = detect_replay_filter(sim)
+    assert result.filter_detected is False
+    assert result.second_reaction == "FIN/ACK"
+
+
+def test_inconclusive_when_no_finack_found():
+    # An AEAD-only server never FIN/ACKs random probes of length 33.
+    sim = ProberSimulator("outline-1.0.7", "chacha20-ietf-poly1305", seed=14)
+    result = detect_replay_filter(sim, max_attempts=5)
+    assert result.filter_detected is None
+    assert result.attempts == 5
+
+
+def test_scheduler_duplicates_some_nr2(monkeypatch):
+    """~10% of NR2 probes repeat with the identical payload (§5.3)."""
+    import random
+
+    from repro.gfw import ProbeForge, ProbeScheduler, ProberFleet, ProberRunner
+    from repro.net import Host, Network, Simulator
+
+    sim = Simulator()
+    net = Network(sim)
+    fleet_host = Host(sim, net, "100.64.0.1", "fleet")
+    server = Host(sim, net, "198.51.100.1", "server")
+    server.listen(8388, lambda c: None)
+    fleet = ProberFleet(fleet_host, rng=random.Random(1))
+    runner = ProberRunner(fleet, rng=random.Random(2))
+    scheduler = ProbeScheduler(
+        runner, rng=random.Random(3),
+        config=SchedulerConfig(nr2_probability=1.0, r2_probability=0.0,
+                               repeat_geometric_p=0.0),
+    )
+    for _ in range(300):
+        scheduler.on_flagged_connection("198.51.100.1", 8388, bytes(200))
+    sim.run(until=700 * 3600)
+    nr2 = [r for r in runner.log if r.probe_type == ProbeType.NR2]
+    payload_counts = {}
+    for r in nr2:
+        payload_counts[r.probe.payload] = payload_counts.get(r.probe.payload, 0) + 1
+    repeated = sum(1 for c in payload_counts.values() if c > 1)
+    assert 0.04 < repeated / len(payload_counts) < 0.20

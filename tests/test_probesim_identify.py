@@ -1,0 +1,74 @@
+"""§5.2.2: inferring implementation facts from reaction statistics."""
+
+import pytest
+
+from repro.probesim import (
+    PROBE_LENGTH_SCHEDULE,
+    build_random_probe_row,
+    identify_server,
+)
+
+
+def fingerprint(profile, method, trials=10, seed=0):
+    row = build_random_probe_row(profile, method, PROBE_LENGTH_SCHEDULE,
+                                 trials=trials, seed=seed)
+    return identify_server(row)
+
+
+def test_identifies_aead_salt_length_old_libev():
+    ident = fingerprint("ss-libev-3.1.3", "aes-128-gcm", trials=3)
+    assert ident.construction == "aead"
+    assert ident.nonce_len == 16
+    assert ident.error_action == "rst"
+
+
+def test_identifies_aead_salt24_hints_cipher():
+    ident = fingerprint("ss-libev-3.0.8", "aes-192-gcm", trials=3)
+    assert ident.nonce_len == 24
+    assert ident.cipher_hint == "aes-192-gcm"
+
+
+def test_identifies_stream_iv8():
+    ident = fingerprint("ss-libev-3.2.5", "chacha20", trials=12)
+    assert ident.construction == "stream"
+    assert ident.nonce_len == 8
+    assert ident.masks_atyp is True
+
+
+def test_identifies_chacha20_ietf_from_iv12():
+    ident = fingerprint("ss-libev-3.1.3", "chacha20-ietf", trials=12)
+    assert ident.nonce_len == 12
+    assert ident.cipher_hint == "chacha20-ietf"
+
+
+def test_identifies_outline_106_quirk():
+    ident = fingerprint("outline-1.0.6", "chacha20-ietf-poly1305", trials=3)
+    assert ident.quirk_finack_at_header
+    assert ident.compatible_profiles == ["outline-1.0.6"]
+
+
+def test_new_implementations_yield_timeout_only():
+    ident = fingerprint("outline-1.0.7", "chacha20-ietf-poly1305", trials=3)
+    assert ident.error_action == "timeout"
+    # Cannot pin the implementation: all post-fix AEAD servers look alike.
+    assert "outline-1.0.7" in ident.compatible_profiles
+    assert "ss-libev-3.3.1" in ident.compatible_profiles
+
+
+def test_new_stream_still_identifiable_via_finack():
+    """Even timeout-style servers leak the stream construction through
+    FIN/ACKs on garbage target specs."""
+    ident = fingerprint("ss-libev-3.3.1", "chacha20", trials=25, seed=5)
+    assert ident.error_action == "timeout"
+    assert ident.construction == "stream"
+
+
+def test_compatible_profiles_include_truth():
+    cases = [
+        ("ss-libev-3.1.3", "aes-256-ctr", 12),
+        ("ss-libev-3.3.3", "aes-256-gcm", 3),
+        ("outline-1.0.6", "chacha20-ietf-poly1305", 3),
+    ]
+    for profile, method, trials in cases:
+        ident = fingerprint(profile, method, trials=trials)
+        assert profile in ident.compatible_profiles, (profile, ident)

@@ -1,0 +1,79 @@
+"""ReactionCell/Row machinery and transition summaries."""
+
+from collections import Counter
+
+import pytest
+
+from repro.probesim import (
+    ReactionCell,
+    ReactionKind,
+    ReactionRow,
+    build_replay_table,
+    classify_reaction,
+    summarize_transitions,
+)
+
+
+def test_cell_fractions_and_dominant():
+    cell = ReactionCell(10)
+    for reaction in ("RST", "RST", "RST", "TIMEOUT"):
+        cell.add(reaction)
+    assert cell.total == 4
+    assert cell.fraction("RST") == 0.75
+    assert cell.dominant == "RST"
+
+
+def test_cell_label_single_and_mixed():
+    cell = ReactionCell(5)
+    cell.add("TIMEOUT")
+    assert cell.label() == "TIMEOUT"
+    cell.add("RST")
+    assert "or" in cell.label()
+    assert ReactionCell(1).label() == "-"
+
+
+def test_row_first_length_with():
+    row = ReactionRow("p", "m", 16)
+    for length, reaction in ((8, "TIMEOUT"), (17, "RST"), (20, "RST")):
+        row.cell(length).add(reaction)
+    assert row.first_length_with("RST") == 17
+    assert row.first_length_with("FIN/ACK") is None
+
+
+def test_summarize_transitions_compresses():
+    row = ReactionRow("p", "m", 8)
+    for length, reaction in ((1, "TIMEOUT"), (5, "TIMEOUT"), (9, "RST"),
+                             (12, "RST"), (15, "FIN/ACK")):
+        row.cell(length).add(reaction)
+    assert summarize_transitions(row) == [(1, "TIMEOUT"), (9, "RST"),
+                                          (15, "FIN/ACK")]
+
+
+def test_classify_reaction_prober_patience():
+    """Events after the prober's timeout are invisible to it."""
+    events = [(15.0, "rst")]
+    reaction, elapsed = classify_reaction(events, start=0.0, prober_timeout=10.0)
+    assert reaction == ReactionKind.TIMEOUT
+    assert elapsed == 10.0
+
+
+def test_classify_reaction_first_event_wins():
+    events = [(1.0, "data:5"), (2.0, "fin")]
+    reaction, elapsed = classify_reaction(events, start=0.0, prober_timeout=10.0)
+    assert reaction == ReactionKind.DATA
+    assert elapsed == 1.0
+
+
+def test_classify_reaction_fin_vs_rst_order():
+    events = [(0.5, "fin"), (0.6, "rst")]
+    reaction, _ = classify_reaction(events, start=0.0, prober_timeout=10.0)
+    assert reaction == ReactionKind.FINACK
+
+
+def test_build_replay_table_small():
+    table = build_replay_table([("outline-1.0.7", "chacha20-ietf-poly1305")],
+                               trials=1, seed=9)
+    reactions = table[("outline-1.0.7", "chacha20-ietf-poly1305")]
+    assert isinstance(reactions["identical"], Counter)
+    assert reactions["identical"][ReactionKind.DATA] == 1
+    assert sum(reactions["byte-changed"].values()) == 4  # R2-R5

@@ -1,0 +1,83 @@
+"""Behaviour-profile registry and the §11 post-disclosure implementations."""
+
+import pytest
+
+from repro.gfw import ProbeType
+from repro.probesim import ProberSimulator, ReactionKind
+from repro.shadowsocks import all_profiles, get_profile, profiles_for
+
+
+def test_registry_contents():
+    names = {p.name for p in all_profiles()}
+    for expected in ("ss-libev-3.0.8", "ss-libev-3.3.3", "outline-1.0.6",
+                     "outline-1.1.0", "ss-python", "ssr", "ss-rust-1.8.4",
+                     "ss-rust-1.8.5", "go-shadowsocks2"):
+        assert expected in names
+
+
+def test_get_profile_error_lists_known():
+    with pytest.raises(ValueError, match="outline-1.0.6"):
+        get_profile("no-such-impl")
+
+
+def test_profiles_for_family():
+    libev = profiles_for("ss-libev")
+    assert len(libev) == 5
+    assert all(p.name.startswith("ss-libev-") for p in libev)
+    with pytest.raises(ValueError):
+        profiles_for("unknown-family")
+
+
+def test_profile_validation():
+    from repro.shadowsocks import BehaviorProfile
+
+    with pytest.raises(ValueError):
+        BehaviorProfile(name="x", display="x", supports_stream=False,
+                        supports_aead=False, replay_filter=False,
+                        mask_atyp=False, error_action="rst",
+                        aead_waits_for_payload_tag=False)
+    with pytest.raises(ValueError):
+        BehaviorProfile(name="x", display="x", supports_stream=True,
+                        supports_aead=False, replay_filter=False,
+                        mask_atyp=False, error_action="explode",
+                        aead_waits_for_payload_tag=False)
+
+
+def test_server_rejects_unsupported_construction():
+    from repro.net import Host, Network, Simulator
+    from repro.shadowsocks import ShadowsocksServer
+
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, net, "10.0.0.1")
+    with pytest.raises(ValueError):
+        ShadowsocksServer(host, 8388, "pw", "aes-256-ctr", "outline-1.0.7")
+    with pytest.raises(ValueError):
+        ShadowsocksServer(host, 8389, "pw", "aes-256-gcm", "ssr")
+
+
+def test_ss_rust_replay_defense_added_in_185():
+    """§11: shadowsocks-rust v1.8.5 gained replay defense."""
+    for profile, expect_data in (("ss-rust-1.8.4", True), ("ss-rust-1.8.5", False)):
+        sim = ProberSimulator(profile, "aes-256-gcm", seed=1)
+        payload = sim.record_legitimate_payload()
+        result = sim.send_probe(sim.forge.replay(payload, ProbeType.R1))
+        assert (result.reaction == ReactionKind.DATA) is expect_data, profile
+
+
+def test_ss_rust_no_atyp_mask():
+    """Unmasked implementations reset ~253/256 of valid-length random
+    probes instead of ~13/16."""
+    from repro.probesim import build_random_probe_row
+
+    row = build_random_probe_row("ss-rust-1.8.4", "aes-256-ctr", [33],
+                                 trials=60, seed=2)
+    assert row.cells[33].fraction(ReactionKind.RST) > 0.93
+
+
+def test_go_shadowsocks2_tunnel_works():
+    from repro.probesim import ProberSimulator
+
+    sim = ProberSimulator("go-shadowsocks2", "chacha20-ietf-poly1305")
+    payload = sim.record_legitimate_payload()
+    assert len(payload) > 50

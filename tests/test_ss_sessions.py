@@ -1,0 +1,154 @@
+"""Stream and AEAD session wire formats."""
+
+import random
+
+import pytest
+
+from repro.crypto import AuthenticationError, get_spec
+from repro.shadowsocks import (
+    AeadDecryptor,
+    AeadEncryptor,
+    StreamDecryptor,
+    StreamEncryptor,
+)
+from repro.shadowsocks.stream_session import master_key
+
+PASSWORD = "barfoo!"
+
+
+def stream_pair(method):
+    key = master_key(PASSWORD, method)
+    return (
+        StreamEncryptor(method, key, rng=random.Random(1)),
+        StreamDecryptor(method, key),
+    )
+
+
+def aead_pair(method):
+    from repro.shadowsocks.aead_session import aead_master_key
+
+    key = aead_master_key(PASSWORD, method)
+    return (
+        AeadEncryptor(method, key, rng=random.Random(2)),
+        AeadDecryptor(method, key),
+    )
+
+
+@pytest.mark.parametrize("method", [
+    "aes-128-ctr", "aes-256-ctr", "aes-128-cfb", "aes-256-cfb",
+    "chacha20", "chacha20-ietf", "rc4-md5",
+])
+def test_stream_roundtrip(method):
+    enc, dec = stream_pair(method)
+    wire = enc.encrypt(b"hello") + enc.encrypt(b" world")
+    assert dec.decrypt(wire) == b"hello world"
+
+
+@pytest.mark.parametrize("method", ["chacha20", "chacha20-ietf", "aes-256-ctr"])
+def test_stream_iv_length(method):
+    enc, dec = stream_pair(method)
+    wire = enc.encrypt(b"x")
+    spec = get_spec(method)
+    assert len(wire) == spec.iv_len + 1
+    dec.decrypt(wire)
+    assert dec.iv == enc.iv
+
+
+def test_stream_byte_by_byte_decryption():
+    enc, dec = stream_pair("aes-256-cfb")
+    wire = enc.encrypt(b"incremental decryption works")
+    plain = b"".join(dec.decrypt(wire[i : i + 1]) for i in range(len(wire)))
+    assert plain == b"incremental decryption works"
+
+
+def test_stream_no_integrity():
+    """Stream construction is malleable: bit flips decrypt to garbage, no error."""
+    enc, dec = stream_pair("aes-128-ctr")
+    wire = bytearray(enc.encrypt(bytes(10)))
+    wire[-1] ^= 0xFF
+    plain = dec.decrypt(bytes(wire))
+    assert len(plain) == 10  # decryption "succeeds"
+    assert plain != bytes(10)
+
+
+@pytest.mark.parametrize("method", [
+    "aes-128-gcm", "aes-192-gcm", "aes-256-gcm", "chacha20-ietf-poly1305",
+])
+def test_aead_roundtrip(method):
+    enc, dec = aead_pair(method)
+    wire = enc.encrypt(b"first") + enc.encrypt(b"second")
+    assert dec.decrypt(wire) == b"firstsecond"
+
+
+def test_aead_wire_layout():
+    enc, _ = aead_pair("aes-256-gcm")
+    wire = enc.encrypt(b"\x00" * 100)
+    spec = get_spec("aes-256-gcm")
+    # salt + (2+16) length chunk + (100+16) payload chunk
+    assert len(wire) == spec.salt_len + 18 + 116
+
+
+def test_aead_incremental_chunks():
+    enc, dec = aead_pair("chacha20-ietf-poly1305")
+    wire = enc.encrypt(b"a" * 500)
+    plain = bytearray()
+    for i in range(0, len(wire), 17):
+        plain.extend(dec.decrypt(wire[i : i + 17]))
+    assert bytes(plain) == b"a" * 500
+
+
+def test_aead_large_payload_chunked_at_0x3fff():
+    enc, dec = aead_pair("aes-128-gcm")
+    payload = bytes(0x3FFF + 100)
+    wire = enc.encrypt(payload)
+    assert dec.decrypt(wire) == payload
+
+
+def test_aead_tamper_raises():
+    enc, dec = aead_pair("aes-256-gcm")
+    wire = bytearray(enc.encrypt(b"payload"))
+    wire[40] ^= 1  # inside the length chunk
+    with pytest.raises(AuthenticationError):
+        dec.decrypt(bytes(wire))
+
+
+def test_aead_wrong_password_raises():
+    from repro.shadowsocks.aead_session import aead_master_key
+
+    enc = AeadEncryptor("aes-256-gcm", aead_master_key("right", "aes-256-gcm"),
+                        rng=random.Random(3))
+    dec = AeadDecryptor("aes-256-gcm", aead_master_key("wrong", "aes-256-gcm"))
+    with pytest.raises(AuthenticationError):
+        dec.decrypt(enc.encrypt(b"secret"))
+
+
+def test_aead_random_bytes_raise_once_header_complete():
+    """Random probes >= salt+35 always fail AEAD authentication (§5.2.1)."""
+    _, dec = aead_pair("aes-128-gcm")
+    rng = random.Random(4)
+    garbage = bytes(rng.randrange(256) for _ in range(16 + 35))
+    with pytest.raises(AuthenticationError):
+        dec.decrypt(garbage)
+
+
+def test_aead_buffered_counts_post_salt_bytes():
+    _, dec = aead_pair("aes-256-gcm")
+    dec.feed(bytes(40))  # salt is 32; 8 bytes buffered beyond it
+    assert dec.salt_complete and dec.buffered == 8
+
+
+def test_salt_uniqueness_across_sessions():
+    rng = random.Random(5)
+    enc1 = AeadEncryptor("aes-256-gcm", bytes(32), rng=rng)
+    enc2 = AeadEncryptor("aes-256-gcm", bytes(32), rng=rng)
+    assert enc1.salt != enc2.salt
+
+
+def test_stream_rejects_aead_method():
+    with pytest.raises(ValueError):
+        StreamEncryptor("aes-128-gcm", bytes(16))
+
+
+def test_aead_rejects_stream_method():
+    with pytest.raises(ValueError):
+        AeadEncryptor("aes-128-ctr", bytes(16))

@@ -1,0 +1,101 @@
+"""Target specification encoding/parsing."""
+
+import pytest
+
+from repro.shadowsocks import (
+    ATYP_HOSTNAME,
+    ATYP_IPV4,
+    ATYP_IPV6,
+    INVALID,
+    NEED_MORE,
+    encode_target,
+    parse_target,
+)
+
+
+def test_encode_ipv4():
+    assert encode_target("1.2.3.4", 80) == bytes([1, 1, 2, 3, 4, 0, 80])
+
+
+def test_encode_hostname():
+    enc = encode_target("example.com", 443)
+    assert enc[0] == ATYP_HOSTNAME
+    assert enc[1] == len("example.com")
+    assert enc[2:13] == b"example.com"
+    assert enc[13:] == (443).to_bytes(2, "big")
+
+
+def test_encode_ipv6():
+    host = "2001:0db8:0000:0000:0000:0000:0000:0001"
+    enc = encode_target(host, 8080, atyp=ATYP_IPV6)
+    assert enc[0] == ATYP_IPV6 and len(enc) == 19
+
+
+def test_roundtrip_ipv4():
+    result = parse_target(encode_target("10.20.30.40", 8388))
+    assert result.ok
+    assert result.spec.host == "10.20.30.40"
+    assert result.spec.port == 8388
+    assert result.consumed == 7
+
+
+def test_roundtrip_hostname():
+    result = parse_target(encode_target("gfw.report", 443))
+    assert result.ok and result.spec.host == "gfw.report" and result.spec.port == 443
+
+
+def test_parse_empty_needs_more():
+    assert parse_target(b"").status == NEED_MORE
+
+
+def test_parse_truncated_ipv4_needs_more():
+    assert parse_target(bytes([1, 2, 3])).status == NEED_MORE
+
+
+def test_parse_invalid_atyp():
+    assert parse_target(bytes([0x07, 1, 2, 3])).status == INVALID
+    assert parse_target(bytes([0x00])).status == INVALID
+
+
+def test_mask_atyp_accepts_high_bits():
+    # 0x11 & 0x0F == 0x01 -> parsed as IPv4 when masking.
+    data = bytes([0x11, 1, 2, 3, 4, 0, 80])
+    assert parse_target(data).status == INVALID
+    masked = parse_target(data, mask_atyp=True)
+    assert masked.ok and masked.spec.atyp == ATYP_IPV4
+
+
+def test_mask_valid_fraction():
+    """With masking, 3/16 of byte values parse as a valid type (§5.2.1)."""
+    valid = sum(
+        parse_target(bytes([b]) + b"\x05" * 20, mask_atyp=True).status != INVALID
+        for b in range(256)
+    )
+    assert valid == 256 * 3 // 16
+
+
+def test_unmasked_valid_fraction():
+    valid = sum(
+        parse_target(bytes([b]) + b"\x05" * 20).status != INVALID for b in range(256)
+    )
+    assert valid == 3
+
+
+def test_hostname_zero_length_invalid():
+    assert parse_target(bytes([3, 0, 0, 80])).status == INVALID
+
+
+def test_hostname_short_completion():
+    """A 1-byte hostname completes in well under 15 bytes (paper §5.2.1)."""
+    result = parse_target(bytes([3, 1, ord("a"), 0, 80]))
+    assert result.ok and result.consumed == 5
+
+
+def test_port_range_validated():
+    with pytest.raises(ValueError):
+        encode_target("1.2.3.4", 70000)
+
+
+def test_bad_hostname_length_validated():
+    with pytest.raises(ValueError):
+        encode_target("x" * 256, 80, atyp=ATYP_HOSTNAME)

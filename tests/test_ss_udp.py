@@ -1,0 +1,161 @@
+"""Shadowsocks UDP relay: codec, NAT associations, end-to-end exchange."""
+
+import random
+
+import pytest
+
+from repro.crypto import AuthenticationError, evp_bytes_to_key, get_spec
+from repro.net import Host, Network, Simulator
+from repro.shadowsocks import encode_target
+from repro.shadowsocks.udp import (
+    UdpShadowsocksClient,
+    UdpShadowsocksServer,
+    decode_udp_packet,
+    encode_udp_packet,
+)
+
+PASSWORD = "udp-pass"
+
+
+def master(method):
+    return evp_bytes_to_key(PASSWORD.encode(), get_spec(method).key_len)
+
+
+@pytest.mark.parametrize("method", ["aes-256-gcm", "chacha20-ietf-poly1305",
+                                    "aes-256-ctr", "chacha20"])
+def test_udp_codec_roundtrip(method):
+    rng = random.Random(1)
+    key = master(method)
+    spec_bytes = encode_target("8.8.8.8", 53)
+    wire = encode_udp_packet(method, key, spec_bytes, b"dns query", rng)
+    plaintext = decode_udp_packet(method, key, wire)
+    assert plaintext == spec_bytes + b"dns query"
+
+
+def test_udp_codec_fresh_nonce_each_packet():
+    rng = random.Random(2)
+    key = master("aes-256-gcm")
+    spec_bytes = encode_target("8.8.8.8", 53)
+    w1 = encode_udp_packet("aes-256-gcm", key, spec_bytes, b"q", rng)
+    w2 = encode_udp_packet("aes-256-gcm", key, spec_bytes, b"q", rng)
+    assert w1[:32] != w2[:32]  # different salts
+    assert w1 != w2
+
+
+def test_udp_codec_tamper_detected_aead():
+    rng = random.Random(3)
+    key = master("aes-128-gcm")
+    wire = bytearray(encode_udp_packet("aes-128-gcm", key,
+                                       encode_target("1.1.1.1", 53), b"x", rng))
+    wire[-1] ^= 1
+    with pytest.raises(AuthenticationError):
+        decode_udp_packet("aes-128-gcm", key, bytes(wire))
+
+
+def test_udp_codec_truncated_rejected():
+    with pytest.raises(ValueError):
+        decode_udp_packet("aes-256-gcm", master("aes-256-gcm"), b"short")
+
+
+def build_world(method="aes-256-gcm"):
+    sim = Simulator()
+    net = Network(sim)
+    server_host = Host(sim, net, "198.51.100.60", "ss-server")
+    client_host = Host(sim, net, "192.0.2.60", "client")
+    dns_host = Host(sim, net, "198.18.0.60", "dns")
+    net.register_name("resolver.example", dns_host.ip)
+
+    dns = dns_host.udp_bind(53)
+
+    def dns_app(dgram):
+        dns.send(dgram.src_ip, dgram.src_port, b"answer:" + dgram.payload)
+
+    dns.on_datagram = dns_app
+    server = UdpShadowsocksServer(server_host, 8388, PASSWORD, method)
+    client = UdpShadowsocksClient(client_host, server_host.ip, 8388,
+                                  PASSWORD, method)
+    return sim, net, server, client, (server_host, client_host, dns_host)
+
+
+@pytest.mark.parametrize("method", ["aes-256-gcm", "chacha20-ietf-poly1305",
+                                    "aes-256-ctr"])
+def test_udp_relay_roundtrip(method):
+    sim, net, server, client, _ = build_world(method)
+    client.send("198.18.0.60", 53, b"query-1")
+    sim.run(until=5)
+    assert client.replies == [("198.18.0.60", 53, b"answer:query-1")]
+
+
+def test_udp_relay_by_hostname():
+    sim, net, server, client, _ = build_world()
+    client.send("resolver.example", 53, b"query-2")
+    sim.run(until=5)
+    assert client.replies[0][2] == b"answer:query-2"
+
+
+def test_udp_relay_reuses_association():
+    sim, net, server, client, _ = build_world()
+    for i in range(3):
+        sim.schedule(i * 1.0, client.send, "198.18.0.60", 53,
+                     b"q%d" % i)
+    sim.run(until=10)
+    assert len(client.replies) == 3
+    assert len(server.associations) == 1  # one client -> one relay port
+
+
+def test_udp_relay_separate_clients_separate_relays():
+    sim, net, server, client, hosts = build_world()
+    server_host, client_host, dns_host = hosts
+    other_host = Host(sim, net, "192.0.2.61", "client2")
+    other = UdpShadowsocksClient(other_host, server_host.ip, 8388,
+                                 PASSWORD, "aes-256-gcm")
+    client.send("198.18.0.60", 53, b"a")
+    other.send("198.18.0.60", 53, b"b")
+    sim.run(until=5)
+    assert len(server.associations) == 2
+    assert client.replies[0][2] == b"answer:a"
+    assert other.replies[0][2] == b"answer:b"
+
+
+def test_udp_relay_association_expires():
+    sim, net, server, client, _ = build_world()
+    client.send("198.18.0.60", 53, b"q")
+    sim.run(until=5)
+    assert len(server.associations) == 1
+    sim.run(until=200)
+    assert len(server.associations) == 0
+
+
+def test_udp_garbage_silently_dropped():
+    """Unlike TCP, bad UDP packets produce no observable reaction."""
+    sim, net, server, client, hosts = build_world()
+    server_host, client_host, _ = hosts
+    raw = client_host.udp_bind()
+    got = []
+    raw.on_datagram = lambda dgram: got.append(dgram)
+    raw.send(server_host.ip, 8388, bytes(100))  # random garbage
+    sim.run(until=5)
+    assert not got
+    assert server.decode_failures == 1
+
+
+def test_udp_wrong_password_dropped():
+    sim, net, server, client, hosts = build_world()
+    server_host, client_host, _ = hosts
+    bad = UdpShadowsocksClient(client_host, server_host.ip, 8388,
+                               "wrong", "aes-256-gcm")
+    bad.send("198.18.0.60", 53, b"q")
+    sim.run(until=5)
+    assert not bad.replies
+    assert server.decode_failures == 1
+
+
+def test_udp_bind_conflicts():
+    sim = Simulator()
+    net = Network(sim)
+    host = Host(sim, net, "10.0.0.1")
+    host.udp_bind(5000)
+    with pytest.raises(ValueError):
+        host.udp_bind(5000)
+    host.udp_unbind(5000)
+    host.udp_bind(5000)

@@ -1,0 +1,148 @@
+"""Workload generators: HTTP/TLS shapes, sinks, random-data clients."""
+
+import random
+
+import pytest
+
+from repro.gfw import shannon_entropy
+from repro.net import Host, Network, Simulator
+from repro.workloads import (
+    RandomDataClient,
+    RespondingServer,
+    SITES,
+    SinkServer,
+    alphabet_size_for_entropy,
+    http_get_request,
+    payload_with_entropy,
+    site_request,
+    tls_client_hello,
+)
+
+
+def test_http_request_is_plausible():
+    rng = random.Random(1)
+    req = http_get_request("example.com", rng)
+    assert req.startswith(b"GET /")
+    assert b"Host: example.com\r\n" in req
+    assert req.endswith(b"\r\n\r\n")
+    assert 4.0 < shannon_entropy(req) < 6.0
+
+
+def test_http_request_custom_path():
+    req = http_get_request("x.org", random.Random(2), path="/abc")
+    assert req.startswith(b"GET /abc HTTP/1.1")
+
+
+def test_tls_hello_structure():
+    rng = random.Random(3)
+    hello = tls_client_hello("www.wikipedia.org", rng)
+    assert hello[0] == 0x16  # handshake record
+    assert hello[1:3] == b"\x03\x01"
+    record_len = int.from_bytes(hello[3:5], "big")
+    assert len(hello) == 5 + record_len
+    assert b"www.wikipedia.org" in hello  # SNI carries the name
+    assert 200 <= len(hello) <= 700
+
+
+def test_tls_hello_lengths_vary():
+    rng = random.Random(4)
+    lengths = {len(tls_client_hello("a.com", rng)) for _ in range(30)}
+    assert len(lengths) > 10
+
+
+def test_site_request_mixes_protocols():
+    rng = random.Random(5)
+    kinds = set()
+    for _ in range(50):
+        payload = site_request("example.com", rng)
+        kinds.add("tls" if payload[0] == 0x16 else "http")
+    assert kinds == {"tls", "http"}
+
+
+def test_alphabet_size_for_entropy():
+    assert alphabet_size_for_entropy(0.0) == 1
+    assert alphabet_size_for_entropy(8.0) == 256
+    assert alphabet_size_for_entropy(3.0) == 8
+    with pytest.raises(ValueError):
+        alphabet_size_for_entropy(9.0)
+
+
+def test_payload_with_entropy_negative_length():
+    with pytest.raises(ValueError):
+        payload_with_entropy(-1, 4.0, random.Random(6))
+
+
+def test_payload_with_entropy_zero_is_constant():
+    payload = payload_with_entropy(100, 0.0, random.Random(7))
+    assert len(set(payload)) == 1
+
+
+def make_world():
+    sim = Simulator()
+    net = Network(sim)
+    server_host = Host(sim, net, "10.0.0.2", "server")
+    client_host = Host(sim, net, "10.0.0.1", "client")
+    prober_host = Host(sim, net, "10.0.0.3", "prober")
+    return sim, server_host, client_host, prober_host
+
+
+def test_sink_server_never_responds_and_reaps():
+    sim, server_host, client_host, _ = make_world()
+    sink = SinkServer(server_host, 9000)
+    conn = client_host.connect("10.0.0.2", 9000)
+    got = []
+    conn.on_data = got.append
+    fin = []
+    conn.on_remote_fin = lambda: fin.append(True)
+    conn.on_connected = lambda: conn.send(b"hello sink")
+    sim.run(until=29)
+    assert sink.connections_accepted == 1
+    assert sink.bytes_received == 10
+    assert not got and not fin
+    sim.run(until=35)
+    assert fin  # reaped at 30 s
+
+
+def test_responding_server_answers_probers_only():
+    sim, server_host, client_host, prober_host = make_world()
+    server = RespondingServer(server_host, 9000, ["10.0.0.1"],
+                              rng=random.Random(8))
+    own = client_host.connect("10.0.0.2", 9000)
+    own_data = []
+    own.on_data = own_data.append
+    own.on_connected = lambda: own.send(b"client payload")
+    probe = prober_host.connect("10.0.0.2", 9000)
+    probe_data = []
+    probe.on_data = probe_data.append
+    probe.on_connected = lambda: probe.send(b"probe payload")
+    sim.run(until=10)
+    assert not own_data
+    assert probe_data and 1 <= len(probe_data[0]) <= 1400
+    assert server.prober_responses == 1
+
+
+def test_random_data_client_length_and_entropy():
+    sim, server_host, client_host, _ = make_world()
+    SinkServer(server_host, 9000)
+    client = RandomDataClient(client_host, "10.0.0.2", 9000,
+                              length_range=(500, 500),
+                              entropy_range=(3.0, 3.0),
+                              rng=random.Random(9))
+    client.run_schedule(5, 1.0)
+    sim.run(until=60)
+    assert len(client.sent_payloads) == 5
+    for _, payload in client.sent_payloads:
+        assert len(payload) == 500
+        assert abs(shannon_entropy(payload) - 3.0) < 0.4
+
+
+def test_random_data_client_on_send_hook():
+    sim, server_host, client_host, _ = make_world()
+    SinkServer(server_host, 9000)
+    seen = []
+    client = RandomDataClient(client_host, "10.0.0.2", 9000,
+                              rng=random.Random(10))
+    client.on_send = seen.append
+    client.run_schedule(3, 1.0)
+    sim.run(until=30)
+    assert len(seen) == 3
