@@ -1,0 +1,31 @@
+# Developer entry points.  Everything assumes an in-tree checkout; no
+# install step is needed beyond the test extras (pytest, hypothesis,
+# pytest-benchmark).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint bench bench-smoke clean
+
+test:                ## tier-1 suite (unit + integration + property)
+	$(PYTHON) -m pytest tests/ -x -q
+
+lint:                ## static checks (requires ruff)
+	ruff check src tests benchmarks examples
+
+bench:               ## every paper table/figure benchmark + ablations
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# One cached benchmark per layer: both runtime-backed ablation matrices
+# (experiments -> GFW -> runtime cache) and one probesim figure.  Runs
+# leave results + manifests under benchmarks/output/runs/.
+bench-smoke:
+	$(PYTHON) -m pytest \
+	    benchmarks/ablations/test_defense_matrix.py \
+	    benchmarks/ablations/test_detector_features.py \
+	    benchmarks/test_fig10b_aead_reactions.py \
+	    --benchmark-only -q
+
+clean:
+	rm -rf runs benchmarks/output .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,9 +1,10 @@
 """Ablation: the §7 defense matrix against the full GFW pipeline.
 
-For each server defense configuration, run the same browsing workload
-under an aggressive GFW with blocking enabled, and record: connections
-flagged, probes drawn, whether a replay ever got data, and whether the
-server ended up blocked.
+Runs the registered ``ablation-defense-matrix`` scenario: for each
+server defense configuration, the same browsing workload runs under an
+aggressive GFW with blocking enabled, recording connections flagged,
+probes drawn, whether a replay ever got data, and whether the server
+ended up blocked.
 
 Expected ordering (the paper's §7 narrative):
 
@@ -13,66 +14,14 @@ Expected ordering (the paper's §7 narrative):
 * adding brdgrd removes even the probes, by defeating the passive stage.
 """
 
-import random
-
 from repro.analysis import banner, render_table
-from repro.defense import Brdgrd, harden
-from repro.experiments.common import build_world
-from repro.gfw import BlockingPolicy, DetectorConfig, Reaction
-from repro.shadowsocks import ShadowsocksClient, ShadowsocksServer, get_profile
-from repro.workloads import CurlDriver
-
-CASES = [
-    # (label, method, profile-or-factory, use_brdgrd)
-    ("stream, no defenses (ssr)", "aes-256-ctr", "ssr", False),
-    ("AEAD, old libev", "aes-256-gcm", "ss-libev-3.1.3", False),
-    ("AEAD, hardened + replay filter", "chacha20-ietf-poly1305",
-     harden(get_profile("outline-1.0.7")), False),
-    ("hardened + brdgrd", "chacha20-ietf-poly1305",
-     harden(get_profile("outline-1.0.7")), True),
-]
+from repro.runtime import run_scenario
 
 
-def run_case(method, profile, use_brdgrd, seed):
-    world = build_world(
-        seed=seed,
-        # Realistic detector shape (length + entropy), boosted rate so the
-        # scaled workload yields decisive evidence quickly.
-        detector_config=DetectorConfig(base_rate=1.0),
-        blocking_policy=BlockingPolicy(human_gated=False,
-                                       block_probability=1.0),
-        websites=["example.com"],
-    )
-    server_host = world.add_server("server", region="uk")
-    client_host = world.add_client("client")
-    if use_brdgrd:
-        world.net.add_middlebox(Brdgrd(server_host.ip, 8388,
-                                       rng=random.Random(seed)))
-    ShadowsocksServer(server_host, 8388, "pw", method, profile,
-                      rng=random.Random(seed + 1))
-    client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
-                               method, rng=random.Random(seed + 2))
-    CurlDriver(client, rng=random.Random(seed + 3),
-               sites=["example.com"]).run_schedule(30, 20.0)
-    world.sim.run(until=12 * 3600)
-    replay_data = sum(
-        1 for r in world.gfw.probe_log
-        if r.probe.is_replay and r.reaction == Reaction.DATA
-    )
-    return {
-        "flagged": world.gfw.flagged_connections,
-        "probes": len(world.gfw.probe_log),
-        "replay_data": replay_data,
-        "blocked": world.gfw.blocking.is_blocked(server_host.ip, 8388),
-    }
-
-
-def test_ablation_defense_matrix(benchmark, emit):
+def test_ablation_defense_matrix(benchmark, emit, run_cache):
     def build():
-        return {
-            label: run_case(method, profile, brdgrd, seed=300 + i)
-            for i, (label, method, profile, brdgrd) in enumerate(CASES)
-        }
+        return run_scenario("ablation-defense-matrix", seed=300,
+                            cache=run_cache).payload["cases"]
 
     results = benchmark.pedantic(build, rounds=1, iterations=1)
     rows = [

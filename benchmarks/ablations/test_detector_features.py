@@ -1,74 +1,27 @@
 """Ablation: which detector feature does the work?
 
-Runs the passive classifier over two populations — Shadowsocks first
-packets (encrypted browse traffic) and plaintext HTTP/TLS first packets —
-with the length filter and the entropy filter toggled, reporting the
-flag rate on each population.  The full detector flags encrypted
-tunnels while barely touching plaintext; removing either feature
-degrades the separation.
+Runs the registered ``ablation-detector-features`` scenario: the passive
+classifier scores two populations — Shadowsocks first packets (encrypted
+browse traffic) and plaintext HTTP/TLS first packets — with the length
+filter and the entropy filter toggled, reporting the flag rate on each
+population.  The full detector flags encrypted tunnels while barely
+touching plaintext; removing either feature degrades the separation.
 """
 
-import random
-
 from repro.analysis import banner, render_table
-from repro.gfw import DetectorConfig, PassiveDetector
-from repro.shadowsocks import encode_target
-from repro.shadowsocks.aead_session import AeadEncryptor, aead_master_key
-from repro.workloads import SITES, http_get_request, site_request, tls_client_hello
-
-N = 400
+from repro.runtime import run_scenario
 
 
-def shadowsocks_first_packets(rng):
-    master = aead_master_key("pw", "chacha20-ietf-poly1305")
-    out = []
-    for _ in range(N):
-        site = rng.choice(SITES)
-        payload = encode_target(site, 443) + site_request(site, rng)
-        enc = AeadEncryptor("chacha20-ietf-poly1305", master, rng=rng)
-        out.append(enc.encrypt(payload))
-    return out
-
-
-def plaintext_first_packets(rng):
-    out = []
-    for _ in range(N):
-        site = rng.choice(SITES)
-        if rng.random() < 0.5:
-            out.append(http_get_request(site, rng))
-        else:
-            out.append(tls_client_hello(site, rng))
-    return out
-
-
-CONFIGS = [
-    ("full detector", DetectorConfig(base_rate=1.0)),
-    ("no length filter", DetectorConfig(base_rate=1.0, length_filter=False)),
-    ("no entropy filter", DetectorConfig(base_rate=1.0, entropy_filter=False)),
-    ("neither filter", DetectorConfig(base_rate=1.0, length_filter=False,
-                                      entropy_filter=False)),
-]
-
-
-def test_ablation_detector_features(benchmark, emit):
-    rng = random.Random(61)
-    ss = shadowsocks_first_packets(rng)
-    plain = plaintext_first_packets(rng)
-
+def test_ablation_detector_features(benchmark, emit, run_cache):
     def build():
-        rows = []
-        for name, config in CONFIGS:
-            det = PassiveDetector(config)
-            ss_rate = sum(det.flag_probability(p) for p in ss) / len(ss)
-            plain_rate = sum(det.flag_probability(p) for p in plain) / len(plain)
-            rows.append((name, ss_rate, plain_rate))
-        return rows
+        return run_scenario("ablation-detector-features", seed=61,
+                            cache=run_cache).payload["rows"]
 
-    rows = benchmark(build)
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
     rendered = [
-        (name, f"{ss_rate:.3f}", f"{plain_rate:.3f}",
-         f"{ss_rate / plain_rate:.1f}x" if plain_rate else "inf")
-        for name, ss_rate, plain_rate in rows
+        (name, f"{r['ss_rate']:.3f}", f"{r['plain_rate']:.3f}",
+         f"{r['ss_rate'] / r['plain_rate']:.1f}x" if r["plain_rate"] else "inf")
+        for name, r in rows.items()
     ]
     text = (
         banner("Ablation: detector feature contributions")
@@ -78,18 +31,18 @@ def test_ablation_detector_features(benchmark, emit):
     )
     emit("ablation_detector_features", text)
 
-    by_name = {name: (s, p) for name, s, p in rows}
-    full_ss, full_plain = by_name["full detector"]
-    none_ss, none_plain = by_name["neither filter"]
+    full = rows["full detector"]
+    none = rows["neither filter"]
     # The full detector separates the populations — only modestly, which is
     # faithful: the paper's passive filter is a coarse pre-screen (Figure 9
     # spans just 4x from entropy 3 to 7.2), and the *active probes* do the
     # actual disambiguation.
-    assert full_ss > 1.4 * full_plain
+    assert full["ss_rate"] > 1.4 * full["plain_rate"]
     # ...while with both features removed there is no separation at all.
-    assert abs(none_ss - none_plain) < 1e-9
+    assert abs(none["ss_rate"] - none["plain_rate"]) < 1e-9
     # Entropy alone (no length filter) still separates encrypted from
     # plaintext HTTP, but less sharply than the full detector.
-    nolen_ss, nolen_plain = by_name["no length filter"]
-    assert nolen_ss > nolen_plain
-    assert (full_ss / max(full_plain, 1e-9)) > (nolen_ss / max(nolen_plain, 1e-9))
+    nolen = rows["no length filter"]
+    assert nolen["ss_rate"] > nolen["plain_rate"]
+    assert (full["ss_rate"] / max(full["plain_rate"], 1e-9)) > \
+        (nolen["ss_rate"] / max(nolen["plain_rate"], 1e-9))

@@ -1,28 +1,30 @@
 """Shared fixtures for the per-figure/table benchmarks.
 
-Heavy experiments run once per session and are shared by every benchmark
-that reads them (exactly as the paper's own §3.1 dataset feeds Figures
-2-7 and Tables 2-3).  Every benchmark *prints* the rows/series its paper
-counterpart shows and also writes them to ``benchmarks/output/<id>.txt``
-so the run leaves an auditable record.
+Heavy experiments run once per session through the ``repro.runtime``
+spine and are shared by every benchmark that reads them (exactly as the
+paper's own §3.1 dataset feeds Figures 2-7 and Tables 2-3).  Each
+fixture asks :func:`repro.runtime.run_artifact` for the live experiment
+object, which also writes the structured result + manifest under
+``benchmarks/output/runs/<scenario>/<key>/`` so every benchmark run
+leaves an auditable, machine-readable record.
+
+Every benchmark additionally *prints* the rows/series its paper
+counterpart shows and writes them to ``benchmarks/output/<id>.txt``.
 """
 
 import pathlib
 
 import pytest
 
-from repro.experiments import (
-    BlockingExperimentConfig,
-    BrdgrdExperimentConfig,
-    ShadowsocksExperimentConfig,
-    SinkExperimentConfig,
-    run_blocking_experiment,
-    run_brdgrd_experiment,
-    run_shadowsocks_experiment,
-    run_sink_experiment,
-)
+from repro.runtime import ResultCache, run_artifact
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def run_cache():
+    """Result cache the benchmark session records its runs into."""
+    return ResultCache(OUTPUT_DIR / "runs")
 
 
 @pytest.fixture(scope="session")
@@ -39,47 +41,55 @@ def emit():
 
 
 @pytest.fixture(scope="session")
-def ss_result():
+def ss_result(run_cache):
     """The §3.1 Shadowsocks experiment at benchmark scale."""
-    return run_shadowsocks_experiment(ShadowsocksExperimentConfig(
-        connections_per_pair=700,
-        duration=14 * 24 * 3600.0,
-        seed=20,
-    ))
+    _, artifact = run_artifact(
+        "shadowsocks", seed=20,
+        overrides={"connections_per_pair": 700,
+                   "duration": 14 * 24 * 3600.0},
+        cache=run_cache)
+    return artifact
+
+
+def _sink_artifact(run_cache, experiment, seed, connections, duration):
+    from repro.experiments import TABLE4_EXPERIMENTS
+
+    overrides = dict(TABLE4_EXPERIMENTS[experiment])
+    overrides.pop("seed", None)
+    overrides.update(connections=connections, duration=duration)
+    _, artifact = run_artifact("sink", seed=seed, overrides=overrides,
+                               cache=run_cache)
+    return artifact
 
 
 @pytest.fixture(scope="session")
-def sink_1a():
+def sink_1a(run_cache):
     """Exp 1.a: sink server, lengths 1-1000, entropy > 7."""
-    return run_sink_experiment(
-        SinkExperimentConfig.table4("1.a", connections=9000,
-                                    duration=72 * 3600.0, seed=21)
-    )
+    return _sink_artifact(run_cache, "1.a", seed=21,
+                          connections=9000, duration=72 * 3600.0)
 
 
 @pytest.fixture(scope="session")
-def sink_2():
+def sink_2(run_cache):
     """Exp 2: sink server, low entropy."""
-    return run_sink_experiment(
-        SinkExperimentConfig.table4("2", connections=4000,
-                                    duration=48 * 3600.0, seed=22)
-    )
+    return _sink_artifact(run_cache, "2", seed=22,
+                          connections=4000, duration=48 * 3600.0)
 
 
 @pytest.fixture(scope="session")
-def sink_3():
+def sink_3(run_cache):
     """Exp 3: sink server, lengths 1-2000, entropy 0-8."""
-    return run_sink_experiment(
-        SinkExperimentConfig.table4("3", connections=14000,
-                                    duration=96 * 3600.0, seed=23)
-    )
+    return _sink_artifact(run_cache, "3", seed=23,
+                          connections=14000, duration=96 * 3600.0)
 
 
 @pytest.fixture(scope="session")
-def brdgrd_result():
-    return run_brdgrd_experiment(BrdgrdExperimentConfig(seed=24))
+def brdgrd_result(run_cache):
+    _, artifact = run_artifact("brdgrd", seed=24, cache=run_cache)
+    return artifact
 
 
 @pytest.fixture(scope="session")
-def blocking_result():
-    return run_blocking_experiment(BlockingExperimentConfig(seed=25))
+def blocking_result(run_cache):
+    _, artifact = run_artifact("blocking", seed=25, cache=run_cache)
+    return artifact

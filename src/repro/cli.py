@@ -2,6 +2,9 @@
 
 Commands mirror the paper's workflow:
 
+* ``run``         — run any registered scenario through the runtime
+  (multi-seed, parallel, cached): ``run <scenario> --seeds N --jobs M``;
+  ``run --list`` enumerates the registry;
 * ``quickstart``  — tunnel a request under the GFW and print the probes;
 * ``probesim``    — probe one server model and print its reaction row;
 * ``identify``    — probe a server model and print the §5.2.2 inference;
@@ -10,6 +13,10 @@ Commands mirror the paper's workflow:
 * ``blocking``    — run the §6 blocking fleet;
 * ``profiles``    — list the implementation behaviour profiles;
 * ``ciphers``     — list the supported encryption methods.
+
+``sink``, ``brdgrd`` and ``blocking`` are convenience front-ends to the
+same registered scenarios ``run`` executes; ``run`` adds seed sweeps,
+process fan-out, the on-disk result cache, and ``--json`` output.
 """
 
 from __future__ import annotations
@@ -28,6 +35,30 @@ def build_parser() -> argparse.ArgumentParser:
                     "Shadowsocks' (IMC 2020)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "run",
+        help="run a registered scenario (multi-seed, parallel, cached)",
+    )
+    p.add_argument("scenario", nargs="?", help="scenario name; see --list")
+    p.add_argument("--list", action="store_true", dest="list_scenarios",
+                   help="list registered scenarios and exit")
+    p.add_argument("--seeds", type=int, default=1, metavar="N",
+                   help="number of seeds to sweep (default 1)")
+    p.add_argument("--seed-start", type=int, default=0, metavar="S",
+                   help="first seed of the sweep (default 0)")
+    p.add_argument("--jobs", type=int, default=1, metavar="M",
+                   help="worker processes (default 1 = serial)")
+    p.add_argument("--set", dest="overrides", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="override a scenario parameter (repeatable; "
+                        "values parsed as JSON, else kept as strings)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the merged sweep as canonical JSON")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the result cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache root (default $REPRO_RUNS_DIR or runs/)")
 
     p = sub.add_parser("quickstart", help="tunnel traffic under the GFW")
     p.add_argument("--connections", type=int, default=40)
@@ -69,6 +100,63 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = globals()[f"_cmd_{args.command.replace('.', '_')}"]
     return handler(args)
+
+
+def _cmd_run(args) -> int:
+    from .runtime import (
+        ResultCache,
+        all_scenarios,
+        default_cache_root,
+        run_sweep,
+    )
+
+    if args.list_scenarios or args.scenario is None:
+        for scenario in all_scenarios():
+            print(f"{scenario.name:<26} {scenario.title}")
+        if args.scenario is None and not args.list_scenarios:
+            print("\nerror: missing scenario name (see list above)",
+                  file=sys.stderr)
+            return 2
+        return 0
+
+    overrides = {}
+    for item in args.overrides:
+        if "=" not in item:
+            print(f"error: --set expects KEY=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        key, value = item.split("=", 1)
+        overrides[key] = value
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_root())
+    seeds = range(args.seed_start, args.seed_start + max(args.seeds, 1))
+    try:
+        sweep = run_sweep(args.scenario, seeds, overrides, jobs=args.jobs,
+                          cache=cache, use_cache=not args.no_cache)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        print(sweep.canonical_bytes().decode("utf-8"))
+        return 0
+
+    merged = sweep.merged()
+    print(f"{args.scenario}: {len(sweep.results)} seed(s), "
+          f"jobs={sweep.jobs}, wall={sweep.wall_time:.2f}s, "
+          f"cache {sweep.cache_hits} hit / {sweep.cache_misses} miss")
+    for name, stats in merged["metrics"].items():
+        print(f"  {name:<30} mean={stats['mean']:<12.6g} "
+              f"min={stats['min']:<12.6g} max={stats['max']:.6g}")
+    if merged["events"]:
+        print("events (summed over seeds):")
+        for name, count in merged["events"].items():
+            print(f"  {name:<30} {count}")
+    if cache is not None:
+        print(f"results cached under {cache.root}")
+    return 0
 
 
 def _cmd_quickstart(args) -> int:
@@ -134,49 +222,54 @@ def _cmd_identify(args) -> int:
 
 
 def _cmd_sink(args) -> int:
-    from .experiments import SinkExperimentConfig, run_sink_experiment
+    from .experiments import TABLE4_EXPERIMENTS
+    from .runtime import run_scenario
 
-    result = run_sink_experiment(SinkExperimentConfig.table4(
-        args.experiment, connections=args.connections,
-        duration=args.hours * 3600.0, seed=args.seed))
-    print(f"Exp {args.experiment}: {len(result.sent_payloads)} connections, "
-          f"{len(result.probe_log)} probes")
-    for probe_type, count in sorted(result.probes_by_type().items()):
+    overrides = dict(TABLE4_EXPERIMENTS[args.experiment])
+    overrides.pop("seed", None)
+    overrides.update(connections=args.connections,
+                     duration=args.hours * 3600.0)
+    result = run_scenario("sink", seed=args.seed, overrides=overrides,
+                          use_cache=False)
+    print(f"Exp {args.experiment}: {result.payload['connections']} "
+          f"connections, {result.payload['probes']} probes")
+    for probe_type, count in sorted(result.payload["probes_by_type"].items()):
         print(f"  {probe_type:<4} {count}")
     return 0
 
 
 def _cmd_brdgrd(args) -> int:
-    from .experiments import BrdgrdExperimentConfig, run_brdgrd_experiment
+    from .runtime import run_scenario
 
     duration = args.hours * 3600.0
-    config = BrdgrdExperimentConfig(
-        seed=args.seed, duration=duration,
-        brdgrd_windows=((duration / 3, 2 * duration / 3),),
-    )
-    result = run_brdgrd_experiment(config)
-    active, inactive = result.window_rates()
-    for hour, count in enumerate(result.hourly_counts()):
+    windows = ((duration / 3, 2 * duration / 3),)
+    result = run_scenario(
+        "brdgrd", seed=args.seed,
+        overrides={"duration": duration, "brdgrd_windows": windows},
+        use_cache=False)
+    for hour, count in enumerate(result.payload["hourly_counts"]):
         t = hour * 3600.0
-        on = any(s <= t < e for s, e in config.brdgrd_windows)
+        on = any(s <= t < e for s, e in windows)
         print(f"h{hour:>3} {'BRDGRD' if on else '      '} "
               f"{count:>4} {'#' * min(count, 50)}")
-    print(f"\nprobes/hour: active={active:.2f} inactive={inactive:.2f}")
+    print(f"\nprobes/hour: active={result.payload['rate_active']:.2f} "
+          f"inactive={result.payload['rate_inactive']:.2f}")
     return 0
 
 
 def _cmd_blocking(args) -> int:
-    from .experiments import BlockingExperimentConfig, run_blocking_experiment
+    from .runtime import run_scenario
 
     duration = args.days * 86400.0
-    result = run_blocking_experiment(BlockingExperimentConfig(
-        seed=args.seed, duration=duration,
-        sensitive_periods=((duration / 3, duration / 2),)))
-    blocked = {e.ip: e for e in result.block_events}
-    for ip, profile in result.server_profiles.items():
-        status = "BLOCKED" if ip in blocked else "up"
-        print(f"{ip:<16} {profile:<16} "
-              f"probes={result.probes_per_server.get(ip, 0):<5} {status}")
+    result = run_scenario(
+        "blocking", seed=args.seed,
+        overrides={"duration": duration,
+                   "sensitive_periods": ((duration / 3, duration / 2),)},
+        use_cache=False)
+    for server in result.payload["servers"]:
+        status = "BLOCKED" if server["blocked"] else "up"
+        print(f"{server['ip']:<16} {server['profile']:<16} "
+              f"probes={server['probes']:<5} {status}")
     return 0
 
 

@@ -23,7 +23,7 @@ from ..gfw import (
 )
 from ..net import AS_TABLE, Host, Network, Simulator
 
-__all__ = ["CHINA_CIDRS", "World", "build_world"]
+__all__ = ["CHINA_CIDRS", "World", "build_world", "subnet_prefix"]
 
 # Inside-China address space: every prober AS prefix, the fleet anchor
 # block, and the subnets we place experiment clients in.
@@ -42,6 +42,18 @@ SERVER_SUBNET_US = "203.0.113."       # US datacenter / university stand-in
 WEB_SUBNET = "198.18.0."              # the public web sites being browsed
 
 
+def subnet_prefix(subnet: str) -> str:
+    """Normalize a /24 spec to its dotted prefix.
+
+    Accepts ``"192.0.2.0/24"``, ``"192.0.2.0"`` or ``"192.0.2."`` and
+    returns ``"192.0.2."``.
+    """
+    subnet = subnet.split("/", 1)[0]
+    if subnet.endswith("."):
+        return subnet
+    return subnet.rsplit(".", 1)[0] + "."
+
+
 @dataclass
 class World:
     sim: Simulator
@@ -51,18 +63,35 @@ class World:
     hosts: Dict[str, Host] = field(default_factory=dict)
     _next_ip: Dict[str, int] = field(default_factory=dict)
 
+    # Host indices run 10..254: below 10 is reserved for infrastructure
+    # conventions, 255 would be the broadcast address.
+    FIRST_HOST_INDEX = 10
+    LAST_HOST_INDEX = 254
+
+    @property
+    def bus(self):
+        """The world's instrumentation bus (lives on the simulator)."""
+        return self.sim.bus
+
     def add_host(self, name: str, subnet: str, **kwargs) -> Host:
-        """Attach a host on the given subnet prefix (e.g. "198.51.100.")."""
-        index = self._next_ip.get(subnet, 10)
-        self._next_ip[subnet] = index + 1
-        host = Host(self.sim, self.net, f"{subnet}{index}", name, **kwargs)
+        """Attach a host on the given /24 (e.g. "198.51.100." or a CIDR)."""
+        prefix = subnet_prefix(subnet)
+        index = self._next_ip.get(prefix, self.FIRST_HOST_INDEX)
+        if index > self.LAST_HOST_INDEX:
+            raise ValueError(
+                f"subnet {prefix}0/24 is exhausted: host index {index} exceeds "
+                f"{self.LAST_HOST_INDEX} (cannot mint a valid /24 address for "
+                f"host {name!r}); spread hosts over more subnets"
+            )
+        self._next_ip[prefix] = index + 1
+        host = Host(self.sim, self.net, f"{prefix}{index}", name, **kwargs)
         self.hosts[name] = host
         return host
 
     def add_client(self, name: str, residential: bool = False) -> Host:
         subnet = (
             CLIENT_SUBNET_RESIDENTIAL if residential else CLIENT_SUBNET_BEIJING
-        ).rsplit(".", 1)[0] + "."
+        )
         return self.add_host(name, subnet)
 
     def add_server(self, name: str, region: str = "uk") -> Host:

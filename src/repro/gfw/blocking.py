@@ -143,6 +143,7 @@ class BlockingModule:
             self._blocked_ports[(ip, port)] = unblock_time
             event = BlockEvent(now, ip, port, unblock_time)
         self.events.append(event)
+        self.sim.bus.incr("gfw.block.applied")
         self.sim.schedule(unblock_time - now, self._unblock, event)
         return event
 

@@ -125,6 +125,7 @@ class GreatFirewall(Middlebox):
     def process(self, seg: Segment, network: Network) -> List[Segment]:
         if self.blocking.should_drop(seg):
             self.dropped_segments += 1
+            self.sim.bus.incr("gfw.segment.dropped")
             return []
         if not self.crosses_border(seg) or self._is_fleet_traffic(seg):
             return [seg]
@@ -144,6 +145,7 @@ class GreatFirewall(Middlebox):
                     responder_port=seg.dst_port,
                 )
                 self.inspected_connections += 1
+                self.sim.bus.incr("gfw.flow.opened")
             return
         if seg.is_data:
             from_initiator = (
@@ -164,6 +166,7 @@ class GreatFirewall(Middlebox):
         """The feature packet: first data from the connection's initiator."""
         if self.detector.inspect(seg.payload, self.rng):
             self.flagged_connections += 1
+            self.sim.bus.incr("gfw.conn.flagged")
             self.on_flag(flow, seg.payload)
             self.scheduler.on_flagged_connection(
                 flow.responder_ip, flow.responder_port, seg.payload

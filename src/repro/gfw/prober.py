@@ -117,6 +117,11 @@ class ProberRunner:
             trigger_time=trigger_time,
         )
         self.log.append(record)
+        bus = self.sim.bus
+        bus.incr("probe.sent")
+        bus.incr(f"probe.type.{probe.probe_type}")
+        if trigger_time is not None:
+            bus.observe("probe.replay_delay", self.sim.now - trigger_time)
 
         done = False
         probe_timer = None
@@ -128,6 +133,7 @@ class ProberRunner:
             done = True
             record.reaction = reaction
             record.time_done = self.sim.now
+            self.sim.bus.incr(f"probe.reaction.{reaction}")
             for ev in (syn_timer, probe_timer):
                 if ev is not None:
                     ev.cancel()

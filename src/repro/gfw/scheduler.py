@@ -188,6 +188,7 @@ class ProbeScheduler:
             state.replay_responses += 1
             if state.stage == 1:
                 state.stage = 2
+                self.sim.bus.incr("scheduler.stage2")
                 self._enter_stage2(state)
         self.on_probe_result(state, record)
 

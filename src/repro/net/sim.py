@@ -12,6 +12,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Optional
 
+from ..runtime.events import EventBus
+
 __all__ = ["Event", "Simulator"]
 
 
@@ -37,11 +39,14 @@ class Event:
 class Simulator:
     """Minimal event loop: ``schedule``, ``run``, ``now``."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, bus: Optional[EventBus] = None):
         self.now = start_time
         self._queue: list = []
         self._counter = itertools.count()
         self._processed = 0
+        # The instrumentation bus: any component holding the simulator can
+        # emit typed counters/samples without further plumbing.
+        self.bus = bus if bus is not None else EventBus()
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -55,8 +60,12 @@ class Simulator:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         return self.schedule(time - self.now, fn, *args)
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Process events until the queue drains or ``until`` is reached."""
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the number of events processed by *this* call (the
+        lifetime total stays available as :attr:`processed`).
+        """
         processed = 0
         while self._queue:
             event = self._queue[0]
@@ -73,6 +82,20 @@ class Simulator:
                 break
         if until is not None and self.now < until:
             self.now = until
+        if processed:
+            self.bus.incr("sim.events", processed)
+        return processed
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Drain the event queue completely; return events processed.
+
+        Unlike ``run(until=...)`` there is no time horizon: the loop stops
+        only when nothing is scheduled (or ``max_events`` is hit), which is
+        the right call for workloads whose duration depends on data volume
+        rather than wall-clock schedules (e.g. a bulk transfer through a
+        one-byte receive window).
+        """
+        return self.run(until=None, max_events=max_events)
 
     @property
     def pending(self) -> int:

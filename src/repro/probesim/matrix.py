@@ -82,8 +82,13 @@ def build_random_probe_row(
     lengths: Iterable[int],
     trials: int = 8,
     seed: int = 0,
+    bus=None,
 ) -> ReactionRow:
-    """Probe a fresh server model with random payloads of each length."""
+    """Probe a fresh server model with random payloads of each length.
+
+    ``bus`` (an :class:`repro.runtime.events.EventBus`) absorbs the
+    sweep's instrumentation tallies when provided.
+    """
     spec = get_spec(method)
     profile_name = profile if isinstance(profile, str) else profile.name
     row = ReactionRow(profile=profile_name, method=method, nonce_len=spec.iv_len)
@@ -92,6 +97,8 @@ def build_random_probe_row(
         for t in range(trials):
             result = simulator.send_random_probe(length)
             row.cell(length).add(result.reaction)
+    if bus is not None:
+        bus.absorb(simulator.sim.bus)
     return row
 
 
@@ -99,11 +106,12 @@ def build_replay_table(
     profiles_methods: Sequence[Tuple[str, str]],
     trials: int = 6,
     seed: int = 0,
+    bus=None,
 ) -> Dict[Tuple[str, str], Dict[str, Counter]]:
     """Table 5: reactions to identical vs byte-changed replays.
 
     Returns ``{(profile, method): {"identical": Counter, "byte-changed":
-    Counter}}``.
+    Counter}}``.  ``bus`` absorbs per-world instrumentation when given.
     """
     table: Dict[Tuple[str, str], Dict[str, Counter]] = {}
     for profile, method in profiles_methods:
@@ -119,6 +127,8 @@ def build_replay_table(
             # R4 behaves differently by construction (byte 16 may sit inside
             # or beyond the nonce) — still a byte-changed replay.
             changed[results[ProbeType.R4].reaction] += 1
+            if bus is not None:
+                bus.absorb(sim.sim.bus)
         table[(profile, method)] = {"identical": identical, "byte-changed": changed}
     return table
 

@@ -1,0 +1,60 @@
+"""The runtime spine: scenario registry, runner, cache, instrumentation.
+
+``repro.runtime`` is the layer every harness goes through:
+
+* :mod:`~repro.runtime.events` — the instrumentation bus each
+  :class:`~repro.net.sim.Simulator` carries;
+* :mod:`~repro.runtime.scenario` — declarative scenario specs and the
+  structured :class:`RunResult` schema;
+* :mod:`~repro.runtime.cache` — the on-disk result cache plus run
+  manifests, keyed on (scenario, params, seed, code fingerprint);
+* :mod:`~repro.runtime.runner` — serial/parallel multi-seed execution
+  with deterministic merge;
+* :mod:`~repro.runtime.scenarios` — builtin registrations (imported
+  lazily the first time the registry is consulted).
+
+Quick use::
+
+    from repro.runtime import run_scenario, run_sweep
+    result = run_scenario("sink", seed=3, overrides={"connections": 500})
+    sweep = run_sweep("brdgrd", seeds=range(8), jobs=4)
+"""
+
+from .cache import ResultCache, code_fingerprint, default_cache_root
+from .events import EventBus, merge_counters
+from .runner import (
+    SweepResult,
+    merge_results,
+    run_artifact,
+    run_scenario,
+    run_sweep,
+)
+from .scenario import (
+    RunResult,
+    Scenario,
+    all_scenarios,
+    canonical_params,
+    get_scenario,
+    register,
+    scenario_names,
+)
+
+__all__ = [
+    "EventBus",
+    "ResultCache",
+    "RunResult",
+    "Scenario",
+    "SweepResult",
+    "all_scenarios",
+    "canonical_params",
+    "code_fingerprint",
+    "default_cache_root",
+    "get_scenario",
+    "merge_counters",
+    "merge_results",
+    "register",
+    "run_artifact",
+    "run_scenario",
+    "run_sweep",
+    "scenario_names",
+]

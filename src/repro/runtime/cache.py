@@ -1,0 +1,127 @@
+"""On-disk result cache keyed on (scenario, params, seed, code).
+
+Layout, one directory per cached job under the cache root (default
+``runs/``, overridable via ``$REPRO_RUNS_DIR`` or explicitly)::
+
+    runs/<scenario>/<key>/result.json     # the RunResult
+    runs/<scenario>/<key>/manifest.json   # machine-readable provenance
+
+``<key>`` is a hash of the scenario name, the canonicalized params, the
+seed, and a fingerprint of the ``repro`` package's source code — editing
+any source file under ``src/repro/`` invalidates every cached result, so
+a stale cache can never masquerade as a reproduction.
+
+The manifest records params, seed, wall time, and the instrumentation
+bus's event counts, so a directory of runs is auditable without
+unpickling or re-running anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, Optional
+
+from .scenario import RunResult, canonical_json
+
+__all__ = ["ResultCache", "code_fingerprint", "default_cache_root"]
+
+_FINGERPRINT_CACHE: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Content hash of every ``.py`` file in the installed ``repro`` package.
+
+    Memoized per process: the source tree does not change under a running
+    sweep, and hashing ~100 small files once costs milliseconds.
+    """
+    global _FINGERPRINT_CACHE
+    if _FINGERPRINT_CACHE is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT_CACHE = digest.hexdigest()[:16]
+    return _FINGERPRINT_CACHE
+
+
+def default_cache_root() -> pathlib.Path:
+    return pathlib.Path(os.environ.get("REPRO_RUNS_DIR", "runs"))
+
+
+class ResultCache:
+    """Load/store :class:`RunResult`s plus their manifests on disk."""
+
+    RESULT_FILE = "result.json"
+    MANIFEST_FILE = "manifest.json"
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # ----------------------------------------------------------------- keys
+
+    @staticmethod
+    def key_for(scenario: str, params: Dict[str, Any], seed: int,
+                fingerprint: str) -> str:
+        material = canonical_json(
+            {"scenario": scenario, "params": params, "seed": seed,
+             "code": fingerprint}
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:20]
+
+    def dir_for(self, scenario: str, key: str) -> pathlib.Path:
+        return self.root / scenario / key
+
+    # ------------------------------------------------------------------- io
+
+    def load(self, scenario: str, params: Dict[str, Any], seed: int,
+             fingerprint: str) -> Optional[RunResult]:
+        key = self.key_for(scenario, params, seed, fingerprint)
+        path = self.dir_for(scenario, key) / self.RESULT_FILE
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        result = RunResult.from_json_dict(data)
+        result.cache_hit = True
+        self.hits += 1
+        return result
+
+    def store(self, result: RunResult) -> pathlib.Path:
+        """Persist a result and its manifest; returns the job directory."""
+        key = self.key_for(result.scenario, result.params, result.seed,
+                           result.fingerprint)
+        directory = self.dir_for(result.scenario, key)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "scenario": result.scenario,
+            "key": key,
+            "params": result.params,
+            "seed": result.seed,
+            "fingerprint": result.fingerprint,
+            "wall_time": result.wall_time,
+            "events": result.events,
+            "created": time.time(),
+        }
+        self._write_atomic(directory / self.RESULT_FILE,
+                           canonical_json(result.to_json_dict()))
+        self._write_atomic(directory / self.MANIFEST_FILE,
+                           json.dumps(manifest, sort_keys=True, indent=2))
+        return directory
+
+    @staticmethod
+    def _write_atomic(path: pathlib.Path, text: str) -> None:
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_text(text + "\n")
+        os.replace(tmp, path)

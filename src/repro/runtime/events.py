@@ -1,0 +1,124 @@
+"""The instrumentation bus: typed counters and scalar series.
+
+Every :class:`~repro.net.sim.Simulator` owns an :class:`EventBus`; the
+components layered on top of it (the :class:`~repro.gfw.GreatFirewall`,
+the prober fleet, Shadowsocks servers, workload drivers) emit named
+counters and samples into it instead of keeping ad-hoc stats dicts that
+analysis code then scrapes.  A bus snapshot is JSON-serialisable and
+deterministic for a given seed, so it travels inside cached
+:class:`~repro.runtime.scenario.RunResult`s and run manifests.
+
+Canonical event names (``<layer>.<subject>[.<detail>]``):
+
+========================  =====================================================
+``sim.events``            events processed by :meth:`Simulator.run`
+``gfw.flow.opened``       border-crossing flows entered into the flow table
+``gfw.conn.flagged``      first-data packets the passive detector flagged
+``gfw.segment.dropped``   segments dropped by the blocking module
+``gfw.block.applied``     block rules installed
+``probe.sent``            probes dispatched by the prober runner
+``probe.reaction.<R>``    probe outcomes, by reaction (``RST``, ``TIMEOUT``...)
+``probe.type.<T>``        probes sent, by probe type (``R1``, ``NR2``...)
+``scheduler.stage2``      servers escalated to stage-2 probing
+``ss.session.accepted``   connections accepted by Shadowsocks servers
+``ss.session.error``      Shadowsocks handshakes that failed server-side
+``ss.session.proxied``    sessions that reached the proxying state
+``workload.fetch``        fetches issued by workload drivers
+========================  =====================================================
+
+New emitters should follow the same naming scheme; consumers must treat
+unknown names as forward-compatible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = ["EventBus", "merge_counters"]
+
+
+class EventBus:
+    """A process-local sink for named counters and scalar samples.
+
+    ``incr`` is designed to be cheap enough for per-event hot paths (one
+    dict update); ``observe`` additionally tracks count/sum/min/max of a
+    scalar series.  ``subscribe`` registers a live listener, which is how
+    tests and progress displays can watch a run without polling.
+    """
+
+    __slots__ = ("counters", "scalars", "_subscribers")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        # name -> [count, total, minimum, maximum]
+        self.scalars: Dict[str, List[float]] = {}
+        self._subscribers: List[Callable[[str, float], None]] = []
+
+    # ------------------------------------------------------------- emitting
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name`` (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+        for fn in self._subscribers:
+            fn(name, n)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the scalar series ``name``."""
+        agg = self.scalars.get(name)
+        if agg is None:
+            self.scalars[name] = [1, value, value, value]
+        else:
+            agg[0] += 1
+            agg[1] += value
+            if value < agg[2]:
+                agg[2] = value
+            if value > agg[3]:
+                agg[3] = value
+        for fn in self._subscribers:
+            fn(name, value)
+
+    def subscribe(self, fn: Callable[[str, float], None]) -> None:
+        self._subscribers.append(fn)
+
+    # ------------------------------------------------------------ consuming
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A deterministic, JSON-serialisable view of everything emitted."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "scalars": {
+                name: {"count": agg[0], "sum": agg[1],
+                       "min": agg[2], "max": agg[3]}
+                for name, agg in sorted(self.scalars.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.scalars.clear()
+
+    def absorb(self, other: "EventBus") -> None:
+        """Fold another bus's tallies into this one (for multi-world runs)."""
+        for name, n in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        for name, agg in other.scalars.items():
+            mine = self.scalars.get(name)
+            if mine is None:
+                self.scalars[name] = list(agg)
+            else:
+                mine[0] += agg[0]
+                mine[1] += agg[1]
+                mine[2] = min(mine[2], agg[2])
+                mine[3] = max(mine[3], agg[3])
+
+
+def merge_counters(snapshots: List[Dict[str, object]]) -> Dict[str, int]:
+    """Sum the ``counters`` sections of several bus snapshots."""
+    totals: Dict[str, int] = {}
+    for snap in snapshots:
+        for name, n in (snap.get("counters") or {}).items():
+            totals[name] = totals.get(name, 0) + int(n)
+    return dict(sorted(totals.items()))

@@ -1,0 +1,218 @@
+"""Execute ``(scenario, params, seed)`` jobs: serial, parallel, cached.
+
+The runner is the one place simulation work is launched from.  It
+
+* resolves the scenario in the registry and instantiates typed params;
+* consults the on-disk :class:`~repro.runtime.cache.ResultCache`
+  (keyed on scenario + canonical params + seed + code fingerprint) and
+  skips the simulation entirely on a hit;
+* on a miss, builds the experiment, times it, snapshots the
+  instrumentation bus, summarizes the artifact into a structured
+  :class:`~repro.runtime.scenario.RunResult`, and writes result +
+  manifest back to the cache;
+* fans multi-seed sweeps out across processes with
+  :class:`concurrent.futures.ProcessPoolExecutor` while keeping result
+  order (and therefore the merged output) byte-identical to a serial
+  run.
+
+Determinism contract: a scenario's builder must derive all randomness
+from its params' ``seed`` field, which every harness in this repository
+already does — so serial and parallel execution of the same job set
+produce identical :meth:`SweepResult.canonical_bytes`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .cache import ResultCache, code_fingerprint
+from .scenario import RunResult, canonical_json, canonical_params, get_scenario
+
+__all__ = [
+    "SweepResult",
+    "merge_results",
+    "run_artifact",
+    "run_scenario",
+    "run_sweep",
+]
+
+
+# ------------------------------------------------------------ single jobs
+
+
+def _execute(name: str, seed: int, overrides: Optional[Mapping[str, Any]],
+             cache: Optional[ResultCache], use_cache: bool,
+             ) -> Tuple[RunResult, Optional[Any]]:
+    """Run one job; returns (result, artifact) — artifact None on cache hit."""
+    scenario = get_scenario(name)
+    params = scenario.instantiate(seed, overrides)
+    params_dict = canonical_params(params)
+    fingerprint = code_fingerprint()
+
+    if cache is not None and use_cache:
+        cached = cache.load(name, params_dict, seed, fingerprint)
+        if cached is not None:
+            return cached, None
+
+    started = time.perf_counter()
+    artifact = scenario.build(params)
+    # Round-trip through canonical JSON: fails fast on non-serialisable
+    # payloads and makes a fresh result structurally identical (key order
+    # included) to the same result loaded back from the cache.
+    payload = json.loads(canonical_json(scenario.summarize(artifact)))
+    events = json.loads(canonical_json(scenario.events_of(artifact)))
+    result = RunResult(
+        scenario=name,
+        params=params_dict,
+        seed=seed,
+        payload=payload,
+        events=events,
+        wall_time=time.perf_counter() - started,
+        fingerprint=fingerprint,
+    )
+    if cache is not None:
+        cache.store(result)
+    return result, artifact
+
+
+def run_scenario(name: str, seed: int = 0,
+                 overrides: Optional[Mapping[str, Any]] = None, *,
+                 cache: Optional[ResultCache] = None,
+                 use_cache: bool = True) -> RunResult:
+    """Run (or fetch from cache) one job and return its structured result."""
+    result, _ = _execute(name, seed, overrides, cache, use_cache)
+    return result
+
+
+def run_artifact(name: str, seed: int = 0,
+                 overrides: Optional[Mapping[str, Any]] = None, *,
+                 cache: Optional[ResultCache] = None,
+                 ) -> Tuple[RunResult, Any]:
+    """Run one job and return both the result and the live artifact.
+
+    Always executes (the rich in-memory artifact cannot come from the
+    JSON cache), but still writes result + manifest through ``cache`` so
+    the run leaves the same auditable record.  This is the entry point
+    for benchmarks that need the full experiment object.
+    """
+    return _execute(name, seed, overrides, cache, use_cache=False)
+
+
+# ----------------------------------------------------------------- sweeps
+
+
+@dataclass
+class SweepResult:
+    """Ordered results of a multi-seed sweep plus cache/wall accounting."""
+
+    scenario: str
+    results: List[RunResult]
+    wall_time: float
+    jobs: int
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.results) - self.cache_hits
+
+    def merged(self) -> Dict[str, Any]:
+        return merge_results(self.results)
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic bytes of the merged sweep (timing excluded)."""
+        return canonical_json(self.merged()).encode("utf-8")
+
+
+def merge_results(results: Sequence[RunResult]) -> Dict[str, Any]:
+    """Deterministically merge per-seed results into one document.
+
+    Per-seed identities are kept in seed order; numeric payload scalars
+    are additionally aggregated (mean/min/max) and event counters are
+    summed, which is what figure-level consumers want from a sweep.
+    """
+    ordered = sorted(results, key=lambda r: r.seed)
+    runs = [r.identity() for r in ordered]
+    metrics: Dict[str, Dict[str, float]] = {}
+    for key in sorted({name for r in ordered for name in r.payload}):
+        values = [r.payload[key] for r in ordered
+                  if isinstance(r.payload.get(key), (int, float))
+                  and not isinstance(r.payload.get(key), bool)]
+        if values and len(values) == len(ordered):
+            metrics[key] = {
+                "mean": sum(values) / len(values),
+                "min": min(values),
+                "max": max(values),
+            }
+    event_totals: Dict[str, int] = {}
+    for r in ordered:
+        for name, count in (r.events.get("counters") or {}).items():
+            event_totals[name] = event_totals.get(name, 0) + int(count)
+    return {
+        "scenario": ordered[0].scenario if ordered else None,
+        "params": ordered[0].params if ordered else {},
+        "seeds": [r.seed for r in ordered],
+        "runs": runs,
+        "metrics": metrics,
+        "events": dict(sorted(event_totals.items())),
+    }
+
+
+def _sweep_worker(job: Tuple[str, int, Optional[Dict[str, Any]],
+                             Optional[str], bool]) -> Dict[str, Any]:
+    """Top-level (picklable) worker: one job in a pool process."""
+    name, seed, overrides, cache_root, use_cache = job
+    cache = ResultCache(cache_root) if cache_root is not None else None
+    result, _ = _execute(name, seed, overrides, cache, use_cache)
+    return result.to_json_dict()
+
+
+def run_sweep(name: str, seeds: Iterable[int],
+              overrides: Optional[Mapping[str, Any]] = None, *,
+              jobs: int = 1,
+              cache: Optional[ResultCache] = None,
+              use_cache: bool = True) -> SweepResult:
+    """Run a scenario across many seeds, optionally fanned out over processes.
+
+    ``jobs=1`` runs serially in-process.  ``jobs>1`` uses a process pool;
+    results come back in seed-submission order regardless of completion
+    order, so the merged output is identical either way.
+    """
+    seed_list = list(seeds)
+    overrides = dict(overrides or {})
+    get_scenario(name)  # fail fast on unknown scenarios/params
+    started = time.perf_counter()
+
+    if jobs <= 1 or len(seed_list) <= 1:
+        results = [
+            _execute(name, seed, overrides, cache, use_cache)[0]
+            for seed in seed_list
+        ]
+    else:
+        cache_root = str(cache.root) if cache is not None else None
+        job_args = [(name, seed, overrides, cache_root, use_cache)
+                    for seed in seed_list]
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            # pool.map preserves submission order deterministically.
+            results = [RunResult.from_json_dict(d)
+                       for d in pool.map(_sweep_worker, job_args)]
+        if cache is not None:
+            # Fold worker-side cache traffic into this process's tallies.
+            for result in results:
+                if result.cache_hit:
+                    cache.hits += 1
+                else:
+                    cache.misses += 1
+
+    return SweepResult(
+        scenario=name,
+        results=results,
+        wall_time=time.perf_counter() - started,
+        jobs=jobs,
+    )

@@ -1,0 +1,222 @@
+"""The scenario registry: declarative specs for every paper experiment.
+
+A :class:`Scenario` ties together a name, a typed params dataclass (the
+experiment's existing config type), a builder that runs the experiment
+and returns its rich in-memory artifact, and a summarizer that reduces
+the artifact to a JSON-serialisable payload.  The runner executes
+``(scenario, params, seed)`` jobs against this registry, so every
+harness — CLI, benchmarks, sweeps — shares one entry point and one
+result schema (:class:`RunResult`).
+
+Params conventions:
+
+* the params dataclass must carry a ``seed`` field; the runner supplies
+  the seed, so ``seed`` is *excluded* from the canonical params identity
+  (it is part of the cache key separately);
+* every other field must be JSON-representable (numbers, strings,
+  booleans, and nested tuples/lists of those), which is what makes
+  params canonicalizable and cacheable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+__all__ = [
+    "RunResult",
+    "Scenario",
+    "all_scenarios",
+    "canonical_params",
+    "get_scenario",
+    "register",
+    "scenario_names",
+]
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalize params/payload values to plain JSON types."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonify(dataclasses.asdict(value))
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise TypeError(f"value {value!r} is not canonicalizable for the runtime")
+
+
+def canonical_params(params: Any) -> Dict[str, Any]:
+    """A params dataclass as a canonical (seedless) JSON-able dict."""
+    raw = dataclasses.asdict(params)
+    raw.pop("seed", None)
+    return {key: _jsonify(value) for key, value in sorted(raw.items())}
+
+
+def canonical_json(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class RunResult:
+    """The structured outcome of one ``(scenario, params, seed)`` job."""
+
+    scenario: str
+    params: Dict[str, Any]          # canonical, seed removed
+    seed: int
+    payload: Dict[str, Any]         # scenario-specific summary (JSON-able)
+    events: Dict[str, Any]          # instrumentation bus snapshot
+    wall_time: float                # seconds spent computing (0.0 on cache hit)
+    fingerprint: str                # code fingerprint the result was built under
+    cache_hit: bool = False
+
+    def identity(self) -> Dict[str, Any]:
+        """The deterministic portion: everything except timing/provenance."""
+        return {
+            "scenario": self.scenario,
+            "params": self.params,
+            "seed": self.seed,
+            "payload": self.payload,
+            "events": self.events,
+        }
+
+    def canonical_bytes(self) -> bytes:
+        return canonical_json(self.identity()).encode("utf-8")
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            **self.identity(),
+            "wall_time": self.wall_time,
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            scenario=data["scenario"],
+            params=dict(data["params"]),
+            seed=int(data["seed"]),
+            payload=dict(data["payload"]),
+            events=dict(data["events"]),
+            wall_time=float(data.get("wall_time", 0.0)),
+            fingerprint=str(data.get("fingerprint", "")),
+            cache_hit=bool(data.get("cache_hit", False)),
+        )
+
+
+def _default_events_of(artifact: Any) -> Dict[str, Any]:
+    """Pull the bus snapshot out of a ``World``-bearing artifact."""
+    world = getattr(artifact, "world", None)
+    sim = getattr(world, "sim", None) or getattr(artifact, "sim", None)
+    bus = getattr(sim, "bus", None)
+    return bus.snapshot() if bus is not None else {}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered experiment: spec, builder, and result schema."""
+
+    name: str
+    title: str
+    params_type: type
+    build: Callable[[Any], Any]             # params (with seed) -> artifact
+    summarize: Callable[[Any], Dict[str, Any]]  # artifact -> JSON payload
+    events_of: Callable[[Any], Dict[str, Any]] = _default_events_of
+    description: str = ""
+    tags: tuple = ()
+
+    def instantiate(self, seed: int, overrides: Optional[Mapping[str, Any]] = None):
+        """Build the typed params object for one job."""
+        kwargs = coerce_overrides(self.params_type, dict(overrides or {}))
+        kwargs["seed"] = seed
+        return self.params_type(**kwargs)
+
+
+def coerce_overrides(params_type: type, overrides: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce raw override values (possibly CLI strings) to field types."""
+    fields = {f.name: f for f in dataclasses.fields(params_type)}
+    out: Dict[str, Any] = {}
+    for key, value in overrides.items():
+        if key not in fields:
+            valid = ", ".join(sorted(fields))
+            raise KeyError(
+                f"{params_type.__name__} has no parameter {key!r} (valid: {valid})"
+            )
+        out[key] = _coerce_value(fields[key], value)
+    return out
+
+
+def _coerce_value(field_info: dataclasses.Field, value: Any) -> Any:
+    if isinstance(value, str):
+        # CLI values arrive as strings: interpret JSON scalars/lists,
+        # leave anything unparseable as the raw string.
+        try:
+            value = json.loads(value)
+        except (ValueError, TypeError):
+            pass
+    origin = typing.get_origin(field_info.type) if not isinstance(field_info.type, str) else None
+    wants_tuple = (
+        isinstance(field_info.default, tuple)
+        or origin is tuple
+        or (isinstance(field_info.type, str) and field_info.type.startswith("Tuple"))
+    )
+    if wants_tuple and isinstance(value, list):
+        value = _listlike_to_tuple(value)
+    return value
+
+
+def _listlike_to_tuple(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_listlike_to_tuple(v) for v in value)
+    return value
+
+
+# ----------------------------------------------------------------- registry
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (``replace=True`` to overwrite)."""
+    if scenario.name in _REGISTRY and not replace:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> Scenario:
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(scenario_names()) or "(none)"
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[Scenario]:
+    _ensure_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _ensure_builtins() -> None:
+    """Import the builtin scenario definitions exactly once.
+
+    Done lazily (not at package import) so that ``repro.net`` can import
+    ``repro.runtime.events`` without dragging the whole experiment stack
+    into every interpreter.
+    """
+    from . import scenarios  # noqa: F401  (registers on import)

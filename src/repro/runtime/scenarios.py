@@ -1,0 +1,457 @@
+"""Builtin scenario registrations: every paper harness, one registry.
+
+Importing this module registers the four ``repro.experiments`` harnesses
+(§3.1 shadowsocks, §4.1 sink, §7.1 brdgrd, §6 blocking), the §5.1
+prober-simulator sweeps (Figure 10 grid and Table 5 replay battery), and
+the two ablation matrices the benchmarks exercise — all runnable as
+
+    python -m repro run <name> --seeds N --jobs M [--set key=value ...]
+
+Builders reuse the existing experiment configs as their typed params
+(the runner injects the seed), and summarizers reduce each rich result
+object to the JSON payload that drives the corresponding figure/table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..defense import Brdgrd, harden
+from ..experiments import (
+    BlockingExperimentConfig,
+    BrdgrdExperimentConfig,
+    ShadowsocksExperimentConfig,
+    SinkExperimentConfig,
+    run_blocking_experiment,
+    run_brdgrd_experiment,
+    run_shadowsocks_experiment,
+    run_sink_experiment,
+)
+from ..experiments.common import build_world
+from ..gfw import BlockingPolicy, DetectorConfig, PassiveDetector, Reaction
+from ..probesim import PROBE_LENGTH_SCHEDULE, build_random_probe_row, build_replay_table
+from ..shadowsocks import ShadowsocksClient, ShadowsocksServer, get_profile
+from ..workloads import CurlDriver
+from .events import EventBus
+from .scenario import Scenario, register
+
+__all__: List[str] = []  # import for side effects only
+
+
+def _series(values) -> Dict[str, float]:
+    """Summary stats of a numeric series (empty-safe, JSON-able)."""
+    values = sorted(values)
+    if not values:
+        return {"count": 0}
+    n = len(values)
+    median = (values[n // 2] if n % 2
+              else (values[n // 2 - 1] + values[n // 2]) / 2.0)
+    return {"count": n, "mean": sum(values) / n, "median": median,
+            "min": values[0], "max": values[-1]}
+
+
+# --------------------------------------------------------------- §3.1
+
+
+def _summarize_shadowsocks(result) -> Dict[str, object]:
+    first, all_delays = result.replay_delays
+    return {
+        "connections": result.connections_made,
+        "flagged": result.world.gfw.flagged_connections,
+        "probes": len(result.probe_log),
+        "probes_by_type": dict(sorted(result.probes_by_type.items())),
+        "unique_prober_ips": len(set(result.prober_ips)),
+        "control_probes": result.control_probe_count,
+        "first_replay_delays": _series(first),
+        "all_replay_delays": _series(all_delays),
+        "server_probes": {name: len(probes) for name, probes
+                          in sorted(result.server_probes.items())},
+    }
+
+
+register(Scenario(
+    name="shadowsocks",
+    title="§3.1 Shadowsocks measurement (Figures 2-7, Tables 2-3)",
+    params_type=ShadowsocksExperimentConfig,
+    build=run_shadowsocks_experiment,
+    summarize=_summarize_shadowsocks,
+    description="libev + Outline client/server pairs behind the GFW; "
+                "probe log and server captures.",
+    tags=("experiment", "gfw", "shadowsocks"),
+))
+
+
+# --------------------------------------------------------------- §4.1
+
+
+def _summarize_sink(result) -> Dict[str, object]:
+    replay_records = result.replay_records()
+    return {
+        "connections": len(result.sent_payloads),
+        "probes": len(result.probe_log),
+        "probes_by_type": dict(sorted(result.probes_by_type().items())),
+        "replays": len(replay_records),
+        "replay_lengths": _series(result.replay_lengths()),
+        "trigger_lengths": _series(result.trigger_lengths),
+        "replay_ratio_by_entropy": [
+            [center, ratio]
+            for center, ratio in result.replay_ratio_by_entropy()
+        ],
+    }
+
+
+register(Scenario(
+    name="sink",
+    title="§4.1 random-data experiments (Table 4, Figures 8-9)",
+    params_type=SinkExperimentConfig,
+    build=run_sink_experiment,
+    summarize=_summarize_sink,
+    description="Bare TCP client sends controlled (length, entropy) "
+                "payloads to a sink/responding server.",
+    tags=("experiment", "gfw"),
+))
+
+
+# --------------------------------------------------------------- §7.1
+
+
+def _summarize_brdgrd(result) -> Dict[str, object]:
+    active, inactive = result.window_rates()
+    return {
+        "probe_syns": len(result.probe_syn_times),
+        "control_syns": len(result.control_syn_times),
+        "hourly_counts": result.hourly_counts(),
+        "control_hourly_counts": result.hourly_counts(result.control_syn_times),
+        "rate_active": active,
+        "rate_inactive": inactive,
+    }
+
+
+register(Scenario(
+    name="brdgrd",
+    title="§7.1 brdgrd defense (Figure 11)",
+    params_type=BrdgrdExperimentConfig,
+    build=run_brdgrd_experiment,
+    summarize=_summarize_brdgrd,
+    description="Probing rate at a brdgrd-guarded server vs a control "
+                "as brdgrd toggles on a schedule.",
+    tags=("experiment", "defense"),
+))
+
+
+# ----------------------------------------------------------------- §6
+
+
+def _summarize_blocking(result) -> Dict[str, object]:
+    blocked = {e.ip: e for e in result.block_events}
+    servers = [
+        {
+            "ip": ip,
+            "profile": profile,
+            "probes": result.probes_per_server.get(ip, 0),
+            "blocked": ip in blocked,
+            "blocked_at": blocked[ip].time if ip in blocked else None,
+            "by_ip": blocked[ip].port is None if ip in blocked else None,
+        }
+        for ip, profile in sorted(result.server_profiles.items())
+    ]
+    return {
+        "servers": servers,
+        "blocked_fraction": result.blocked_fraction,
+        "blocked_profiles": sorted(result.blocked_profiles),
+        "block_events": len(result.block_events),
+        "probes": sum(result.probes_per_server.values()),
+    }
+
+
+register(Scenario(
+    name="blocking",
+    title="§6 blocking observations",
+    params_type=BlockingExperimentConfig,
+    build=run_blocking_experiment,
+    summarize=_summarize_blocking,
+    description="Vantage fleet of implementations under a human-gated "
+                "blocking policy with sensitive windows.",
+    tags=("experiment", "blocking"),
+))
+
+
+# ------------------------------------------------- §5.1 probesim sweeps
+
+
+@dataclass
+class ProbesimGridConfig:
+    """Figure 10 sweep: random probes of many lengths per (impl, cipher)."""
+
+    seed: int = 0
+    profiles: Tuple[str, ...] = ("ss-libev-3.1.3", "ss-libev-3.3.1",
+                                 "outline-1.0.7")
+    methods: Tuple[str, ...] = ("aes-256-ctr", "aes-128-gcm",
+                                "chacha20-ietf-poly1305")
+    lengths: Tuple[int, ...] = PROBE_LENGTH_SCHEDULE
+    trials: int = 4
+
+
+class _GridArtifact:
+    def __init__(self, rows, bus):
+        self.rows = rows
+        self.bus = bus
+
+
+def _build_probesim_grid(config: ProbesimGridConfig) -> _GridArtifact:
+    from ..crypto import get_spec
+    from ..crypto.registry import CipherKind
+
+    bus = EventBus()
+    rows = {}
+    for profile_name in config.profiles:
+        profile = get_profile(profile_name)
+        for method in config.methods:
+            kind = get_spec(method).kind
+            if kind == CipherKind.STREAM and not profile.supports_stream:
+                continue
+            if kind == CipherKind.AEAD and not profile.supports_aead:
+                continue
+            row = build_random_probe_row(
+                profile_name, method, config.lengths,
+                trials=config.trials, seed=config.seed, bus=bus,
+            )
+            rows[(profile_name, method)] = row
+    return _GridArtifact(rows, bus)
+
+
+def _summarize_probesim_grid(artifact: _GridArtifact) -> Dict[str, object]:
+    return {
+        "rows": {
+            f"{profile}|{method}": {
+                str(length): row.cells[length].label()
+                for length in sorted(row.cells)
+            }
+            for (profile, method), row in sorted(artifact.rows.items())
+        },
+    }
+
+
+register(Scenario(
+    name="probesim-grid",
+    title="§5.1 random-probe reaction grid (Figure 10)",
+    params_type=ProbesimGridConfig,
+    build=_build_probesim_grid,
+    summarize=_summarize_probesim_grid,
+    events_of=lambda artifact: artifact.bus.snapshot(),
+    description="Length sweep of random probes against server models; "
+                "incompatible (impl, cipher) combos are skipped.",
+    tags=("probesim", "sweep"),
+))
+
+
+class _ReplayArtifact:
+    def __init__(self, table, bus):
+        self.table = table
+        self.bus = bus
+
+
+@dataclass
+class ProbesimReplayConfig:
+    """Table 5 battery: identical vs byte-changed replays per pair."""
+
+    seed: int = 41
+    pairs: Tuple[Tuple[str, str], ...] = (
+        ("ss-libev-3.1.3", "aes-256-ctr"),
+        ("ss-libev-3.1.3", "aes-256-gcm"),
+        ("ss-libev-3.3.1", "aes-256-ctr"),
+        ("ss-libev-3.3.1", "aes-256-gcm"),
+        ("outline-1.0.7", "chacha20-ietf-poly1305"),
+    )
+    trials: int = 4
+
+
+def _build_probesim_replay(config: ProbesimReplayConfig) -> _ReplayArtifact:
+    bus = EventBus()
+    table = build_replay_table(list(config.pairs), trials=config.trials,
+                               seed=config.seed, bus=bus)
+    return _ReplayArtifact(table, bus)
+
+
+def _summarize_probesim_replay(artifact: _ReplayArtifact) -> Dict[str, object]:
+    return {
+        "rows": {
+            f"{profile}|{method}": {
+                mode: dict(sorted(counter.items()))
+                for mode, counter in modes.items()
+            }
+            for (profile, method), modes in sorted(artifact.table.items())
+        },
+    }
+
+
+register(Scenario(
+    name="probesim-replay",
+    title="§5.1 replay battery (Table 5)",
+    params_type=ProbesimReplayConfig,
+    build=_build_probesim_replay,
+    summarize=_summarize_probesim_replay,
+    events_of=lambda artifact: artifact.bus.snapshot(),
+    description="Identical vs byte-changed replay reactions per "
+                "(implementation, cipher) pair.",
+    tags=("probesim", "sweep"),
+))
+
+
+# ------------------------------------------------------ ablation matrices
+
+
+@dataclass
+class DetectorFeaturesConfig:
+    """Which passive-detector feature does the work?"""
+
+    seed: int = 61
+    samples: int = 400
+    method: str = "chacha20-ietf-poly1305"
+
+
+_DETECTOR_VARIANTS: Tuple[Tuple[str, Dict[str, bool]], ...] = (
+    ("full detector", {}),
+    ("no length filter", {"length_filter": False}),
+    ("no entropy filter", {"entropy_filter": False}),
+    ("neither filter", {"length_filter": False, "entropy_filter": False}),
+)
+
+
+def _build_detector_features(config: DetectorFeaturesConfig) -> Dict[str, object]:
+    from ..shadowsocks import encode_target
+    from ..shadowsocks.aead_session import AeadEncryptor, aead_master_key
+    from ..workloads import SITES, http_get_request, site_request, tls_client_hello
+
+    rng = random.Random(config.seed)
+    master = aead_master_key("pw", config.method)
+    ss_packets = []
+    for _ in range(config.samples):
+        site = rng.choice(SITES)
+        payload = encode_target(site, 443) + site_request(site, rng)
+        enc = AeadEncryptor(config.method, master, rng=rng)
+        ss_packets.append(enc.encrypt(payload))
+    plain_packets = []
+    for _ in range(config.samples):
+        site = rng.choice(SITES)
+        if rng.random() < 0.5:
+            plain_packets.append(http_get_request(site, rng))
+        else:
+            plain_packets.append(tls_client_hello(site, rng))
+
+    rows = {}
+    for label, toggles in _DETECTOR_VARIANTS:
+        detector = PassiveDetector(DetectorConfig(base_rate=1.0, **toggles))
+        ss_rate = sum(detector.flag_probability(p) for p in ss_packets)
+        plain_rate = sum(detector.flag_probability(p) for p in plain_packets)
+        rows[label] = {
+            "ss_rate": ss_rate / len(ss_packets),
+            "plain_rate": plain_rate / len(plain_packets),
+        }
+    return {"rows": rows}
+
+
+register(Scenario(
+    name="ablation-detector-features",
+    title="Ablation: passive-detector feature contributions",
+    params_type=DetectorFeaturesConfig,
+    build=_build_detector_features,
+    summarize=lambda artifact: artifact,
+    events_of=lambda artifact: {},
+    description="Flag rates on Shadowsocks vs plaintext first packets "
+                "with length/entropy filters toggled.",
+    tags=("ablation", "detector"),
+))
+
+
+@dataclass
+class DefenseMatrixConfig:
+    """§7 defense configurations against the full GFW pipeline."""
+
+    seed: int = 300
+    connections: int = 30
+    interval: float = 20.0
+    duration: float = 12 * 3600.0
+    server_port: int = 8388
+
+
+_DEFENSE_CASES: Tuple[Tuple[str, str, str, bool, bool], ...] = (
+    # (label, method, profile, hardened, brdgrd)
+    ("stream, no defenses (ssr)", "aes-256-ctr", "ssr", False, False),
+    ("AEAD, old libev", "aes-256-gcm", "ss-libev-3.1.3", False, False),
+    ("AEAD, hardened + replay filter", "chacha20-ietf-poly1305",
+     "outline-1.0.7", True, False),
+    ("hardened + brdgrd", "chacha20-ietf-poly1305", "outline-1.0.7",
+     True, True),
+)
+
+
+class _DefenseArtifact:
+    def __init__(self, cases, bus):
+        self.cases = cases
+        self.bus = bus
+
+
+def _run_defense_case(config: DefenseMatrixConfig, method: str, profile_name: str,
+                      hardened: bool, use_brdgrd: bool, seed: int,
+                      bus: EventBus) -> Dict[str, object]:
+    profile = harden(get_profile(profile_name)) if hardened else profile_name
+    world = build_world(
+        seed=seed,
+        detector_config=DetectorConfig(base_rate=1.0),
+        blocking_policy=BlockingPolicy(human_gated=False,
+                                       block_probability=1.0),
+        websites=["example.com"],
+    )
+    server_host = world.add_server("server", region="uk")
+    client_host = world.add_client("client")
+    if use_brdgrd:
+        world.net.add_middlebox(Brdgrd(server_host.ip, config.server_port,
+                                       rng=random.Random(seed)))
+    ShadowsocksServer(server_host, config.server_port, "pw", method, profile,
+                      rng=random.Random(seed + 1))
+    client = ShadowsocksClient(client_host, server_host.ip,
+                               config.server_port, "pw", method,
+                               rng=random.Random(seed + 2))
+    CurlDriver(client, rng=random.Random(seed + 3),
+               sites=["example.com"]).run_schedule(config.connections,
+                                                   config.interval)
+    world.sim.run(until=config.duration)
+    bus.absorb(world.bus)
+    replay_data = sum(
+        1 for r in world.gfw.probe_log
+        if r.probe.is_replay and r.reaction == Reaction.DATA
+    )
+    return {
+        "flagged": world.gfw.flagged_connections,
+        "probes": len(world.gfw.probe_log),
+        "replay_data": replay_data,
+        "blocked": world.gfw.blocking.is_blocked(server_host.ip,
+                                                 config.server_port),
+    }
+
+
+def _build_defense_matrix(config: DefenseMatrixConfig) -> _DefenseArtifact:
+    bus = EventBus()
+    cases = {
+        label: _run_defense_case(config, method, profile, hardened, brdgrd,
+                                 seed=config.seed + i, bus=bus)
+        for i, (label, method, profile, hardened, brdgrd)
+        in enumerate(_DEFENSE_CASES)
+    }
+    return _DefenseArtifact(cases, bus)
+
+
+register(Scenario(
+    name="ablation-defense-matrix",
+    title="Ablation: defense configurations vs the full GFW pipeline",
+    params_type=DefenseMatrixConfig,
+    build=_build_defense_matrix,
+    summarize=lambda artifact: {"cases": artifact.cases},
+    events_of=lambda artifact: artifact.bus.snapshot(),
+    description="Stream/AEAD/hardened/brdgrd server configurations under "
+                "an aggressive GFW with blocking enabled.",
+    tags=("ablation", "defense"),
+))

@@ -74,6 +74,7 @@ class ShadowsocksServer:
         host.listen(port, self._accept)
 
     def _accept(self, conn) -> None:
+        self.host.sim.bus.incr("ss.session.accepted")
         self.sessions.append(ServerSession(self, conn))
 
     def restart(self) -> None:
@@ -166,6 +167,7 @@ class ServerSession:
 
     def _fail(self) -> None:
         """Authentication failure or invalid target: profile-specific."""
+        self.sim.bus.incr("ss.session.error")
         if self.profile.error_action == ErrorAction.RST:
             self.state = self.DONE
             if self._idle_event is not None:
@@ -344,6 +346,7 @@ class ServerSession:
         if self._connect_event is not None:
             self._connect_event.cancel()
         self.state = self.PROXY
+        self.sim.bus.incr("ss.session.proxied")
         remote = self.remote
         remote.on_data = self._proxy_remote_data
         remote.on_remote_fin = self._remote_closed

@@ -32,6 +32,7 @@ class CurlDriver:
     def fetch_once(self) -> None:
         site = self.rng.choice(self.sites)
         payload = site_request(site, self.rng)
+        self.client.host.sim.bus.incr("workload.fetch")
         self.sessions.append(self.client.open(site, self.target_port, payload))
 
     def run_schedule(self, count: int, interval: float, start: float = 0.0) -> None:

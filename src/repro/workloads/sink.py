@@ -109,6 +109,7 @@ class RandomDataClient:
 
         def on_connected() -> None:
             conn.send(payload)
+            self.host.sim.bus.incr("workload.fetch")
             self.sent_payloads.append((self.host.sim.now, payload))
             self.on_send(payload)
             self.host.sim.schedule(self.hold_open, conn.close)

@@ -67,6 +67,50 @@ def test_requires_subcommand():
 def test_parser_lists_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("quickstart", "probesim", "identify", "sink", "brdgrd",
-                    "blocking", "profiles", "ciphers"):
+    for command in ("run", "quickstart", "probesim", "identify", "sink",
+                    "brdgrd", "blocking", "profiles", "ciphers"):
         assert command in text
+
+
+def test_run_list_scenarios(capsys):
+    assert main(["run", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("shadowsocks", "sink", "brdgrd", "blocking",
+                 "ablation-defense-matrix"):
+        assert name in out
+
+
+def test_run_without_scenario_shows_list_and_fails(capsys):
+    assert main(["run"]) == 2
+    assert "sink" in capsys.readouterr().out
+
+
+def test_run_unknown_scenario(capsys):
+    assert main(["run", "no-such-scenario", "--no-cache"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_run_bad_override(capsys):
+    assert main(["run", "sink", "--set", "oops"]) == 2
+    assert "KEY=VALUE" in capsys.readouterr().err
+
+
+def test_run_executes_and_caches(tmp_path, capsys):
+    argv = ["run", "ablation-detector-features", "--set", "samples=40",
+            "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    assert "cache 0 hit / 1 miss" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "cache 1 hit / 0 miss" in capsys.readouterr().out
+
+
+def test_run_json_output(tmp_path, capsys):
+    import json
+
+    assert main(["run", "ablation-detector-features", "--seeds", "2",
+                 "--set", "samples=40", "--cache-dir", str(tmp_path),
+                 "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["scenario"] == "ablation-detector-features"
+    assert doc["seeds"] == [0, 1]
+    assert len(doc["runs"]) == 2

@@ -64,3 +64,28 @@ def test_brdgrd_config_defaults_sane():
 def test_shadowsocks_config_profiles_cycle():
     config = ShadowsocksExperimentConfig(libev_pairs=3)
     assert len(config.libev_profiles) >= 2  # cycled across pairs
+
+
+def test_subnet_prefix_normalization():
+    from repro.experiments.common import subnet_prefix
+
+    assert subnet_prefix("192.0.2.0/24") == "192.0.2."
+    assert subnet_prefix("192.0.2.0") == "192.0.2."
+    assert subnet_prefix("192.0.2.") == "192.0.2."
+
+
+def test_add_host_accepts_any_subnet_spelling():
+    world = build_world(seed=0)
+    a = world.add_host("a", "203.0.113.0/24")
+    b = world.add_host("b", "203.0.113.")
+    assert a.ip == "203.0.113.10"
+    assert b.ip == "203.0.113.11"
+
+
+def test_add_host_exhausts_subnet_with_clear_error():
+    world = build_world(seed=0)
+    capacity = world.LAST_HOST_INDEX - world.FIRST_HOST_INDEX + 1
+    for i in range(capacity):
+        world.add_host(f"h{i}", "203.0.113.")
+    with pytest.raises(ValueError, match="203.0.113.0/24 is exhausted"):
+        world.add_host("one-too-many", "203.0.113.")

@@ -71,3 +71,53 @@ def test_absolute_scheduling():
     sim.at(105.0, hits.append, "x")
     sim.run()
     assert hits == ["x"] and sim.now == 105.0
+
+
+def test_run_returns_processed_event_count():
+    sim = Simulator()
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda: None)
+    assert sim.run(until=2.5) == 2
+    assert sim.run() == 1
+    assert sim.run() == 0
+
+
+def test_run_counts_exclude_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.run() == 1
+
+
+def test_run_until_idle_drains_everything():
+    sim = Simulator()
+    hits = []
+
+    def recur(n):
+        hits.append(sim.now)
+        if n:
+            sim.schedule(100.0, recur, n - 1)
+
+    sim.schedule(0.0, recur, 5)
+    assert sim.run_until_idle() == 6
+    assert hits == [0.0, 100.0, 200.0, 300.0, 400.0, 500.0]
+    assert sim.run_until_idle() == 0
+
+
+def test_run_until_idle_respects_max_events():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(0.0, forever)
+    assert sim.run_until_idle(max_events=10) == 10
+
+
+def test_simulator_counts_events_on_bus():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert sim.bus.count("sim.events") == 2

@@ -1,0 +1,116 @@
+"""The on-disk result cache: hits, misses, invalidation, manifests."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.runtime import ResultCache, run_scenario
+from repro.runtime.scenario import Scenario, register, unregister
+
+
+@dataclass
+class _ToyParams:
+    seed: int = 0
+    value: int = 3
+
+
+_BUILD_CALLS = []
+
+
+def _toy_build(params):
+    _BUILD_CALLS.append(params.seed)
+    return {"doubled": params.value * 2}
+
+
+@pytest.fixture
+def toy_scenario():
+    register(Scenario(
+        name="_toy-cache",
+        title="toy",
+        params_type=_ToyParams,
+        build=_toy_build,
+        summarize=lambda artifact: artifact,
+        events_of=lambda artifact: {"counters": {"toy.built": 1}},
+    ))
+    _BUILD_CALLS.clear()
+    yield "_toy-cache"
+    unregister("_toy-cache")
+
+
+def test_cache_miss_then_hit(tmp_path, toy_scenario):
+    cache = ResultCache(tmp_path)
+    first = run_scenario(toy_scenario, seed=5, cache=cache)
+    assert not first.cache_hit
+    assert cache.misses == 1 and cache.hits == 0
+    assert _BUILD_CALLS == [5]
+
+    second = run_scenario(toy_scenario, seed=5, cache=cache)
+    assert second.cache_hit
+    assert cache.hits == 1
+    assert _BUILD_CALLS == [5]  # no re-simulation
+    assert second.identity() == first.identity()
+
+
+def test_different_params_or_seed_miss(tmp_path, toy_scenario):
+    cache = ResultCache(tmp_path)
+    run_scenario(toy_scenario, seed=0, cache=cache)
+    run_scenario(toy_scenario, seed=1, cache=cache)
+    run_scenario(toy_scenario, seed=0, overrides={"value": 9}, cache=cache)
+    assert cache.misses == 3 and cache.hits == 0
+    assert _BUILD_CALLS == [0, 1, 0]
+
+
+def test_code_change_invalidates(tmp_path, toy_scenario, monkeypatch):
+    # The runner binds code_fingerprint by name; patch its reference.
+    monkeypatch.setattr("repro.runtime.runner.code_fingerprint",
+                        lambda: "aaaa000000000000")
+    cache = ResultCache(tmp_path)
+    run_scenario(toy_scenario, seed=0, cache=cache)
+    assert run_scenario(toy_scenario, seed=0, cache=cache).cache_hit
+
+    monkeypatch.setattr("repro.runtime.runner.code_fingerprint",
+                        lambda: "bbbb000000000000")
+    third = run_scenario(toy_scenario, seed=0, cache=cache)
+    assert not third.cache_hit
+    assert third.fingerprint == "bbbb000000000000"
+    assert _BUILD_CALLS == [0, 0]
+
+
+def test_use_cache_false_always_executes(tmp_path, toy_scenario):
+    cache = ResultCache(tmp_path)
+    run_scenario(toy_scenario, seed=0, cache=cache)
+    result = run_scenario(toy_scenario, seed=0, cache=cache, use_cache=False)
+    assert not result.cache_hit
+    assert _BUILD_CALLS == [0, 0]
+    # ...but it still refreshes the stored result.
+    assert run_scenario(toy_scenario, seed=0, cache=cache).cache_hit
+
+
+def test_manifest_written_next_to_result(tmp_path, toy_scenario):
+    cache = ResultCache(tmp_path)
+    result = run_scenario(toy_scenario, seed=7, cache=cache)
+    key = cache.key_for(result.scenario, result.params, result.seed,
+                        result.fingerprint)
+    directory = cache.dir_for(result.scenario, key)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    assert manifest["scenario"] == "_toy-cache"
+    assert manifest["seed"] == 7
+    assert manifest["params"] == {"value": 3}
+    assert manifest["key"] == key
+    assert manifest["fingerprint"] == result.fingerprint
+    assert manifest["events"] == {"counters": {"toy.built": 1}}
+    assert "wall_time" in manifest and "created" in manifest
+    stored = json.loads((directory / "result.json").read_text())
+    assert stored["payload"] == {"doubled": 6}
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path, toy_scenario):
+    cache = ResultCache(tmp_path)
+    result = run_scenario(toy_scenario, seed=0, cache=cache)
+    key = cache.key_for(result.scenario, result.params, result.seed,
+                        result.fingerprint)
+    (cache.dir_for(result.scenario, key) / "result.json").write_text("not json")
+    again = run_scenario(toy_scenario, seed=0, cache=cache)
+    assert not again.cache_hit
+    assert _BUILD_CALLS == [0, 0]

@@ -1,0 +1,75 @@
+"""The instrumentation bus: counters, scalar series, merging."""
+
+from repro.runtime import EventBus, merge_counters
+
+
+def test_incr_and_count():
+    bus = EventBus()
+    bus.incr("probe.sent")
+    bus.incr("probe.sent", 3)
+    assert bus.count("probe.sent") == 4
+    assert bus.count("never.seen") == 0
+
+
+def test_observe_scalar_stats():
+    bus = EventBus()
+    for v in (2.0, 8.0, 5.0):
+        bus.observe("probe.replay_delay", v)
+    snap = bus.snapshot()
+    stats = snap["scalars"]["probe.replay_delay"]
+    assert stats["count"] == 3
+    assert stats["sum"] == 15.0
+    assert stats["min"] == 2.0
+    assert stats["max"] == 8.0
+
+
+def test_snapshot_counters_are_sorted_and_detached():
+    bus = EventBus()
+    bus.incr("zzz")
+    bus.incr("aaa")
+    snap = bus.snapshot()
+    assert list(snap["counters"]) == ["aaa", "zzz"]
+    snap["counters"]["aaa"] = 99
+    assert bus.count("aaa") == 1
+
+
+def test_subscribe_sees_increments():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(lambda name, value: seen.append((name, value)))
+    bus.incr("gfw.flow.opened")
+    bus.observe("x", 2.5)
+    assert ("gfw.flow.opened", 1) in seen
+    assert ("x", 2.5) in seen
+
+
+def test_absorb_merges_counters_and_scalars():
+    a, b = EventBus(), EventBus()
+    a.incr("probe.sent", 2)
+    b.incr("probe.sent", 3)
+    b.incr("only.b")
+    a.observe("delay", 1.0)
+    b.observe("delay", 9.0)
+    a.absorb(b)
+    assert a.count("probe.sent") == 5
+    assert a.count("only.b") == 1
+    stats = a.snapshot()["scalars"]["delay"]
+    assert stats["count"] == 2 and stats["min"] == 1.0 and stats["max"] == 9.0
+
+
+def test_clear_resets_everything():
+    bus = EventBus()
+    bus.incr("a")
+    bus.observe("b", 1.0)
+    bus.clear()
+    snap = bus.snapshot()
+    assert snap["counters"] == {} and snap["scalars"] == {}
+
+
+def test_merge_counters_sums_across_snapshots():
+    a, b = EventBus(), EventBus()
+    a.incr("x", 2)
+    b.incr("x", 5)
+    b.incr("y")
+    merged = merge_counters([a.snapshot(), b.snapshot()])
+    assert merged == {"x": 7, "y": 1}

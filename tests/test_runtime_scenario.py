@@ -1,0 +1,100 @@
+"""Scenario registry, params canonicalization, override coercion."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import pytest
+
+from repro.runtime import canonical_params, get_scenario, scenario_names
+from repro.runtime.scenario import (
+    RunResult,
+    Scenario,
+    coerce_overrides,
+    register,
+    unregister,
+)
+
+
+@dataclass
+class _Params:
+    seed: int = 0
+    count: int = 10
+    label: str = "x"
+    windows: Tuple[Tuple[float, float], ...] = ((1.0, 2.0),)
+
+
+def test_builtin_scenarios_are_registered():
+    names = scenario_names()
+    for expected in ("shadowsocks", "sink", "brdgrd", "blocking",
+                     "probesim-grid", "probesim-replay",
+                     "ablation-detector-features", "ablation-defense-matrix"):
+        assert expected in names
+
+
+def test_get_unknown_scenario_lists_known():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        get_scenario("no-such-scenario")
+
+
+def test_register_duplicate_rejected():
+    scenario = Scenario(name="_dup", title="t", params_type=_Params,
+                        build=lambda p: {}, summarize=lambda a: a)
+    register(scenario)
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register(scenario)
+        register(scenario, replace=True)  # explicit replace is fine
+    finally:
+        unregister("_dup")
+
+
+def test_canonical_params_excludes_seed_and_sorts():
+    params = _Params(seed=99, count=5)
+    canon = canonical_params(params)
+    assert "seed" not in canon
+    assert list(canon) == sorted(canon)
+    assert canon["count"] == 5
+    assert canon["windows"] == [[1.0, 2.0]]  # tuples flattened to JSON lists
+
+
+def test_instantiate_injects_seed():
+    scenario = Scenario(name="_inst", title="t", params_type=_Params,
+                        build=lambda p: {}, summarize=lambda a: a)
+    params = scenario.instantiate(42, {"count": 3})
+    assert params.seed == 42 and params.count == 3
+
+
+def test_coerce_overrides_parses_cli_strings():
+    out = coerce_overrides(_Params, {"count": "25", "label": "plain",
+                                     "windows": "[[0, 5], [10, 15]]"})
+    assert out["count"] == 25
+    assert out["label"] == "plain"
+    assert out["windows"] == ((0, 5), (10, 15))  # nested tuple for tuple field
+
+
+def test_coerce_overrides_passes_values_through():
+    out = coerce_overrides(_Params, {"count": 7, "windows": [[1, 2]]})
+    assert out["count"] == 7
+    assert out["windows"] == ((1, 2),)
+
+
+def test_coerce_overrides_unknown_key():
+    with pytest.raises(KeyError, match="no parameter 'nope'"):
+        coerce_overrides(_Params, {"nope": 1})
+
+
+def test_runresult_roundtrip_and_identity():
+    result = RunResult(scenario="s", params={"a": 1}, seed=3,
+                       payload={"x": 2.5}, events={"counters": {"e": 1}},
+                       wall_time=1.25, fingerprint="abcd")
+    clone = RunResult.from_json_dict(result.to_json_dict())
+    assert clone == result
+    assert result.identity() == {
+        "scenario": "s", "params": {"a": 1}, "seed": 3,
+        "payload": {"x": 2.5}, "events": {"counters": {"e": 1}},
+    }
+    # Timing/provenance never leak into the deterministic identity.
+    slower = RunResult(scenario="s", params={"a": 1}, seed=3,
+                       payload={"x": 2.5}, events={"counters": {"e": 1}},
+                       wall_time=9.0, fingerprint="ffff", cache_hit=True)
+    assert slower.canonical_bytes() == result.canonical_bytes()
