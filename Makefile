@@ -16,13 +16,15 @@ lint:                ## static checks (requires ruff)
 bench:               ## every paper table/figure benchmark + ablations
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# One cached benchmark per layer: both runtime-backed ablation matrices
-# (experiments -> GFW -> runtime cache) and one probesim figure.  Runs
-# leave results + manifests under benchmarks/output/runs/.
+# One cached benchmark per layer: the runtime-backed ablation matrices
+# (experiments -> GFW -> runtime cache), the impairment grid (fault
+# paths + TCP retransmission), and one probesim figure.  Runs leave
+# results + manifests under benchmarks/output/runs/.
 bench-smoke:
 	$(PYTHON) -m pytest \
 	    benchmarks/ablations/test_defense_matrix.py \
 	    benchmarks/ablations/test_detector_features.py \
+	    benchmarks/ablations/test_impairment_matrix.py \
 	    benchmarks/test_fig10b_aead_reactions.py \
 	    --benchmark-only -q
 

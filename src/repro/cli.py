@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--profile", default="outline-1.0.7")
     p.add_argument("--method", default="chacha20-ietf-poly1305")
+    p.add_argument("--loss", type=float, default=0.0, metavar="P",
+                   help="network loss probability per segment (default 0)")
+    p.add_argument("--reorder", type=float, default=0.0, metavar="P",
+                   help="network reorder probability per segment (default 0)")
 
     p = sub.add_parser("probesim", help="probe a server model (Figure 10 row)")
     p.add_argument("--profile", default="ss-libev-3.1.3")
@@ -164,12 +168,15 @@ def _cmd_quickstart(args) -> int:
 
     from .experiments import build_world
     from .gfw import DetectorConfig
+    from .net import Impairment
     from .shadowsocks import ShadowsocksClient, ShadowsocksServer
     from .workloads import CurlDriver
 
+    impairment = Impairment(loss=args.loss, reorder=args.reorder)
     world = build_world(seed=args.seed,
                         detector_config=DetectorConfig(base_rate=0.9),
-                        websites=["example.com", "gfw.report"])
+                        websites=["example.com", "gfw.report"],
+                        impairment=impairment if impairment.active else None)
     server_host = world.add_server("ss-server", region="uk")
     client_host = world.add_client("client")
     ShadowsocksServer(server_host, 8388, "pw", args.method, args.profile)
@@ -181,6 +188,12 @@ def _cmd_quickstart(args) -> int:
     world.sim.run(until=args.connections * 60.0 + 3600)
     print(f"connections: {args.connections}  flagged: "
           f"{world.gfw.flagged_connections}  probes: {len(world.gfw.probe_log)}")
+    if impairment.active:
+        counters = world.bus.counters
+        retx = (counters.get("tcp.retransmit", 0)
+                + counters.get("tcp.syn.retry", 0))
+        print(f"impairment: loss={args.loss:g} reorder={args.reorder:g}  "
+              f"dropped={world.net.impairment_drops}  retransmits={retx}")
     for record in world.gfw.probe_log[:20]:
         print(f"  {record.time_sent:>8.1f}s {record.probe_type:<4} "
               f"len={len(record.probe.payload):<4} from {record.src_ip:<16} "

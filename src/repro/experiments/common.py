@@ -21,7 +21,7 @@ from ..gfw import (
     GreatFirewall,
     SchedulerConfig,
 )
-from ..net import AS_TABLE, Host, Network, Simulator
+from ..net import AS_TABLE, Host, Impairment, Network, Simulator
 
 __all__ = ["CHINA_CIDRS", "World", "build_world", "subnet_prefix"]
 
@@ -123,11 +123,21 @@ def build_world(
     fleet_config: Optional[FleetConfig] = None,
     blocking_policy: Optional[BlockingPolicy] = None,
     websites: Optional[List[str]] = None,
+    impairment: Optional[Impairment] = None,
 ) -> World:
-    """Build a bordered world with a GFW on the path."""
+    """Build a bordered world with a GFW on the path.
+
+    ``impairment`` attaches a network-wide fault profile (loss,
+    reordering, duplication, jitter, flaps); an inactive (all-zero)
+    profile is equivalent to ``None`` and leaves the fabric pristine.
+    The network's fault RNG is derived from ``seed`` directly — not
+    drawn from the world RNG — so enabling impairments never shifts the
+    seed derivations of the GFW, hosts, or workloads.
+    """
     rng = random.Random(seed)
     sim = Simulator()
-    net = Network(sim)
+    net = Network(sim, impairment=impairment,
+                  rng=random.Random((seed << 4) ^ 0x1A7E7))
     gfw = GreatFirewall(
         sim, net, CHINA_CIDRS,
         rng=random.Random(rng.randrange(1 << 30)),

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from .entropy import shannon_entropy
 
@@ -38,10 +38,12 @@ class DetectorConfig:
     max_length: int = 999         # ... or longer than 999 bytes
     core_low: int = 160           # the 160-700 byte sweet spot
     core_high: int = 700
-    # Remainder-mod-16 affinity bands (Figure 8).
-    band1 = (168, 263)            # remainder 9 dominates (72%)
-    band2 = (264, 383)            # mixed: 9 (37%) and 2 (32%)
-    band3 = (384, 687)            # remainder 2 dominates (96%)
+    # Remainder-mod-16 affinity bands (Figure 8).  Real dataclass fields
+    # (not class attributes) so they are per-instance, constructor- and
+    # ``--set``-overridable, and part of the canonical params identity.
+    band1: Tuple[int, int] = (168, 263)   # remainder 9 dominates (72%)
+    band2: Tuple[int, int] = (264, 383)   # mixed: 9 (37%) and 2 (32%)
+    band3: Tuple[int, int] = (384, 687)   # remainder 2 dominates (96%)
     # Entropy ramp (Figure 9): weight rises ~linearly, 4x from H=3 to H=7.2.
     entropy_low: float = 3.0
     entropy_high: float = 7.2

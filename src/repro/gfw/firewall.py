@@ -38,6 +38,7 @@ class FlowState:
     responder_port: int
     saw_initiator_data: bool = False
     saw_responder_data: bool = False
+    last_seen: float = 0.0
 
 
 class GreatFirewall(Middlebox):
@@ -54,6 +55,9 @@ class GreatFirewall(Middlebox):
         scheduler_config: Optional[SchedulerConfig] = None,
         fleet_config: Optional[FleetConfig] = None,
         blocking_policy: Optional[BlockingPolicy] = None,
+        flow_idle_timeout: Optional[float] = None,
+        max_flows: int = 1 << 18,
+        inside_cache_max: int = 1 << 16,
     ):
         self.sim = sim
         self.network = network
@@ -89,6 +93,22 @@ class GreatFirewall(Middlebox):
         self.scheduler.on_probe_result = self.blocking.consider
 
         self.flows: Dict[tuple, FlowState] = {}
+        # Flow-table hygiene: flows that never see FIN/RST (SYN scans,
+        # NR probes, half-open connections) must not accumulate forever
+        # on multi-week runs.  ``max_flows`` is a hard count cap (the
+        # oldest quartile is reclaimed when it is hit); setting
+        # ``flow_idle_timeout`` (seconds) additionally sweeps flows idle
+        # longer than that, amortized over tracked segments.
+        self.flow_idle_timeout = flow_idle_timeout
+        self.max_flows = max_flows
+        self.inside_cache_max = inside_cache_max
+        self._track_calls = 0
+        self.evicted_flows = 0
+        # Replay/retransmission hardening: connection keys whose feature
+        # packet was already flagged recently, so a retransmitted SYN
+        # recreating the flow entry cannot double-count the flag.
+        self._flagged_recently: Dict[tuple, float] = {}
+        self.flag_dedup_window = 60.0
         # Off by default: long experiments would otherwise accumulate
         # millions of records.  Enable for debugging.
         self.capture = Capture()
@@ -107,6 +127,11 @@ class GreatFirewall(Middlebox):
         if cached is None:
             value = ip_to_int(ip)
             cached = any((value & mask) == base for base, mask in self._inside_masks)
+            if len(self._inside_cache) >= self.inside_cache_max:
+                # Pure cache: dropping it costs recomputation, never
+                # correctness, and bounds memory against address churn.
+                self._inside_cache.clear()
+                self.sim.bus.incr("gfw.cache.inside_cleared")
             self._inside_cache[ip] = cached
         return cached
 
@@ -133,19 +158,36 @@ class GreatFirewall(Middlebox):
         self._track(seg)
         return [seg]
 
+    # Amortization period (in tracked segments) for the idle-flow sweep.
+    EVICTION_SWEEP_INTERVAL = 4096
+
     def _track(self, seg: Segment) -> None:
+        self._track_calls += 1
+        if self._track_calls % self.EVICTION_SWEEP_INTERVAL == 0:
+            self._evict_idle_flows()
         key = seg.conn_key()
         flow = self.flows.get(key)
         if flow is None:
             if seg.is_syn:
+                if len(self.flows) >= self.max_flows:
+                    self._evict_oldest_flows()
                 self.flows[key] = FlowState(
                     initiator_ip=seg.src_ip,
                     initiator_port=seg.src_port,
                     responder_ip=seg.dst_ip,
                     responder_port=seg.dst_port,
+                    last_seen=self.sim.now,
                 )
                 self.inspected_connections += 1
                 self.sim.bus.incr("gfw.flow.opened")
+            return
+        flow.last_seen = self.sim.now
+        if seg.is_syn:
+            # A SYN on a live flow is not a new connection.  On a lossy
+            # network it is a retransmission (counted); on a reliable one
+            # it can only be ephemeral-port reuse against a stale entry.
+            if not self.network.reliable:
+                self.sim.bus.incr("gfw.flow.syn.retransmit")
             return
         if seg.is_data:
             from_initiator = (
@@ -153,7 +195,7 @@ class GreatFirewall(Middlebox):
             )
             if from_initiator and not flow.saw_initiator_data:
                 flow.saw_initiator_data = True
-                self._first_initiator_data(flow, seg)
+                self._first_initiator_data(key, flow, seg)
             elif not from_initiator and not flow.saw_responder_data:
                 flow.saw_responder_data = True
                 self.scheduler.note_server_data(flow.responder_ip, flow.responder_port)
@@ -162,15 +204,52 @@ class GreatFirewall(Middlebox):
             # seen by now, so the flow entry can be reclaimed.
             del self.flows[key]
 
-    def _first_initiator_data(self, flow: FlowState, seg: Segment) -> None:
+    def _first_initiator_data(self, key: tuple, flow: FlowState, seg: Segment) -> None:
         """The feature packet: first data from the connection's initiator."""
+        flagged_at = self._flagged_recently.get(key)
+        if flagged_at is not None and self.sim.now - flagged_at <= self.flag_dedup_window:
+            # A retransmitted SYN re-created the flow entry after a
+            # teardown and the feature packet arrived again: one
+            # connection, one flag decision.
+            self.sim.bus.incr("gfw.conn.reflag.suppressed")
+            return
         if self.detector.inspect(seg.payload, self.rng):
             self.flagged_connections += 1
             self.sim.bus.incr("gfw.conn.flagged")
+            self._flagged_recently[key] = self.sim.now
             self.on_flag(flow, seg.payload)
             self.scheduler.on_flagged_connection(
                 flow.responder_ip, flow.responder_port, seg.payload
             )
+
+    # -------------------------------------------------- flow-table hygiene
+
+    def _evict_idle_flows(self) -> None:
+        """Reclaim flows idle past the timeout (and stale flag records)."""
+        now = self.sim.now
+        if self._flagged_recently:
+            stale = [k for k, t in self._flagged_recently.items()
+                     if now - t > self.flag_dedup_window]
+            for k in stale:
+                del self._flagged_recently[k]
+        if self.flow_idle_timeout is None:
+            return
+        idle = [k for k, f in self.flows.items()
+                if now - f.last_seen > self.flow_idle_timeout]
+        for k in idle:
+            del self.flows[k]
+        if idle:
+            self.evicted_flows += len(idle)
+            self.sim.bus.incr("gfw.flow.evicted", len(idle))
+
+    def _evict_oldest_flows(self) -> None:
+        """Hard cap: reclaim the least-recently-seen quartile of the table."""
+        victims = sorted(self.flows, key=lambda k: self.flows[k].last_seen)
+        count = max(1, len(victims) // 4)
+        for k in victims[:count]:
+            del self.flows[k]
+        self.evicted_flows += count
+        self.sim.bus.incr("gfw.flow.evicted", count)
 
     # ------------------------------------------------------------ shortcuts
 

@@ -4,6 +4,7 @@ from .asdb import AS_TABLE, ASDatabase, ASInfo, PAPER_AS_COUNTS, lookup_asn
 from .capture import Capture, CaptureRecord
 from .datagram import Datagram, UdpEndpoint
 from .host import LINUX_EPHEMERAL_RANGE, Host
+from .impairment import Impairment
 from .ipaddr import in_cidr, int_to_ip, ip_to_int, parse_cidr, random_ip_in
 from .network import Middlebox, Network
 from .packet import Flags, Segment
@@ -21,6 +22,7 @@ __all__ = [
     "Event",
     "Flags",
     "Host",
+    "Impairment",
     "LINUX_EPHEMERAL_RANGE",
     "Middlebox",
     "Network",

@@ -145,7 +145,9 @@ class Host:
         # Wire the application before the handshake completes so callbacks
         # set by the factory see every event.
         self._listeners[syn.dst_port](conn)
-        conn._emit(Flags.SYN | Flags.ACK, seq=conn._snd_nxt)
+        syn_ack_seq = conn._snd_nxt
+        conn._emit(Flags.SYN | Flags.ACK, seq=syn_ack_seq)
+        conn._queue_retx(Flags.SYN | Flags.ACK, b"", syn_ack_seq, 1)
         conn._snd_nxt += 1
 
     def _refuse(self, seg: Segment) -> None:

@@ -1,15 +1,25 @@
 """The network fabric: delivery, latency, hops, and on-path middleboxes.
 
 Middleboxes (the GFW, brdgrd) sit on the path and may observe, modify,
-drop, or replace segments in flight.  Delivery is in-order and lossless;
-per-pair latency and hop counts are configurable so that arrival TTLs can
+drop, or replace segments in flight.  Delivery is in-order and lossless
+by default; attaching an :class:`~repro.net.impairment.Impairment`
+(globally or per address pair) makes the delivery leg lossy, reordering,
+duplicating, jittery, or subject to scheduled blackouts.  Per-pair
+latency and hop counts are configurable so that arrival TTLs can
 reproduce the measured prober fingerprint (TTL 46-50 at the server).
+
+Impairments apply at delivery scheduling, *after* the middlebox chain:
+the GFW, being on-path at the border, observes every segment an endpoint
+actually transmitted (retransmissions included) while the faults land on
+the remaining leg to the destination.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Tuple
 
+from .impairment import Impairment
 from .packet import Segment
 
 __all__ = ["Network", "Middlebox"]
@@ -38,7 +48,9 @@ class Network:
     DEFAULT_LATENCY = 0.025  # one-way seconds
     DEFAULT_HOPS = 14
 
-    def __init__(self, sim, unreachable_policy: str = "refuse"):
+    def __init__(self, sim, unreachable_policy: str = "refuse", *,
+                 impairment: Optional[Impairment] = None,
+                 rng: Optional[random.Random] = None):
         if unreachable_policy not in ("refuse", "drop"):
             raise ValueError(f"bad unreachable_policy {unreachable_policy!r}")
         self.sim = sim
@@ -46,8 +58,16 @@ class Network:
         self.middleboxes: List[Middlebox] = []
         self._latency: Dict[Tuple[str, str], float] = {}
         self._hops: Dict[Tuple[str, str], int] = {}
+        # Fault injection: a network-wide default profile plus per-pair
+        # overrides.  Inactive (all-zero) profiles are discarded so the
+        # pristine delivery fast path — and the TCP endpoints' choice to
+        # skip retransmission machinery — is preserved exactly.
+        self._impairment = impairment if impairment and impairment.active else None
+        self._pair_impairments: Dict[Tuple[str, str], Impairment] = {}
+        self.rng = rng or random.Random(0x1A7E7)
         self.segments_delivered = 0
         self.segments_dropped = 0
+        self.impairment_drops = 0
         # "refuse": SYNs to unattached addresses bounce with RST (fast
         # failure, the common case on the real Internet); "drop": silence,
         # leaving the connector hanging in SYN_SENT (the slow-failure path
@@ -95,6 +115,39 @@ class Network:
         if symmetric and dst_ip != "*":
             self._hops[(dst_ip, src_ip)] = hops
 
+    def set_impairment(self, src_ip: str, dst_ip: str,
+                       impairment: Optional[Impairment],
+                       symmetric: bool = True) -> None:
+        """Attach a fault profile to one path (``None`` clears it)."""
+        keys = [(src_ip, dst_ip)] + ([(dst_ip, src_ip)] if symmetric else [])
+        for key in keys:
+            if impairment is None or not impairment.active:
+                self._pair_impairments.pop(key, None)
+            else:
+                self._pair_impairments[key] = impairment
+
+    def set_default_impairment(self, impairment: Optional[Impairment]) -> None:
+        """Set the network-wide fault profile (``None`` clears it)."""
+        self._impairment = (
+            impairment if impairment and impairment.active else None
+        )
+
+    def impairment_for(self, src_ip: str, dst_ip: str) -> Optional[Impairment]:
+        exact = self._pair_impairments.get((src_ip, dst_ip))
+        return exact if exact is not None else self._impairment
+
+    @property
+    def reliable(self) -> bool:
+        """True while no active impairment is attached anywhere.
+
+        TCP endpoints sample this at connection setup: on a reliable
+        network they keep the historical no-retransmission machinery
+        (and its exact traces); on an unreliable one they arm
+        retransmission timers and sequence-checked receive.  Configure
+        impairments before opening connections.
+        """
+        return self._impairment is None and not self._pair_impairments
+
     def latency(self, src_ip: str, dst_ip: str) -> float:
         return self._latency.get((src_ip, dst_ip), self.DEFAULT_LATENCY)
 
@@ -134,7 +187,41 @@ class Network:
 
     def _schedule_delivery(self, seg: Segment) -> None:
         delay = self.latency(seg.src_ip, seg.dst_ip)
-        self.sim.schedule(delay, self._deliver, seg)
+        impairment = self.impairment_for(seg.src_ip, seg.dst_ip)
+        if impairment is None:
+            self.sim.schedule(delay, self._deliver, seg)
+            return
+        for extra in self._impaired_delays(impairment, "net"):
+            self.sim.schedule(delay + extra, self._deliver, seg)
+
+    def _impaired_delays(self, impairment: Impairment, layer: str) -> List[float]:
+        """Extra delivery delays under a fault profile ([] means dropped).
+
+        One entry per copy to deliver; every random draw comes from the
+        network's own RNG so impaired runs remain seed-reproducible.
+        """
+        bus = self.sim.bus
+        if impairment.is_down(self.sim.now):
+            self.segments_dropped += 1
+            self.impairment_drops += 1
+            bus.incr(f"{layer}.flap.drop")
+            return []
+        if impairment.loss and self.rng.random() < impairment.loss:
+            self.segments_dropped += 1
+            self.impairment_drops += 1
+            bus.incr(f"{layer}.loss")
+            return []
+        extra = 0.0
+        if impairment.jitter:
+            extra += self.rng.uniform(0.0, impairment.jitter)
+        if impairment.reorder and self.rng.random() < impairment.reorder:
+            extra += impairment.reorder_skew
+            bus.incr(f"{layer}.reorder")
+        delays = [extra]
+        if impairment.duplicate and self.rng.random() < impairment.duplicate:
+            delays.append(extra + impairment.duplicate_gap)
+            bus.incr(f"{layer}.duplicate")
+        return delays
 
     def _deliver(self, seg: Segment) -> None:
         host = self._hosts.get(seg.dst_ip)
@@ -143,10 +230,15 @@ class Network:
             if self.unreachable_policy == "refuse" and not seg.flags & 0x04:  # not RST
                 self._refuse_unreachable(seg)
             return
-        arrived = seg.copy(
-            ttl=max(0, seg.ttl - self.hops(seg.src_ip, seg.dst_ip)),
-            timestamp=self.sim.now,
-        )
+        ttl = seg.ttl - self.hops(seg.src_ip, seg.dst_ip)
+        if ttl <= 0:
+            # Hop count exhausted the TTL: real routers discard such
+            # packets, so fail loudly instead of delivering an impossible
+            # arrival TTL.
+            self.segments_dropped += 1
+            self.sim.bus.incr("net.ttl.expired")
+            return
+        arrived = seg.copy(ttl=ttl, timestamp=self.sim.now)
         self.segments_delivered += 1
         host.deliver(arrived)
 
@@ -165,19 +257,26 @@ class Network:
                 return
         for d in current:
             delay = self.latency(d.src_ip, d.dst_ip)
-            self.sim.schedule(delay, self._deliver_datagram, d)
+            impairment = self.impairment_for(d.src_ip, d.dst_ip)
+            if impairment is None:
+                self.sim.schedule(delay, self._deliver_datagram, d)
+                continue
+            for extra in self._impaired_delays(impairment, "net.udp"):
+                self.sim.schedule(delay + extra, self._deliver_datagram, d)
 
     def _deliver_datagram(self, dgram) -> None:
         host = self._hosts.get(dgram.dst_ip)
         if host is None:
             self.segments_dropped += 1
             return
+        ttl = dgram.ttl - self.hops(dgram.src_ip, dgram.dst_ip)
+        if ttl <= 0:
+            self.segments_dropped += 1
+            self.sim.bus.incr("net.ttl.expired")
+            return
         import dataclasses
 
-        arrived = dataclasses.replace(
-            dgram,
-            ttl=max(0, dgram.ttl - self.hops(dgram.src_ip, dgram.dst_ip)),
-        )
+        arrived = dataclasses.replace(dgram, ttl=ttl)
         arrived.timestamp = self.sim.now
         self.segments_delivered += 1
         host.deliver_datagram(arrived)

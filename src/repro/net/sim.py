@@ -20,7 +20,7 @@ __all__ = ["Event", "Simulator"]
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
         self.time = time
@@ -28,9 +28,13 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = None
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -44,6 +48,10 @@ class Simulator:
         self._queue: list = []
         self._counter = itertools.count()
         self._processed = 0
+        # Live (scheduled, not-yet-cancelled, not-yet-run) event count,
+        # maintained incrementally so ``pending`` is O(1) instead of a
+        # full heap scan per call.
+        self._live = 0
         # The instrumentation bus: any component holding the simulator can
         # emit typed counters/samples without further plumbing.
         self.bus = bus if bus is not None else EventBus()
@@ -53,6 +61,8 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         event = Event(self.now + delay, next(self._counter), fn, args)
+        event._sim = self
+        self._live += 1
         heapq.heappush(self._queue, event)
         return event
 
@@ -74,6 +84,7 @@ class Simulator:
             heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._live -= 1
             self.now = event.time
             event.fn(*event.args)
             processed += 1
@@ -99,8 +110,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
     @property
     def processed(self) -> int:

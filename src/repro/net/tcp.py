@@ -1,7 +1,9 @@
 """Simplified TCP connection state machine.
 
-The underlying network is in-order and lossless, so there is no
-retransmission machinery; what *is* modeled faithfully is everything the
+On a pristine network (no :class:`~repro.net.impairment.Impairment`
+attached) there is no retransmission machinery — delivery is in-order
+and lossless, and the connection reproduces the historical traces
+byte-for-byte.  What *is* always modeled faithfully is everything the
 paper's measurements observe:
 
 * the 3-way handshake and who closes first with which flags
@@ -12,15 +14,38 @@ paper's measurements observe:
 * TCP timestamps (TSval/TSecr) with pluggable timestamp sources
   (the prober fleet shares a handful of TSval processes — Figure 6);
 * IP TTL and ID on every segment.
+
+When the network reports itself unreliable (``network.reliable`` is
+False at connection setup), the endpoint additionally arms the minimum
+machinery needed to survive loss, reordering, and duplication:
+
+* a retransmission timer with exponential backoff over a queue of
+  unacknowledged segments (SYN, data, FIN alike — so SYN retry and
+  SYN/ACK retry fall out of the same mechanism);
+* sequence-checked receive with an out-of-order buffer: duplicates are
+  re-ACKed and dropped, future segments are held until the gap fills;
+* connection give-up after ``SYN_RETRIES``/``DATA_RETRIES`` consecutive
+  timeouts (``timed_out`` is set and the connection closes locally).
+
+Retransmission events are counted on the simulator's bus
+(``tcp.retransmit``, ``tcp.syn.retry``, ``tcp.ooo.buffered``,
+``tcp.dup.dropped``, ``tcp.timeout``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .packet import Flags, Segment
 
 __all__ = ["TcpConnection", "TcpState"]
+
+_SEQ_MASK = 0xFFFFFFFF
+
+
+def _seq_delta(a: int, b: int) -> int:
+    """Signed serial-number difference ``a - b`` (RFC 1982 style)."""
+    return ((a - b + 0x80000000) & _SEQ_MASK) - 0x80000000
 
 
 class TcpState:
@@ -38,6 +63,12 @@ class TcpConnection:
     """One endpoint of a TCP connection."""
 
     MSS = 1400
+
+    # Retransmission parameters (only used on unreliable networks).
+    RTO_INITIAL = 1.0     # seconds; doubled on every consecutive timeout
+    RTO_MAX = 60.0
+    SYN_RETRIES = 5       # Linux tcp_syn_retries default
+    DATA_RETRIES = 8      # give-up threshold for data/FIN segments
 
     def __init__(
         self,
@@ -60,6 +91,10 @@ class TcpConnection:
         self.ttl = ttl if ttl is not None else host.default_ttl
         self._tsval_source = tsval_source
 
+        # Sampled once at setup: a reliable fabric keeps the historical
+        # no-retransmission machinery and its exact traces.
+        self.reliable = host.network.reliable
+
         # Receive window we advertise.  brdgrd manipulates the *other*
         # side's view of this by rewriting segments in flight.
         self.rcv_window = rcv_window
@@ -73,8 +108,16 @@ class TcpConnection:
         self._fin_pending = False
         self._fin_sent = False
 
+        # Retransmission state (idle on reliable networks).
+        # Queue entries: (seq, flags, payload, sequence-space consumed).
+        self._retx_queue: List[Tuple[int, int, bytes, int]] = []
+        self._retx_event = None
+        self._rto = self.RTO_INITIAL
+        self._retries = 0
+
         # Receive-side state.
         self._rcv_nxt = 0
+        self._ooo: Dict[int, Segment] = {}  # seq -> buffered future segment
         self._last_tsval_seen: Optional[int] = None
 
         # Observable outcomes.
@@ -82,8 +125,10 @@ class TcpConnection:
         self.fin_sent_first: Optional[bool] = None  # True if we FIN'd before peer
         self.reset_received = False
         self.reset_sent = False
+        self.timed_out = False
         self.bytes_received = 0
         self.bytes_sent = 0
+        self.retransmits = 0
 
         # Application callbacks.
         self.on_connected: Callable[[], None] = lambda: None
@@ -129,6 +174,7 @@ class TcpConnection:
             raise RuntimeError(f"cannot open connection in state {self.state}")
         self.state = TcpState.SYN_SENT
         self._emit(Flags.SYN)
+        self._queue_retx(Flags.SYN, b"", self._snd_nxt, 1)
         self._snd_nxt += 1  # SYN consumes one sequence number
 
     def send(self, data: bytes) -> None:
@@ -155,11 +201,74 @@ class TcpConnection:
         self._emit(Flags.RST)
         self._enter_closed()
 
+    # ------------------------------------------------- retransmission timer
+
+    def _queue_retx(self, flags: int, payload: bytes, seq: int, consumed: int) -> None:
+        """Track an in-flight segment for retransmission (unreliable only)."""
+        if self.reliable:
+            return
+        self._retx_queue.append((seq, flags, payload, consumed))
+        self._arm_retx()
+
+    def _arm_retx(self) -> None:
+        if self._retx_event is None:
+            self._retx_event = self.host.sim.schedule(self._rto, self._on_rto)
+
+    def _cancel_retx(self) -> None:
+        if self._retx_event is not None:
+            self._retx_event.cancel()
+            self._retx_event = None
+
+    def _on_rto(self) -> None:
+        self._retx_event = None
+        if self.state == TcpState.CLOSED or not self._retx_queue:
+            return
+        seq, flags, payload, consumed = self._retx_queue[0]
+        limit = self.SYN_RETRIES if flags & Flags.SYN else self.DATA_RETRIES
+        if self._retries >= limit:
+            # The path is gone (blackout, persistent loss, silent drop):
+            # give up locally rather than retrying forever.
+            self.timed_out = True
+            self.host.sim.bus.incr("tcp.timeout")
+            self._enter_closed()
+            return
+        self._retries += 1
+        self.retransmits += 1
+        pure_syn = bool(flags & Flags.SYN) and not flags & Flags.ACK
+        self.host.sim.bus.incr("tcp.syn.retry" if pure_syn else "tcp.retransmit")
+        self._emit(flags, payload=payload, seq=seq)
+        self._rto = min(self._rto * 2.0, self.RTO_MAX)
+        self._arm_retx()
+
+    def _ack_advance(self, ack: int) -> None:
+        """Fold one cumulative ACK into the send state."""
+        if self.reliable:
+            if ack > self._snd_una:
+                self._snd_una = ack
+            return
+        if _seq_delta(ack, self._snd_una) <= 0:
+            return
+        self._snd_una = ack
+        while self._retx_queue:
+            seq, _flags, _payload, consumed = self._retx_queue[0]
+            if _seq_delta(ack, seq + consumed) >= 0:
+                self._retx_queue.pop(0)
+            else:
+                break
+        # Forward progress: restart the timer at the base RTO for
+        # whatever is still outstanding.
+        self._retries = 0
+        self._rto = self.RTO_INITIAL
+        self._cancel_retx()
+        if self._retx_queue:
+            self._arm_retx()
+
     # ------------------------------------------------------------- internals
 
     def _enter_closed(self) -> None:
         if self.state != TcpState.CLOSED:
             self.state = TcpState.CLOSED
+            self._cancel_retx()
             self.host.forget(self)
             self.on_closed()
 
@@ -168,13 +277,17 @@ class TcpConnection:
         if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
             return
         while self._send_buffer:
-            in_flight = self._snd_nxt - self._snd_una
+            in_flight = (
+                self._snd_nxt - self._snd_una if self.reliable
+                else _seq_delta(self._snd_nxt, self._snd_una)
+            )
             room = self._peer_window - in_flight
             if room <= 0:
                 break
             chunk = bytes(self._send_buffer[: min(self.MSS, room)])
             del self._send_buffer[: len(chunk)]
             self._emit(Flags.PSH | Flags.ACK, payload=chunk)
+            self._queue_retx(Flags.PSH | Flags.ACK, chunk, self._snd_nxt, len(chunk))
             self._snd_nxt += len(chunk)
             self.bytes_sent += len(chunk)
         if self._fin_pending and not self._send_buffer and not self._fin_sent:
@@ -182,6 +295,7 @@ class TcpConnection:
             if self.fin_sent_first is None:
                 self.fin_sent_first = not self.fin_received
             self._emit(Flags.FIN | Flags.ACK)
+            self._queue_retx(Flags.FIN | Flags.ACK, b"", self._snd_nxt, 1)
             self._snd_nxt += 1  # FIN consumes one sequence number
             self.state = (
                 TcpState.LAST_ACK if self.state == TcpState.CLOSE_WAIT else TcpState.FIN_WAIT
@@ -201,7 +315,7 @@ class TcpConnection:
         if self.state == TcpState.SYN_SENT:
             if seg.has(Flags.SYN) and seg.has(Flags.ACK):
                 self._rcv_nxt = (seg.seq + 1) & 0xFFFFFFFF
-                self._snd_una = seg.ack
+                self._ack_advance(seg.ack)
                 self._peer_window = seg.window
                 self.state = TcpState.ESTABLISHED
                 self._emit(Flags.ACK)
@@ -210,8 +324,14 @@ class TcpConnection:
             return
 
         if self.state == TcpState.SYN_RCVD:
+            if not self.reliable and seg.is_syn:
+                # The peer retried its SYN: our SYN/ACK was lost.
+                self.retransmits += 1
+                self.host.sim.bus.incr("tcp.retransmit")
+                self._emit(Flags.SYN | Flags.ACK, seq=self._isn)
+                return
             if seg.has(Flags.ACK):
-                self._snd_una = seg.ack
+                self._ack_advance(seg.ack)
                 self._peer_window = seg.window
                 self.state = TcpState.ESTABLISHED
                 self.on_connected()
@@ -221,14 +341,24 @@ class TcpConnection:
             if not seg.payload:
                 return
 
+        if not self.reliable and seg.has(Flags.SYN) and seg.has(Flags.ACK):
+            # Duplicate SYN/ACK (our handshake ACK was lost): re-ACK so
+            # the peer leaves SYN_RCVD.
+            self._emit(Flags.ACK)
+            return
+
         if seg.has(Flags.ACK):
-            if seg.ack > self._snd_una:
-                self._snd_una = seg.ack
+            self._ack_advance(seg.ack)
             self._peer_window = seg.window
             if self.state == TcpState.LAST_ACK and self._snd_una >= self._snd_nxt:
                 self._enter_closed()
                 return
             self._pump()
+
+        if not self.reliable:
+            if seg.payload or seg.has(Flags.FIN):
+                self._receive_sequenced(seg)
+            return
 
         if seg.payload:
             self._rcv_nxt = (seg.seq + len(seg.payload)) & 0xFFFFFFFF
@@ -250,3 +380,69 @@ class TcpConnection:
                 self._enter_closed()
             elif self.state == TcpState.ESTABLISHED:
                 self.state = TcpState.CLOSE_WAIT
+
+    # ------------------------------------------ sequence-checked receive
+
+    def _receive_sequenced(self, seg: Segment) -> None:
+        """Receive path on unreliable networks: dedup, reorder, reassemble."""
+        end = seg.seq + len(seg.payload) + (1 if seg.has(Flags.FIN) else 0)
+        bus = self.host.sim.bus
+        if _seq_delta(end, self._rcv_nxt) <= 0:
+            # Wholly duplicate (a retransmission or a network-level copy):
+            # re-ACK so the sender can clear its queue.
+            bus.incr("tcp.dup.dropped")
+            self._emit(Flags.ACK)
+            return
+        if _seq_delta(seg.seq, self._rcv_nxt) > 0:
+            # Future segment: hold it until the gap fills, and dup-ACK to
+            # advertise where the hole is.
+            if seg.seq not in self._ooo:
+                self._ooo[seg.seq] = seg
+                bus.incr("tcp.ooo.buffered")
+            self._emit(Flags.ACK)
+            return
+        self._deliver_in_order(seg)
+        if self.state != TcpState.CLOSED:
+            self._drain_ooo()
+
+    def _deliver_in_order(self, seg: Segment) -> None:
+        """Deliver a segment starting at or before ``rcv_nxt`` (trims overlap)."""
+        payload = seg.payload
+        offset = _seq_delta(self._rcv_nxt, seg.seq)
+        if offset > 0:
+            payload = payload[offset:]
+        if payload:
+            self._rcv_nxt = (seg.seq + len(seg.payload)) & 0xFFFFFFFF
+            self.bytes_received += len(payload)
+            self._emit(Flags.ACK)
+            self.on_data(payload)
+            if self.state == TcpState.CLOSED:
+                return
+        if seg.has(Flags.FIN):
+            self.fin_received = True
+            if self.fin_sent_first is None:
+                self.fin_sent_first = False
+            self._rcv_nxt = (seg.seq + len(seg.payload) + 1) & 0xFFFFFFFF
+            self._emit(Flags.ACK)
+            self.on_remote_fin()
+            if self.state == TcpState.FIN_WAIT:
+                self._enter_closed()
+            elif self.state == TcpState.ESTABLISHED:
+                self.state = TcpState.CLOSE_WAIT
+
+    def _drain_ooo(self) -> None:
+        """Deliver buffered future segments made contiguous by new data."""
+        progressed = True
+        while progressed and self._ooo and self.state != TcpState.CLOSED:
+            progressed = False
+            for seq in sorted(self._ooo, key=lambda s: _seq_delta(s, self._rcv_nxt)):
+                seg = self._ooo[seq]
+                end = seq + len(seg.payload) + (1 if seg.has(Flags.FIN) else 0)
+                if _seq_delta(end, self._rcv_nxt) <= 0:
+                    del self._ooo[seq]      # overtaken: wholly duplicate now
+                    progressed = True
+                elif _seq_delta(seq, self._rcv_nxt) <= 0:
+                    del self._ooo[seq]
+                    self._deliver_in_order(seg)
+                    progressed = True
+                    break                   # rcv_nxt moved; rescan

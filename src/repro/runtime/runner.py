@@ -49,6 +49,7 @@ def _execute(name: str, seed: int, overrides: Optional[Mapping[str, Any]],
              ) -> Tuple[RunResult, Optional[Any]]:
     """Run one job; returns (result, artifact) — artifact None on cache hit."""
     scenario = get_scenario(name)
+    name = scenario.name  # canonicalize aliases so results/cache keys agree
     params = scenario.instantiate(seed, overrides)
     params_dict = canonical_params(params)
     fingerprint = code_fingerprint()
@@ -186,7 +187,9 @@ def run_sweep(name: str, seeds: Iterable[int],
     """
     seed_list = list(seeds)
     overrides = dict(overrides or {})
-    get_scenario(name)  # fail fast on unknown scenarios/params
+    # Fail fast on unknown scenarios; canonicalize aliases so the sweep,
+    # its per-seed results, and the cache keys all carry one name.
+    name = get_scenario(name).name
     started = time.perf_counter()
 
     if jobs <= 1 or len(seed_list) <= 1:

@@ -198,8 +198,15 @@ def get_scenario(name: str) -> Scenario:
     try:
         return _REGISTRY[name]
     except KeyError:
-        known = ", ".join(scenario_names()) or "(none)"
-        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+        pass
+    # Registered names use dashes; accept the underscore spelling too
+    # (``impairment_matrix`` == ``impairment-matrix``) so shell-friendly
+    # identifiers resolve without a lookup table.
+    alt = name.replace("_", "-")
+    if alt in _REGISTRY:
+        return _REGISTRY[alt]
+    known = ", ".join(scenario_names()) or "(none)"
+    raise KeyError(f"unknown scenario {name!r}; registered: {known}")
 
 
 def scenario_names() -> List[str]:

@@ -31,6 +31,7 @@ from ..experiments import (
 )
 from ..experiments.common import build_world
 from ..gfw import BlockingPolicy, DetectorConfig, PassiveDetector, Reaction
+from ..net import Impairment
 from ..probesim import PROBE_LENGTH_SCHEDULE, build_random_probe_row, build_replay_table
 from ..shadowsocks import ShadowsocksClient, ShadowsocksServer, get_profile
 from ..workloads import CurlDriver
@@ -442,6 +443,105 @@ def _build_defense_matrix(config: DefenseMatrixConfig) -> _DefenseArtifact:
         in enumerate(_DEFENSE_CASES)
     }
     return _DefenseArtifact(cases, bus)
+
+
+@dataclass
+class ImpairmentMatrixConfig:
+    """Loss/reorder grid over the full pipeline (detect, probe, block)."""
+
+    seed: int = 97
+    loss_rates: Tuple[float, ...] = (0.0, 0.01, 0.05)
+    reorder_rates: Tuple[float, ...] = (0.0, 0.05)
+    reorder_skew: float = 0.03
+    duplicate: float = 0.0
+    jitter: float = 0.0
+    connections: int = 30
+    interval: float = 20.0
+    duration: float = 6 * 3600.0
+    method: str = "chacha20-ietf-poly1305"
+    profile: str = "ss-libev-3.3.1"
+    server_port: int = 8388
+
+
+class _ImpairmentArtifact:
+    def __init__(self, cells, bus):
+        self.cells = cells
+        self.bus = bus
+
+
+def _run_impairment_cell(config: ImpairmentMatrixConfig, loss: float,
+                         reorder: float, seed: int,
+                         bus: EventBus) -> Dict[str, object]:
+    impairment = Impairment(loss=loss, reorder=reorder,
+                            reorder_skew=config.reorder_skew,
+                            duplicate=config.duplicate,
+                            jitter=config.jitter)
+    world = build_world(
+        seed=seed,
+        detector_config=DetectorConfig(base_rate=1.0),
+        blocking_policy=BlockingPolicy(human_gated=False,
+                                       block_probability=1.0),
+        websites=["example.com"],
+        impairment=impairment if impairment.active else None,
+    )
+    server_host = world.add_server("server", region="uk")
+    client_host = world.add_client("client")
+    ShadowsocksServer(server_host, config.server_port, "pw", config.method,
+                      config.profile, rng=random.Random(seed + 1))
+    client = ShadowsocksClient(client_host, server_host.ip,
+                               config.server_port, "pw", config.method,
+                               rng=random.Random(seed + 2))
+    CurlDriver(client, rng=random.Random(seed + 3),
+               sites=["example.com"]).run_schedule(config.connections,
+                                                   config.interval)
+    world.sim.run(until=config.duration)
+    bus.absorb(world.bus)
+    counters = world.bus.counters
+    inspected = world.gfw.inspected_connections
+    flagged = world.gfw.flagged_connections
+    return {
+        "loss": loss,
+        "reorder": reorder,
+        "inspected": inspected,
+        "flagged": flagged,
+        "hit_rate": flagged / inspected if inspected else 0.0,
+        "probes": len(world.gfw.probe_log),
+        "blocked": world.gfw.blocking.is_blocked(server_host.ip,
+                                                 config.server_port),
+        "tcp_retransmits": (counters.get("tcp.retransmit", 0)
+                            + counters.get("tcp.syn.retry", 0)),
+        "net_losses": counters.get("net.loss", 0),
+        "net_reorders": counters.get("net.reorder", 0),
+        "impairment_drops": world.net.impairment_drops,
+    }
+
+
+def _build_impairment_matrix(config: ImpairmentMatrixConfig) -> _ImpairmentArtifact:
+    bus = EventBus()
+    cells = {}
+    for i, loss in enumerate(config.loss_rates):
+        for j, reorder in enumerate(config.reorder_rates):
+            label = f"loss={loss:g}|reorder={reorder:g}"
+            cells[label] = _run_impairment_cell(
+                config, loss, reorder,
+                seed=config.seed + i * len(config.reorder_rates) + j,
+                bus=bus,
+            )
+    return _ImpairmentArtifact(cells, bus)
+
+
+register(Scenario(
+    name="impairment-matrix",
+    title="Ablation: path impairments vs detection and blocking",
+    params_type=ImpairmentMatrixConfig,
+    build=_build_impairment_matrix,
+    summarize=lambda artifact: {"cells": artifact.cells},
+    events_of=lambda artifact: artifact.bus.snapshot(),
+    description="Loss/reorder sweep over the full GFW pipeline: detector "
+                "hit-rate, probe volume, TCP retransmissions, and blocking "
+                "outcome per grid cell.",
+    tags=("ablation", "impairment", "net"),
+))
 
 
 register(Scenario(

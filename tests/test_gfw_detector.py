@@ -101,3 +101,27 @@ def test_inspect_sampling_rate():
     p = det.flag_probability(payload)
     hits = sum(det.inspect(payload, rng) for _ in range(4000))
     assert hits / 4000 == pytest.approx(p, rel=0.15)
+
+
+def test_band_fields_are_real_dataclass_fields():
+    import dataclasses
+
+    names = {f.name for f in dataclasses.fields(DetectorConfig)}
+    assert {"band1", "band2", "band3"} <= names
+    # Per-instance, not shared class attributes.
+    a = DetectorConfig()
+    b = DetectorConfig(band1=(100, 120))
+    assert a.band1 == (168, 263)
+    assert b.band1 == (100, 120)
+
+
+def test_overriding_bands_changes_flag_probability():
+    rng = random.Random(0)
+    payload = random_payload(600, rng)  # remainder 8, inside default band3
+    base = PassiveDetector(DetectorConfig(base_rate=1.0))
+    moved = PassiveDetector(DetectorConfig(base_rate=1.0, band3=(384, 500)))
+    # 600 leaves band3: the off-remainder penalty (0.0028) becomes the
+    # out-of-band default weight (0.4).
+    assert moved.flag_probability(payload) > base.flag_probability(payload)
+    assert base.flag_probability(payload) == pytest.approx(
+        PassiveDetector(DetectorConfig(base_rate=1.0)).flag_probability(payload))

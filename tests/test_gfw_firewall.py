@@ -149,3 +149,112 @@ def test_sensitive_periods_2019_constants():
     assert len(SENSITIVE_PERIODS_2019) == 3
     for start, end in SENSITIVE_PERIODS_2019:
         assert 0 < start < end < 366 * 86400
+
+
+# ------------------------------------------------- flow-table hygiene
+
+
+def _seg(sport, flags, payload=b"", src="192.0.2.1", dst="198.51.100.1"):
+    return Segment(src_ip=src, dst_ip=dst, src_port=sport, dst_port=80,
+                   flags=flags, payload=payload)
+
+
+def test_idle_flows_evicted_after_timeout():
+    sim, net, gfw = make_gfw(flow_idle_timeout=60.0)
+    gfw.process(_seg(5000, Flags.SYN), net)
+    assert len(gfw.flows) == 1
+    # A half-open flow (no FIN/RST ever) goes idle; the amortized sweep
+    # reclaims it on a later tracked segment.
+    sim.now = 1000.0
+    gfw._track_calls = gfw.EVICTION_SWEEP_INTERVAL - 1
+    gfw.process(_seg(5001, Flags.SYN, src="192.0.2.2"), net)
+    assert len(gfw.flows) == 1  # only the fresh flow remains
+    assert _seg(5001, Flags.SYN, src="192.0.2.2").conn_key() in gfw.flows
+    assert gfw.evicted_flows == 1
+    assert sim.bus.count("gfw.flow.evicted") == 1
+
+
+def test_no_eviction_without_timeout_by_default():
+    sim, net, gfw = make_gfw()
+    assert gfw.flow_idle_timeout is None
+    gfw.process(_seg(5000, Flags.SYN), net)
+    sim.now = 10 * 86400.0
+    gfw._track_calls = gfw.EVICTION_SWEEP_INTERVAL - 1
+    gfw.process(_seg(5001, Flags.SYN, src="192.0.2.2"), net)
+    assert len(gfw.flows) == 2
+    assert gfw.evicted_flows == 0
+
+
+def test_flow_count_cap_evicts_oldest_quartile():
+    sim, net, gfw = make_gfw(max_flows=8)
+    for i in range(8):
+        sim.now = float(i)
+        gfw.process(_seg(5000 + i, Flags.SYN), net)
+    assert len(gfw.flows) == 8
+    sim.now = 99.0
+    gfw.process(_seg(6000, Flags.SYN), net)
+    assert len(gfw.flows) == 7  # 8 - 2 evicted + 1 new
+    assert gfw.evicted_flows == 2
+    assert sim.bus.count("gfw.flow.evicted") == 2
+    keys = set(gfw.flows)
+    assert _seg(5000, Flags.SYN).conn_key() not in keys  # oldest gone
+    assert _seg(5001, Flags.SYN).conn_key() not in keys
+    assert _seg(6000, Flags.SYN).conn_key() in keys
+
+
+def test_inside_cache_bounded():
+    sim, net, gfw = make_gfw(inside_cache_max=10)
+    for i in range(25):
+        gfw.is_inside(f"198.51.{i}.1")
+    assert len(gfw._inside_cache) <= 10
+    assert sim.bus.count("gfw.cache.inside_cleared") >= 1
+    # Correctness is unaffected by the reset.
+    assert gfw.is_inside("192.0.2.5")
+    assert not gfw.is_inside("198.51.0.1")
+
+
+# -------------------------------------- retransmission hardening
+
+
+def test_retransmitted_syn_on_live_flow_not_recounted():
+    from repro.net import Impairment
+
+    sim, net, gfw = make_gfw()
+    net.set_default_impairment(Impairment(loss=0.5))
+    gfw.process(_seg(5000, Flags.SYN), net)
+    gfw.process(_seg(5000, Flags.SYN), net)  # retransmitted SYN
+    assert gfw.inspected_connections == 1
+    assert len(gfw.flows) == 1
+    assert sim.bus.count("gfw.flow.opened") == 1
+    assert sim.bus.count("gfw.flow.syn.retransmit") == 1
+
+
+def test_replayed_feature_packet_not_double_flagged():
+    sim, net, gfw = make_gfw()
+    data = bytes(range(256)) + bytes(44)  # 300 bytes
+    gfw.process(_seg(5000, Flags.SYN), net)
+    gfw.process(_seg(5000, Flags.PSH | Flags.ACK, payload=data), net)
+    assert gfw.flagged_connections == 1
+    gfw.process(_seg(5000, Flags.FIN | Flags.ACK), net)
+    assert len(gfw.flows) == 0
+    # A retransmitted SYN re-creates the flow entry after teardown and
+    # the feature packet arrives again: one connection, one flag.
+    gfw.process(_seg(5000, Flags.SYN), net)
+    gfw.process(_seg(5000, Flags.PSH | Flags.ACK, payload=data), net)
+    assert gfw.flagged_connections == 1
+    assert sim.bus.count("gfw.conn.flagged") == 1
+    assert sim.bus.count("gfw.conn.reflag.suppressed") == 1
+
+
+def test_reflag_allowed_after_dedup_window():
+    sim, net, gfw = make_gfw()
+    data = bytes(range(256)) + bytes(44)
+    gfw.process(_seg(5000, Flags.SYN), net)
+    gfw.process(_seg(5000, Flags.PSH | Flags.ACK, payload=data), net)
+    gfw.process(_seg(5000, Flags.FIN | Flags.ACK), net)
+    # Well past the dedup window this is a genuinely new connection on a
+    # recycled ephemeral port.
+    sim.now = gfw.flag_dedup_window + 1.0
+    gfw.process(_seg(5000, Flags.SYN), net)
+    gfw.process(_seg(5000, Flags.PSH | Flags.ACK, payload=data), net)
+    assert gfw.flagged_connections == 2

@@ -77,7 +77,7 @@ class Tagger(Middlebox):
     """Rewrites TTL, to verify ordering of the chain."""
 
     def process(self, segment, network):
-        return [segment.copy(ttl=1)]
+        return [segment.copy(ttl=100)]
 
 
 def test_middlebox_drop():
@@ -105,7 +105,8 @@ def test_middlebox_chain_order():
     a.connect("10.0.0.2", 80)
     sim.run(until=1)
     received = b.capture.received()
-    assert received and all(r.segment.ttl == 0 for r in received)  # 1 - hops
+    expected = 100 - net.hops("10.0.0.1", "10.0.0.2")
+    assert received and all(r.segment.ttl == expected for r in received)
 
 
 def test_remove_middlebox():

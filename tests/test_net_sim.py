@@ -121,3 +121,36 @@ def test_simulator_counts_events_on_bus():
     sim.schedule(2.0, lambda: None)
     sim.run()
     assert sim.bus.count("sim.events") == 2
+
+
+def test_pending_tracks_schedule_cancel_and_pop():
+    sim = Simulator()
+    assert sim.pending == 0
+    e1 = sim.schedule(1.0, lambda: None)
+    e2 = sim.schedule(2.0, lambda: None)
+    e3 = sim.schedule(3.0, lambda: None)
+    assert sim.pending == 3
+    e2.cancel()
+    assert sim.pending == 2
+    e2.cancel()  # double-cancel must not double-decrement
+    assert sim.pending == 2
+    sim.run(until=1.5)
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+    assert e1 is not None and e3 is not None
+
+
+def test_pending_counts_events_scheduled_from_callbacks():
+    sim = Simulator()
+
+    def chain(n):
+        if n:
+            sim.schedule(1.0, chain, n - 1)
+
+    sim.schedule(0.0, chain, 4)
+    assert sim.pending == 1
+    sim.run(until=2.5)
+    assert sim.pending == 1  # the next link of the chain
+    sim.run()
+    assert sim.pending == 0
