@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke clean
+.PHONY: test lint bench bench-smoke bench-perf clean
 
 test:                ## tier-1 suite (unit + integration + property)
 	$(PYTHON) -m pytest tests/ -x -q
@@ -27,6 +27,13 @@ bench-smoke:
 	    benchmarks/ablations/test_impairment_matrix.py \
 	    benchmarks/test_fig10b_aead_reactions.py \
 	    --benchmark-only -q
+
+# Perf regression gate: quick `repro bench` run compared against the
+# committed baseline.  Tolerance is deliberately loose — hosts differ —
+# so only order-of-magnitude regressions fail.
+bench-perf:
+	$(PYTHON) -m repro bench --quick --out-dir /tmp/bench-perf \
+	    --compare benchmarks/baselines/bench_quick.json --tolerance 0.1
 
 clean:
 	rm -rf runs benchmarks/output .pytest_cache .hypothesis

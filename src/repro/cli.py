@@ -12,7 +12,10 @@ Commands mirror the paper's workflow:
 * ``brdgrd``      — run the §7.1 defense experiment;
 * ``blocking``    — run the §6 blocking fleet;
 * ``profiles``    — list the implementation behaviour profiles;
-* ``ciphers``     — list the supported encryption methods.
+* ``ciphers``     — list the supported encryption methods;
+* ``bench``       — run the performance harness and write the
+  ``BENCH_*.json`` result files; ``--compare BASELINE.json`` gates the
+  run against a recorded baseline (non-zero exit on regression).
 
 ``sink``, ``brdgrd`` and ``blocking`` are convenience front-ends to the
 same registered scenarios ``run`` executes; ``run`` adds seed sweeps,
@@ -59,6 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ignore and do not write the result cache")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="result cache root (default $REPRO_RUNS_DIR or runs/)")
+    p.add_argument("--profile", action="store_true", dest="cprofile",
+                   help="profile the run with cProfile; top functions to stderr")
 
     p = sub.add_parser("quickstart", help="tunnel traffic under the GFW")
     p.add_argument("--connections", type=int, default=40)
@@ -97,7 +102,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("profiles", help="list implementation behaviour profiles")
     sub.add_parser("ciphers", help="list supported encryption methods")
+
+    p = sub.add_parser(
+        "bench",
+        help="run performance benchmarks and write BENCH_*.json",
+    )
+    p.add_argument("--suite", choices=["crypto", "sim", "e2e", "all"],
+                   default="all", help="which benchmark suite(s) to run")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller sizes/counts (CI smoke mode)")
+    p.add_argument("--backend", choices=["fast", "reference"], default=None,
+                   help="pin the crypto backend for the crypto suite")
+    p.add_argument("--only", default=None, metavar="SUBSTR",
+                   help="filter crypto benchmarks by cipher-name substring")
+    p.add_argument("--out-dir", default=".", metavar="DIR",
+                   help="directory for BENCH_*.json files (default: cwd)")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="gate results against a recorded baseline file")
+    p.add_argument("--tolerance", type=float, default=0.8, metavar="T",
+                   help="fail entries below T x baseline (default 0.8)")
+    p.add_argument("--profile", action="store_true", dest="cprofile",
+                   help="profile the benchmarks with cProfile; top functions "
+                        "to stderr")
     return parser
+
+
+def _run_profiled(enabled: bool, fn):
+    """Run ``fn()``; with ``enabled``, under cProfile with top-N to stderr."""
+    if not enabled:
+        return fn()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(fn)
+    finally:
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(30)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -137,8 +179,10 @@ def _cmd_run(args) -> int:
         cache = ResultCache(args.cache_dir or default_cache_root())
     seeds = range(args.seed_start, args.seed_start + max(args.seeds, 1))
     try:
-        sweep = run_sweep(args.scenario, seeds, overrides, jobs=args.jobs,
-                          cache=cache, use_cache=not args.no_cache)
+        sweep = _run_profiled(
+            args.cprofile,
+            lambda: run_sweep(args.scenario, seeds, overrides, jobs=args.jobs,
+                              cache=cache, use_cache=not args.no_cache))
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -305,6 +349,61 @@ def _cmd_ciphers(args) -> int:
     for name, spec in sorted(CIPHERS.items()):
         print(f"{name:<24} {spec.kind:<7} key={spec.key_len:<3} "
               f"{'salt' if spec.kind == 'aead' else 'IV'}={spec.iv_len}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from .perf import (
+        bench_crypto,
+        bench_e2e,
+        bench_sim,
+        compare_entries,
+        format_comparison,
+        load_entries,
+        write_entries,
+    )
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    def progress(message: str) -> None:
+        print(f"  {message}", file=sys.stderr)
+
+    def execute():
+        suites = {}
+        if args.suite in ("crypto", "all"):
+            suites["crypto"] = bench_crypto(
+                size=32768 if args.quick else 262144,
+                repeats=1 if args.quick else 3,
+                backend=args.backend, only=args.only, progress=progress)
+        if args.suite in ("sim", "all"):
+            suites["sim"] = bench_sim(
+                events=20000 if args.quick else 200000,
+                repeats=1 if args.quick else 3, progress=progress)
+        if args.suite in ("e2e", "all"):
+            suites["e2e"] = bench_e2e(
+                connections=10 if args.quick else 40, progress=progress)
+        return suites
+
+    suites = _run_profiled(args.cprofile, execute)
+
+    all_entries = []
+    for suite, entries in suites.items():
+        path = out_dir / f"BENCH_{suite}.json"
+        write_entries(path, entries)
+        print(f"wrote {path} ({len(entries)} entries)")
+        all_entries.extend(entries)
+    for entry in all_entries:
+        print(f"  {entry.name:<40} {entry.value:>12.3f} {entry.unit}")
+
+    if args.compare:
+        comparison = compare_entries(all_entries, load_entries(args.compare),
+                                     tolerance=args.tolerance)
+        print(format_comparison(comparison))
+        if not comparison.ok:
+            return 1
     return 0
 
 

@@ -11,7 +11,7 @@ import struct
 
 from .chacha20 import ChaCha20, chacha20_block
 from .gcm import AESGCM, AuthenticationError, _eq
-from .poly1305 import poly1305_mac
+from .poly1305 import _Poly1305
 
 __all__ = ["AESGCM", "ChaCha20Poly1305", "AuthenticationError", "new_aead"]
 
@@ -32,15 +32,15 @@ class ChaCha20Poly1305:
         return chacha20_block(self._key, 0, nonce)[:32]
 
     def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
-        def pad16(b: bytes) -> bytes:
-            return b + bytes(-len(b) % 16)
-
-        mac_data = (
-            pad16(aad)
-            + pad16(ciphertext)
-            + struct.pack("<QQ", len(aad), len(ciphertext))
-        )
-        return poly1305_mac(self._poly_key(nonce), mac_data)
+        # Stream the MAC input in pieces (aad, pad, ciphertext, pad,
+        # lengths) instead of materializing the padded concatenation.
+        mac = _Poly1305(self._poly_key(nonce))
+        mac.update(aad)
+        mac.update(bytes(-len(aad) % 16))
+        mac.update(ciphertext)
+        mac.update(bytes(-len(ciphertext) % 16))
+        mac.update(struct.pack("<QQ", len(aad), len(ciphertext)))
+        return mac.tag()
 
     def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         ciphertext = ChaCha20(self._key, nonce, counter=1).encrypt(plaintext)
@@ -56,9 +56,15 @@ class ChaCha20Poly1305:
 
 
 def new_aead(name: str, key: bytes):
-    """Construct an AEAD object by OpenSSL-style method name."""
+    """Construct an AEAD object by OpenSSL-style method name.
+
+    Honours the ``REPRO_CRYPTO`` backend switch (fast vs reference).
+    """
+    from .backend import aead_impls
+
+    aes_gcm, chacha_poly = aead_impls()
     if name in ("aes-128-gcm", "aes-192-gcm", "aes-256-gcm"):
-        return AESGCM(key)
+        return aes_gcm(key)
     if name == "chacha20-ietf-poly1305":
-        return ChaCha20Poly1305(key)
+        return chacha_poly(key)
     raise ValueError(f"unknown AEAD method: {name!r}")

@@ -1,0 +1,70 @@
+"""Crypto backend switch: optimized fast paths vs retained references.
+
+The fast implementations are property-tested byte-identical to the
+references, so which backend a run uses is unobservable in its output —
+but keeping the originals wired in forever means equivalence stays
+testable and any suspected fast-path bug can be bisected by flipping one
+environment variable:
+
+    REPRO_CRYPTO=reference python -m repro run shadowsocks ...
+
+``set_backend`` overrides the environment for the current process (used
+by the equivalence tests and ``repro bench --backend``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["BACKENDS", "current_backend", "set_backend",
+           "stream_cipher_impls", "aead_impls"]
+
+BACKENDS = ("fast", "reference")
+
+_override: Optional[str] = None
+
+
+def current_backend() -> str:
+    """Active backend name: the ``set_backend`` override, else $REPRO_CRYPTO."""
+    if _override is not None:
+        return _override
+    name = os.environ.get("REPRO_CRYPTO", "fast").strip().lower() or "fast"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"REPRO_CRYPTO must be one of {BACKENDS}, got {name!r}")
+    return name
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Force a backend for this process; ``None`` returns to the env var."""
+    global _override
+    if name is not None and name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    _override = name
+
+
+def stream_cipher_impls():
+    """(chacha20_djb, chacha20_ietf, rc4, ctr, cfb) constructors."""
+    if current_backend() == "reference":
+        from . import _reference as ref
+
+        return (ref.ReferenceChaCha20DJB, ref.ReferenceChaCha20,
+                ref.ReferenceRC4, ref.ReferenceCTRMode, ref.ReferenceCFBMode)
+    from .chacha20 import ChaCha20
+    from .modes import CFBMode, CTRMode
+    from .stream import RC4, ChaCha20DJB
+
+    return (ChaCha20DJB, ChaCha20, RC4, CTRMode, CFBMode)
+
+
+def aead_impls():
+    """(aes_gcm, chacha20_poly1305) constructors."""
+    if current_backend() == "reference":
+        from . import _reference as ref
+
+        return (ref.ReferenceAESGCM, ref.ReferenceChaCha20Poly1305)
+    from .aead import ChaCha20Poly1305
+    from .gcm import AESGCM
+
+    return (AESGCM, ChaCha20Poly1305)

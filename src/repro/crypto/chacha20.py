@@ -2,13 +2,18 @@
 
 Shadowsocks uses ``chacha20-ietf`` as a stream cipher (12-byte IV) and
 ChaCha20 as the keystream half of ``chacha20-ietf-poly1305``.  The round
-function is inlined and unrolled — this cipher carries the bulk of the
-simulated tunnel traffic, so per-block overhead matters.
+function is inlined and unrolled, keystream is generated a whole buffer
+of blocks per call (vectorized across blocks when numpy is available)
+and consumed through a cursor, and the XOR runs over the whole buffer —
+this cipher carries the bulk of the simulated tunnel traffic, so
+per-block and per-byte overhead matter.
 """
 
 from __future__ import annotations
 
 import struct
+
+from . import _numpy as _nx
 
 __all__ = ["chacha20_block", "ChaCha20"]
 
@@ -72,7 +77,48 @@ def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
     return _run_rounds(init)
 
 
-class ChaCha20:
+class _KeystreamCipher:
+    """Shared cursor machinery for the incremental ChaCha variants.
+
+    Subclasses provide ``_blocks(nblocks)`` producing that many 64-byte
+    keystream blocks and advancing the counter.  ``process`` keeps
+    unconsumed keystream in a ``bytearray`` drained through a cursor
+    (never re-sliced, so large streams stay linear) and XORs whole
+    buffers at a time.
+    """
+
+    _BLOCK = 64
+
+    def __init__(self) -> None:
+        self._ks = bytearray()
+        self._pos = 0
+
+    def process(self, data: bytes) -> bytes:
+        n = len(data)
+        if not n:
+            return b""
+        if len(self._ks) - self._pos < n:
+            need = n - (len(self._ks) - self._pos)
+            nblocks = (need + self._BLOCK - 1) // self._BLOCK
+            fresh = self._blocks(nblocks)
+            if self._pos:
+                del self._ks[: self._pos]
+                self._pos = 0
+            self._ks += fresh
+        ks = memoryview(self._ks)[self._pos : self._pos + n]
+        out = _nx.xor_bytes(data, ks)
+        ks.release()
+        self._pos += n
+        if self._pos == len(self._ks):
+            self._ks.clear()
+            self._pos = 0
+        return out
+
+    encrypt = process
+    decrypt = process
+
+
+class ChaCha20(_KeystreamCipher):
     """Incremental ChaCha20 keystream XOR, as used for a TCP byte stream."""
 
     def __init__(self, key: bytes, nonce: bytes, counter: int = 0):
@@ -80,20 +126,21 @@ class ChaCha20:
             raise ValueError(f"ChaCha20 key must be 32 bytes, got {len(key)}")
         if len(nonce) != 12:
             raise ValueError(f"ChaCha20 nonce must be 12 bytes, got {len(nonce)}")
+        super().__init__()
         self._init = (
             list(_CONSTANTS) + list(struct.unpack("<8L", key)) + [0]
             + list(struct.unpack("<3L", nonce))
         )
         self._counter = counter
-        self._keystream = b""
 
-    def process(self, data: bytes) -> bytes:
-        while len(self._keystream) < len(data):
-            self._init[12] = self._counter & _M
-            self._keystream += _run_rounds(self._init)
-            self._counter += 1
-        ks, self._keystream = self._keystream[: len(data)], self._keystream[len(data) :]
-        return bytes(a ^ b for a, b in zip(data, ks))
-
-    encrypt = process
-    decrypt = process
+    def _blocks(self, nblocks: int) -> bytes:
+        counter = self._counter
+        self._counter += nblocks
+        if _nx.HAVE_NUMPY and nblocks >= _nx.CHACHA_MIN_BLOCKS:
+            return _nx.chacha_blocks(self._init, counter, nblocks, djb=False)
+        init = self._init
+        parts = []
+        for i in range(nblocks):
+            init[12] = (counter + i) & _M
+            parts.append(_run_rounds(init))
+        return b"".join(parts)

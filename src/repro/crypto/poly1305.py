@@ -1,4 +1,13 @@
-"""Poly1305 one-time authenticator (RFC 8439 §2.5)."""
+"""Poly1305 one-time authenticator (RFC 8439 §2.5).
+
+The accumulator runs over 16-byte chunks read straight out of the
+message with ``int.from_bytes`` — the final-byte 0x01 marker is added
+arithmetically (``+ 2^(8*len)``) instead of concatenating ``chunk +
+b"\\x01"`` per block, so a full-speed MAC allocates nothing per chunk.
+``_Poly1305`` is the incremental form used by the ChaCha20-Poly1305 AEAD
+to fold aad / ciphertext / padding / lengths in piecewise without
+materializing the padded concatenation.
+"""
 
 from __future__ import annotations
 
@@ -6,17 +15,51 @@ __all__ = ["poly1305_mac"]
 
 _P = (1 << 130) - 5
 _CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+_HI = 1 << 128
+
+
+class _Poly1305:
+    """Incremental Poly1305: ``update`` at any chunking, then ``tag``."""
+
+    def __init__(self, key: bytes):
+        if len(key) != 32:
+            raise ValueError(f"Poly1305 key must be 32 bytes, got {len(key)}")
+        self._r = int.from_bytes(key[:16], "little") & _CLAMP
+        self._s = int.from_bytes(key[16:], "little")
+        self._acc = 0
+        self._partial = b""
+
+    def update(self, data: bytes) -> "_Poly1305":
+        if self._partial:
+            need = 16 - len(self._partial)
+            self._partial += data[:need]
+            if len(self._partial) < 16:
+                return self
+            data = data[need:]
+            self._acc = ((self._acc + _HI
+                          + int.from_bytes(self._partial, "little"))
+                         * self._r) % _P
+            self._partial = b""
+        n = len(data)
+        tail = n % 16
+        full = n - tail
+        acc, r = self._acc, self._r
+        for i in range(0, full, 16):
+            acc = ((acc + _HI + int.from_bytes(data[i : i + 16], "little"))
+                   * r) % _P
+        self._acc = acc
+        if tail:
+            self._partial = bytes(data[full:])
+        return self
+
+    def tag(self) -> bytes:
+        acc = self._acc
+        if self._partial:
+            acc = ((acc + (1 << (8 * len(self._partial)))
+                    + int.from_bytes(self._partial, "little")) * self._r) % _P
+        return ((acc + self._s) & (_HI - 1)).to_bytes(16, "little")
 
 
 def poly1305_mac(key: bytes, message: bytes) -> bytes:
     """Compute the 16-byte Poly1305 tag of ``message`` under a 32-byte key."""
-    if len(key) != 32:
-        raise ValueError(f"Poly1305 key must be 32 bytes, got {len(key)}")
-    r = int.from_bytes(key[:16], "little") & _CLAMP
-    s = int.from_bytes(key[16:], "little")
-    acc = 0
-    for i in range(0, len(message), 16):
-        chunk = message[i : i + 16]
-        n = int.from_bytes(chunk + b"\x01", "little")
-        acc = ((acc + n) * r) % _P
-    return ((acc + s) & ((1 << 128) - 1)).to_bytes(16, "little")
+    return _Poly1305(key).update(message).tag()

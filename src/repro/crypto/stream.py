@@ -8,6 +8,10 @@ probes key on:
 * ``chacha20-ietf`` — RFC 8439 variant, 12-byte nonce
 * ``aes-{128,192,256}-{ctr,cfb}`` — 16-byte IV
 * ``rc4-md5``       — 16-byte IV, RC4 keyed by MD5(key || IV)
+
+``new_stream_cipher`` honours the ``REPRO_CRYPTO`` backend switch (see
+:mod:`repro.crypto.backend`): the default fast implementations, or the
+retained reference ones for equivalence testing.
 """
 
 from __future__ import annotations
@@ -15,8 +19,8 @@ from __future__ import annotations
 import hashlib
 import struct
 
-from .chacha20 import _quarter_round, _CONSTANTS
-from .modes import CFBMode, CTRMode
+from . import _numpy as _nx
+from .chacha20 import _CONSTANTS, _KeystreamCipher, _quarter_round, _run_rounds
 
 __all__ = ["RC4", "ChaCha20DJB", "new_stream_cipher"]
 
@@ -37,15 +41,22 @@ class RC4:
         self._j = 0
 
     def process(self, data: bytes) -> bytes:
+        # RC4's state swap makes every output byte depend on the last, so
+        # this stays a byte loop; precomputing the keystream separately
+        # and XORing whole buffers still beats xor-as-you-go.
         s, i, j = self._s, self._i, self._j
-        out = bytearray()
-        for byte in data:
-            i = (i + 1) % 256
-            j = (j + s[i]) % 256
-            s[i], s[j] = s[j], s[i]
-            out.append(byte ^ s[(s[i] + s[j]) % 256])
+        n = len(data)
+        ks = bytearray(n)
+        for pos in range(n):
+            i = (i + 1) & 0xFF
+            sj = s[i]
+            j = (j + sj) & 0xFF
+            si = s[j]
+            s[i] = si
+            s[j] = sj
+            ks[pos] = s[(si + sj) & 0xFF]
         self._i, self._j = i, j
-        return bytes(out)
+        return _nx.xor_bytes(data, ks)
 
     encrypt = process
     decrypt = process
@@ -71,7 +82,7 @@ def _chacha20_block_djb(key: bytes, counter: int, nonce: bytes) -> bytes:
     return struct.pack("<16L", *((s + i) & 0xFFFFFFFF for s, i in zip(state, init)))
 
 
-class ChaCha20DJB:
+class ChaCha20DJB(_KeystreamCipher):
     """Incremental original-variant ChaCha20 (8-byte nonce)."""
 
     def __init__(self, key: bytes, nonce: bytes):
@@ -79,20 +90,26 @@ class ChaCha20DJB:
             raise ValueError(f"ChaCha20 key must be 32 bytes, got {len(key)}")
         if len(nonce) != 8:
             raise ValueError(f"DJB ChaCha20 nonce must be 8 bytes, got {len(nonce)}")
-        self._key = key
-        self._nonce = nonce
+        super().__init__()
+        self._init = (
+            list(_CONSTANTS) + list(struct.unpack("<8L", key)) + [0, 0]
+            + list(struct.unpack("<2L", nonce))
+        )
         self._counter = 0
-        self._keystream = b""
 
-    def process(self, data: bytes) -> bytes:
-        while len(self._keystream) < len(data):
-            self._keystream += _chacha20_block_djb(self._key, self._counter, self._nonce)
-            self._counter += 1
-        ks, self._keystream = self._keystream[: len(data)], self._keystream[len(data) :]
-        return bytes(a ^ b for a, b in zip(data, ks))
-
-    encrypt = process
-    decrypt = process
+    def _blocks(self, nblocks: int) -> bytes:
+        counter = self._counter
+        self._counter += nblocks
+        if _nx.HAVE_NUMPY and nblocks >= _nx.CHACHA_MIN_BLOCKS:
+            return _nx.chacha_blocks(self._init, counter, nblocks, djb=True)
+        init = self._init
+        parts = []
+        for i in range(nblocks):
+            c = counter + i
+            init[12] = c & 0xFFFFFFFF
+            init[13] = (c >> 32) & 0xFFFFFFFF
+            parts.append(_run_rounds(init))
+        return b"".join(parts)
 
 
 def new_stream_cipher(name: str, key: bytes, iv: bytes, encrypt: bool):
@@ -101,16 +118,17 @@ def new_stream_cipher(name: str, key: bytes, iv: bytes, encrypt: bool):
     ``encrypt`` only matters for CFB, whose feedback register differs by
     direction; CTR/ChaCha/RC4 are symmetric.
     """
-    from .chacha20 import ChaCha20
+    from .backend import stream_cipher_impls
 
+    chacha_djb, chacha_ietf, rc4, ctr, cfb = stream_cipher_impls()
     if name == "chacha20":
-        return ChaCha20DJB(key, iv)
+        return chacha_djb(key, iv)
     if name == "chacha20-ietf":
-        return ChaCha20(key, iv)
+        return chacha_ietf(key, iv)
     if name == "rc4-md5":
-        return RC4(hashlib.md5(key + iv).digest())
+        return rc4(hashlib.md5(key + iv).digest())
     if name.startswith("aes-") and name.endswith("-ctr"):
-        return CTRMode(key, iv)
+        return ctr(key, iv)
     if name.startswith("aes-") and name.endswith("-cfb"):
-        return CFBMode(key, iv, encrypt=encrypt)
+        return cfb(key, iv, encrypt=encrypt)
     raise ValueError(f"unknown stream cipher method: {name!r}")

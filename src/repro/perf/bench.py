@@ -1,0 +1,272 @@
+"""Benchmark suites for the crypto, simulator, and end-to-end layers.
+
+Every measurement is emitted as a :class:`BenchEntry` with the schema
+
+    {name, unit, value, params, host_fingerprint, git_rev}
+
+where ``value`` is always higher-is-better (MB/s, events/s, packets/s),
+so a single tolerance rule — ``current >= tolerance * baseline`` —
+covers every entry in :mod:`repro.perf.compare`.
+
+Timing discipline: each measurement runs ``repeats`` times and keeps the
+*best* wall-clock (the standard way to suppress scheduler noise for
+throughput numbers); buffers are deterministic pseudo-random bytes so
+runs are comparable across hosts and revisions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "BenchEntry",
+    "bench_crypto",
+    "bench_e2e",
+    "bench_sim",
+    "git_rev",
+    "host_fingerprint",
+    "write_entries",
+]
+
+
+@dataclass
+class BenchEntry:
+    """One benchmark measurement (higher ``value`` is always better)."""
+
+    name: str
+    unit: str
+    value: float
+    params: Dict[str, Any] = field(default_factory=dict)
+    host_fingerprint: str = ""
+    git_rev: str = ""
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "value": self.value,
+            "params": self.params,
+            "host_fingerprint": self.host_fingerprint,
+            "git_rev": self.git_rev,
+        }
+
+
+def host_fingerprint() -> str:
+    """Coarse host identity so baselines aren't compared across machines."""
+    return "|".join([
+        platform.system(),
+        platform.machine(),
+        platform.python_implementation(),
+        platform.python_version(),
+    ])
+
+
+def git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=str(Path(__file__).resolve().parent),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def write_entries(path, entries: Iterable[BenchEntry]) -> None:
+    """Write one BENCH_*.json file: a JSON array of entry objects."""
+    doc = [e.to_json_dict() for e in entries]
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(fn: Callable[[], int], repeats: int) -> float:
+    """Run ``fn`` (returning a work count) ``repeats`` times; best rate."""
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        work = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, work / elapsed)
+    return best
+
+
+def _stamp(entries: List[BenchEntry]) -> List[BenchEntry]:
+    host = host_fingerprint()
+    rev = git_rev()
+    for e in entries:
+        e.host_fingerprint = host
+        e.git_rev = rev
+    return entries
+
+
+# ------------------------------------------------------------------ crypto
+
+
+def bench_crypto(*, size: int = 262144, repeats: int = 3,
+                 backend: Optional[str] = None,
+                 only: Optional[str] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> List[BenchEntry]:
+    """Throughput of every registered cipher through the public factories.
+
+    Stream ciphers report ``encrypt`` and ``decrypt`` MB/s; AEADs report
+    ``seal`` and ``open`` MB/s (AEAD messages are sealed in 16 KiB
+    chunks, the shape of Shadowsocks AEAD tunnel traffic at max payload).
+    ``backend`` pins the crypto backend for the measurement (``fast`` or
+    ``reference``); ``only`` substring-filters cipher names.
+    """
+    from repro.crypto import (CIPHERS, CipherKind, current_backend, new_aead,
+                              new_stream_cipher, set_backend)
+
+    rng = random.Random(0xBE7C4)
+    data = rng.randbytes(size)
+    entries: List[BenchEntry] = []
+    prev = current_backend()
+    set_backend(backend or prev)
+    try:
+        bname = current_backend()
+        for spec in CIPHERS.values():
+            if only and only not in spec.name:
+                continue
+            if progress:
+                progress(f"crypto: {spec.name} [{bname}]")
+            key = rng.randbytes(spec.key_len)
+            params = {"size": size, "backend": bname}
+            if spec.kind == CipherKind.STREAM:
+                iv = rng.randbytes(spec.iv_len)
+
+                def enc() -> int:
+                    cipher = new_stream_cipher(spec.name, key, iv, True)
+                    cipher.process(data)
+                    return size
+
+                def dec() -> int:
+                    cipher = new_stream_cipher(spec.name, key, iv, False)
+                    cipher.process(data)
+                    return size
+
+                for op, fn in (("encrypt", enc), ("decrypt", dec)):
+                    entries.append(BenchEntry(
+                        name=f"crypto.{spec.name}.{op}", unit="MB/s",
+                        value=_best_of(fn, repeats) / 1e6, params=dict(params)))
+            else:
+                nonce = rng.randbytes(12)
+                chunk = 16384
+                chunks = [data[i : i + chunk] for i in range(0, size, chunk)]
+                aead_params = dict(params, chunk=chunk)
+
+                def seal() -> int:
+                    aead = new_aead(spec.name, key)
+                    for piece in chunks:
+                        aead.seal(nonce, piece)
+                    return size
+
+                sealed = [new_aead(spec.name, key).seal(nonce, piece)
+                          for piece in chunks]
+
+                def opener() -> int:
+                    aead = new_aead(spec.name, key)
+                    for piece in sealed:
+                        aead.open(nonce, piece)
+                    return size
+
+                for op, fn in (("seal", seal), ("open", opener)):
+                    entries.append(BenchEntry(
+                        name=f"crypto.{spec.name}.{op}", unit="MB/s",
+                        value=_best_of(fn, repeats) / 1e6,
+                        params=dict(aead_params)))
+    finally:
+        set_backend(prev)
+    return _stamp(entries)
+
+
+# --------------------------------------------------------------- simulator
+
+
+def bench_sim(*, events: int = 200000, fanout: int = 4,
+              repeats: int = 3,
+              progress: Optional[Callable[[str], None]] = None,
+              ) -> List[BenchEntry]:
+    """Raw event-loop throughput on a synthetic self-rescheduling load.
+
+    ``fanout`` timer chains reschedule themselves with deterministic
+    jittered delays until ``events`` callbacks have run — the same
+    schedule/pop/dispatch path every simulated segment takes.
+    """
+    from repro.net.sim import Simulator
+
+    if progress:
+        progress(f"sim: {events} events, fanout={fanout}")
+
+    def run() -> int:
+        sim = Simulator()
+        rng = random.Random(1234)
+
+        def tick(chain: int) -> None:
+            sim.schedule(0.001 + rng.random() * 0.01, tick, chain)
+
+        for chain in range(fanout):
+            sim.schedule(rng.random() * 0.01, tick, chain)
+        return sim.run(max_events=events)
+
+    rate = _best_of(run, repeats)
+    return _stamp([BenchEntry(
+        name="sim.event_loop", unit="events/s", value=rate,
+        params={"events": events, "fanout": fanout})])
+
+
+# -------------------------------------------------------------- end-to-end
+
+
+def bench_e2e(*, connections: int = 40, repeats: int = 1,
+              method: str = "chacha20-ietf-poly1305",
+              progress: Optional[Callable[[str], None]] = None,
+              ) -> List[BenchEntry]:
+    """Packets/s of a full tunnel scenario: client → GFW → server and back.
+
+    Builds the same world as ``repro quickstart`` (Shadowsocks client +
+    server under the detector, curl-like workload) and measures delivered
+    TCP segments per wall-clock second — crypto, TCP, detector, and event
+    loop all on the clock.
+    """
+    from repro.experiments import build_world
+    from repro.gfw import DetectorConfig
+    from repro.shadowsocks import ShadowsocksClient, ShadowsocksServer
+    from repro.workloads import CurlDriver
+
+    if progress:
+        progress(f"e2e: {connections} connections, {method}")
+
+    segments = {"n": 0}
+
+    def run() -> int:
+        world = build_world(seed=7,
+                            detector_config=DetectorConfig(base_rate=0.9),
+                            websites=["example.com", "gfw.report"])
+        server_host = world.add_server("ss-server", region="uk")
+        client_host = world.add_client("client")
+        ShadowsocksServer(server_host, 8388, "pw", method, "outline-1.0.7")
+        client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
+                                   method)
+        CurlDriver(client, rng=random.Random(7),
+                   sites=["example.com", "gfw.report"]).run_schedule(
+                       connections, 60.0)
+        world.sim.run(until=connections * 60.0 + 3600)
+        segments["n"] = world.net.segments_delivered
+        return world.net.segments_delivered
+
+    rate = _best_of(run, repeats)
+    return _stamp([BenchEntry(
+        name="e2e.shadowsocks_tunnel", unit="packets/s", value=rate,
+        params={"connections": connections, "method": method,
+                "segments": segments["n"]})])

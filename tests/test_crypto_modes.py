@@ -72,3 +72,16 @@ def test_iv_length_validated():
         CTRMode(KEY128, bytes(8))
     with pytest.raises(ValueError):
         CFBMode(KEY128, bytes(12), encrypt=True)
+
+
+def test_ctr_multi_megabyte_single_call():
+    # The old implementation grew an immutable keystream with += per
+    # block, making one large call quadratic; this finishes fast only
+    # with batched keystream generation into a cursor-consumed buffer.
+    data = bytes(range(256)) * (3 * 1024 * 4)  # 3 MiB
+    whole = CTRMode(KEY128, CTR_IV).process(data)
+    # Same bytes as chunked processing, and self-inverse.
+    chunked = CTRMode(KEY128, CTR_IV)
+    mid = len(data) // 2 + 7
+    assert chunked.process(data[:mid]) + chunked.process(data[mid:]) == whole
+    assert CTRMode(KEY128, CTR_IV).process(whole) == data
