@@ -5,13 +5,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-perf clean
+.PHONY: test lint typecheck bench bench-smoke bench-perf clean
 
 test:                ## tier-1 suite (unit + integration + property)
 	$(PYTHON) -m pytest tests/ -x -q
 
 lint:                ## static checks (requires ruff)
 	ruff check src tests benchmarks examples
+
+typecheck:           ## mypy over the typed layers (requires mypy)
+	mypy --ignore-missing-imports src/repro/analysis src/repro/runtime
 
 bench:               ## every paper table/figure benchmark + ablations
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

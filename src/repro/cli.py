@@ -5,6 +5,8 @@ Commands mirror the paper's workflow:
 * ``run``         — run any registered scenario through the runtime
   (multi-seed, parallel, cached): ``run <scenario> --seeds N --jobs M``;
   ``run --list`` enumerates the registry;
+* ``analyze``     — re-finalize the streaming analyzers of already-cached
+  runs (merging states across seeds) without re-simulating anything;
 * ``quickstart``  — tunnel a request under the GFW and print the probes;
 * ``probesim``    — probe one server model and print its reaction row;
 * ``identify``    — probe a server model and print the §5.2.2 inference;
@@ -65,6 +67,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true", dest="cprofile",
                    help="profile the run with cProfile; top functions to stderr")
 
+    p = sub.add_parser(
+        "analyze",
+        help="re-run the declared analyzers over cached results "
+             "(no simulation)",
+    )
+    p.add_argument("scenario", help="scenario name (see `run --list`)")
+    p.add_argument("--seeds", type=int, default=1, metavar="N",
+                   help="number of cached seeds to merge (default 1)")
+    p.add_argument("--seed-start", type=int, default=0, metavar="S",
+                   help="first seed (default 0)")
+    p.add_argument("--set", dest="overrides", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="scenario parameter overrides the runs were cached "
+                        "under (must match exactly)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the merged analysis as canonical JSON")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache root (default $REPRO_RUNS_DIR or runs/)")
+
     p = sub.add_parser("quickstart", help="tunnel traffic under the GFW")
     p.add_argument("--connections", type=int, default=40)
     p.add_argument("--seed", type=int, default=7)
@@ -107,7 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run performance benchmarks and write BENCH_*.json",
     )
-    p.add_argument("--suite", choices=["crypto", "sim", "e2e", "all"],
+    p.add_argument("--suite",
+                   choices=["crypto", "sim", "analysis", "e2e", "all"],
                    default="all", help="which benchmark suite(s) to run")
     p.add_argument("--quick", action="store_true",
                    help="smaller sizes/counts (CI smoke mode)")
@@ -148,6 +170,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     return handler(args)
 
 
+def _parse_overrides(items) -> Optional[dict]:
+    """Parse repeated ``--set KEY=VALUE`` arguments; None on bad syntax."""
+    overrides = {}
+    for item in items:
+        if "=" not in item:
+            print(f"error: --set expects KEY=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return None
+        key, value = item.split("=", 1)
+        overrides[key] = value
+    return overrides
+
+
 def _cmd_run(args) -> int:
     from .runtime import (
         ResultCache,
@@ -165,14 +200,9 @@ def _cmd_run(args) -> int:
             return 2
         return 0
 
-    overrides = {}
-    for item in args.overrides:
-        if "=" not in item:
-            print(f"error: --set expects KEY=VALUE, got {item!r}",
-                  file=sys.stderr)
-            return 2
-        key, value = item.split("=", 1)
-        overrides[key] = value
+    overrides = _parse_overrides(args.overrides)
+    if overrides is None:
+        return 2
 
     cache = None
     if not args.no_cache:
@@ -204,6 +234,64 @@ def _cmd_run(args) -> int:
             print(f"  {name:<30} {count}")
     if cache is not None:
         print(f"results cached under {cache.root}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis.pipeline import merge_analysis
+    from .runtime import (
+        ResultCache,
+        canonical_json,
+        canonical_params,
+        code_fingerprint,
+        default_cache_root,
+        get_scenario,
+    )
+
+    overrides = _parse_overrides(args.overrides)
+    if overrides is None:
+        return 2
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    cache = ResultCache(args.cache_dir or default_cache_root())
+    fingerprint = code_fingerprint()
+    results = []
+    for seed in range(args.seed_start, args.seed_start + max(args.seeds, 1)):
+        params = canonical_params(scenario.instantiate(seed, overrides))
+        cached = cache.load(scenario.name, params, seed, fingerprint)
+        if cached is None:
+            print(f"error: no cached result for {scenario.name} seed={seed} "
+                  f"under {cache.root} — run `python -m repro run "
+                  f"{scenario.name} --seeds {args.seeds}` first "
+                  f"(same overrides, same code)", file=sys.stderr)
+            return 1
+        if not cached.analysis:
+            print(f"error: cached result for {scenario.name} seed={seed} "
+                  f"carries no analyzer states (scenario declares no "
+                  f"analyzers?)", file=sys.stderr)
+            return 1
+        results.append(cached)
+
+    merged = merge_analysis([r.analysis for r in results])
+    if args.as_json:
+        print(canonical_json(merged))
+        return 0
+
+    seeds = [r.seed for r in results]
+    print(f"{scenario.name}: re-finalized {len(results)} cached seed(s) "
+          f"{seeds} without re-simulating")
+    for name in sorted(merged):
+        print(f"  {name}:")
+        output = merged[name]
+        if isinstance(output, dict):
+            for key in sorted(output):
+                print(f"    {key:<24} {canonical_json(output[key])}")
+        else:
+            print(f"    {canonical_json(output)}")
     return 0
 
 
@@ -356,6 +444,7 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from .perf import (
+        bench_analysis,
         bench_crypto,
         bench_e2e,
         bench_sim,
@@ -380,6 +469,10 @@ def _cmd_bench(args) -> int:
                 backend=args.backend, only=args.only, progress=progress)
         if args.suite in ("sim", "all"):
             suites["sim"] = bench_sim(
+                events=20000 if args.quick else 200000,
+                repeats=1 if args.quick else 3, progress=progress)
+        if args.suite in ("analysis", "all"):
+            suites["analysis"] = bench_analysis(
                 events=20000 if args.quick else 200000,
                 repeats=1 if args.quick else 3, progress=progress)
         if args.suite in ("e2e", "all"):

@@ -10,7 +10,7 @@ from .brdgrd_exp import (
     BrdgrdExperimentResult,
     run_brdgrd_experiment,
 )
-from .common import CHINA_CIDRS, World, build_world
+from .common import CHINA_CIDRS, World, build_world, settle
 from .shadowsocks_exp import (
     ShadowsocksExperimentConfig,
     ShadowsocksExperimentResult,
@@ -40,4 +40,5 @@ __all__ = [
     "run_brdgrd_experiment",
     "run_shadowsocks_experiment",
     "run_sink_experiment",
+    "settle",
 ]

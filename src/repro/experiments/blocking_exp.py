@@ -21,10 +21,17 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis import (
+    AnalysisPipeline,
+    Analyzer,
+    BlockEvents,
+    FlaggedConnections,
+    ProbeTally,
+)
 from ..gfw import BlockEvent, BlockingPolicy, DetectorConfig
+from ..runtime.topology import World, build_world, settle
 from ..shadowsocks import ShadowsocksClient, ShadowsocksServer
 from ..workloads import CurlDriver
-from .common import World, build_world
 
 __all__ = ["BlockingExperimentConfig", "BlockingExperimentResult",
            "run_blocking_experiment"]
@@ -56,6 +63,15 @@ class BlockingExperimentConfig:
     unblock_after: float = 8 * 24 * 3600.0
     base_rate: float = 0.6
     server_port: int = 8388
+    stream_captures: bool = False
+
+
+def declared_analyzers(config: BlockingExperimentConfig) -> Dict[str, Analyzer]:
+    return {
+        "probes": ProbeTally(),
+        "flagged": FlaggedConnections(),
+        "blocks": BlockEvents(),
+    }
 
 
 @dataclass
@@ -65,6 +81,7 @@ class BlockingExperimentResult:
     block_events: List[BlockEvent]
     server_profiles: Dict[str, str]           # server IP -> profile name
     probes_per_server: Dict[str, int]
+    pipeline: AnalysisPipeline
 
     @property
     def blocked_profiles(self) -> List[str]:
@@ -91,7 +108,10 @@ def run_blocking_experiment(config: Optional[BlockingExperimentConfig] = None,
         detector_config=DetectorConfig(base_rate=config.base_rate),
         blocking_policy=policy,
         websites=["www.wikipedia.org", "example.com", "gfw.report"],
+        stream_captures=config.stream_captures,
     )
+    pipeline = AnalysisPipeline(declared_analyzers(config))
+    pipeline.attach(world.bus)
     rng = random.Random(config.seed + 1)
     server_profiles: Dict[str, str] = {}
 
@@ -110,18 +130,16 @@ def run_blocking_experiment(config: Optional[BlockingExperimentConfig] = None,
                             start=rng.uniform(0, interval))
         server_profiles[server_host.ip] = profile
 
-    world.sim.run(until=config.duration)
+    settle(world, config.duration, drain=1.0)
 
-    probes_per_server: Dict[str, int] = {}
-    for record in world.gfw.probe_log:
-        probes_per_server[record.server_ip] = (
-            probes_per_server.get(record.server_ip, 0) + 1
-        )
+    probes = pipeline.analyzers["probes"]
+    assert isinstance(probes, ProbeTally)
 
     return BlockingExperimentResult(
         world=world,
         config=config,
         block_events=list(world.gfw.blocking.events),
         server_profiles=server_profiles,
-        probes_per_server=probes_per_server,
+        probes_per_server=dict(probes.by_server),
+        pipeline=pipeline,
     )

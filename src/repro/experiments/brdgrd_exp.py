@@ -12,14 +12,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..analysis import AnalysisPipeline, Analyzer, ProbeSynTimes
 from ..defense import Brdgrd
 from ..gfw import DetectorConfig
-from ..net import lookup_asn
+from ..runtime.topology import World, build_world, settle
 from ..shadowsocks import ShadowsocksClient, ShadowsocksServer
 from ..workloads import CurlDriver
-from .common import World, build_world
 
 __all__ = ["BrdgrdExperimentConfig", "BrdgrdExperimentResult",
            "run_brdgrd_experiment"]
@@ -44,6 +44,27 @@ class BrdgrdExperimentConfig:
     base_rate: float = 0.6
     server_port: int = 8388
     with_control: bool = True
+    stream_captures: bool = False
+
+
+def declared_analyzers(
+    config: BrdgrdExperimentConfig,
+    guarded_client_ip: str,
+    control_client_ip: str = "",
+) -> Dict[str, Analyzer]:
+    """One SYN-time analyzer per tapped server capture.
+
+    The control analyzer exists even without a control server; with no
+    capture routed to it, it reports zero counts (as the legacy batch
+    path did for an absent control).
+    """
+    return {
+        "guarded": ProbeSynTimes(client_ip=guarded_client_ip,
+                                 duration=config.duration,
+                                 windows=config.brdgrd_windows),
+        "control": ProbeSynTimes(client_ip=control_client_ip,
+                                 duration=config.duration, windows=()),
+    }
 
 
 @dataclass
@@ -52,6 +73,7 @@ class BrdgrdExperimentResult:
     config: BrdgrdExperimentConfig
     probe_syn_times: List[float]            # at the brdgrd-guarded server
     control_syn_times: List[float]
+    pipeline: AnalysisPipeline
 
     def hourly_counts(self, times: Optional[List[float]] = None) -> List[int]:
         times = self.probe_syn_times if times is None else times
@@ -86,6 +108,7 @@ def run_brdgrd_experiment(config: Optional[BrdgrdExperimentConfig] = None,
         seed=config.seed,
         detector_config=DetectorConfig(base_rate=config.base_rate),
         websites=["www.wikipedia.org", "example.com", "gfw.report"],
+        stream_captures=config.stream_captures,
     )
     rng = random.Random(config.seed + 3)
 
@@ -112,6 +135,18 @@ def run_brdgrd_experiment(config: Optional[BrdgrdExperimentConfig] = None,
 
     control_driver = deploy("control", residential=False) if config.with_control else None
 
+    pipeline = AnalysisPipeline(declared_analyzers(
+        config,
+        world.hosts["guarded-client"].ip,
+        world.hosts["control-client"].ip if config.with_control else "",
+    ))
+    pipeline.attach(world.bus)
+    pipeline.tap_capture(world.hosts["guarded-server"].capture,
+                         host="guarded-server", names=["guarded"])
+    if config.with_control:
+        pipeline.tap_capture(world.hosts["control-server"].capture,
+                             host="control-server", names=["control"])
+
     n_bursts = int(config.duration // config.burst_interval)
     for burst in range(n_bursts):
         t = burst * config.burst_interval
@@ -120,23 +155,17 @@ def run_brdgrd_experiment(config: Optional[BrdgrdExperimentConfig] = None,
             if control_driver is not None:
                 world.sim.schedule(t + i * 0.5 + 0.25, control_driver.fetch_once)
 
-    world.sim.run(until=config.duration * 1.1)
+    settle(world, config.duration, drain=1.1)
 
-    def prober_syns(host_name: str, client_name: str) -> List[float]:
-        host = world.hosts[host_name]
-        client_ip = world.hosts[client_name].ip
-        return [
-            rec.time for rec in host.capture.syns_received()
-            if rec.segment.src_ip != client_ip
-            and lookup_asn(rec.segment.src_ip) is not None
-        ]
+    guarded = pipeline.analyzers["guarded"]
+    control = pipeline.analyzers["control"]
+    assert isinstance(guarded, ProbeSynTimes)
+    assert isinstance(control, ProbeSynTimes)
 
     return BrdgrdExperimentResult(
         world=world,
         config=config,
-        probe_syn_times=prober_syns("guarded-server", "guarded-client"),
-        control_syn_times=(
-            prober_syns("control-server", "control-client")
-            if config.with_control else []
-        ),
+        probe_syn_times=list(guarded.times),
+        control_syn_times=list(control.times),
+        pipeline=pipeline,
     )

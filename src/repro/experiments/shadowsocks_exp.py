@@ -14,11 +14,21 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis import ObservedProbe, extract_probes
+from ..analysis import (
+    AnalysisPipeline,
+    Analyzer,
+    CaptureProbeClassifier,
+    FlaggedConnections,
+    ObservedProbe,
+    ProbeTally,
+    ProberFingerprint,
+    ReplayDelays,
+    SynCount,
+)
 from ..gfw import DetectorConfig, ProbeRecord, SchedulerConfig
+from ..runtime.topology import World, build_world, settle
 from ..shadowsocks import ShadowsocksClient, ShadowsocksServer
 from ..workloads import SITES, CurlDriver
-from .common import World, build_world
 
 __all__ = ["ShadowsocksExperimentConfig", "ShadowsocksExperimentResult",
            "run_shadowsocks_experiment"]
@@ -43,6 +53,28 @@ class ShadowsocksExperimentConfig:
     base_rate: float = 0.6
     nr1_flag_threshold: int = 10
     server_port: int = 8388
+    # Streaming mode: captures stay enabled for the analysis taps but
+    # buffer nothing, so long runs are constant-memory.
+    stream_captures: bool = False
+
+
+def declared_analyzers(
+    config: ShadowsocksExperimentConfig,
+    server_clients: Dict[str, str],
+) -> Dict[str, Analyzer]:
+    """The experiment's analyzer set (``server_clients``: name -> client IP)."""
+    analyzers: Dict[str, Analyzer] = {
+        "probes": ProbeTally(),
+        "flagged": FlaggedConnections(),
+        "replay_delays": ReplayDelays(),
+        "fingerprint": ProberFingerprint(),
+        "control_syns": SynCount(),
+    }
+    for name, client_ip in server_clients.items():
+        analyzers[f"server:{name}"] = CaptureProbeClassifier(
+            server_port=config.server_port, client_ips=[client_ip]
+        )
+    return analyzers
 
 
 @dataclass
@@ -53,6 +85,7 @@ class ShadowsocksExperimentResult:
     server_probes: Dict[str, List[ObservedProbe]]  # per server name
     control_probe_count: int
     connections_made: int
+    pipeline: AnalysisPipeline
 
     @property
     def probes_by_type(self) -> Dict[str, int]:
@@ -90,6 +123,7 @@ def run_shadowsocks_experiment(
         detector_config=DetectorConfig(base_rate=config.base_rate),
         scheduler_config=SchedulerConfig(nr1_flag_threshold=config.nr1_flag_threshold),
         websites=sorted(set(CURL_SITES) | set(SITES)),
+        stream_captures=config.stream_captures,
     )
     drivers: List[CurlDriver] = []
     servers: List[Tuple[str, ShadowsocksServer]] = []
@@ -119,6 +153,18 @@ def run_shadowsocks_experiment(
 
     control = world.add_server("control", region="uk")
 
+    server_clients = {
+        name: world.hosts[name.replace("-server", "-client")].ip
+        for name, _server in servers
+    }
+    pipeline = AnalysisPipeline(declared_analyzers(config, server_clients))
+    pipeline.attach(world.bus)
+    for name, _server in servers:
+        pipeline.tap_capture(world.hosts[name].capture, host=name,
+                             names=[f"server:{name}"])
+    pipeline.tap_capture(control.capture, host="control",
+                         names=["control_syns"])
+
     interval = config.duration / max(1, config.connections_per_pair)
     for driver in drivers:
         # Deterministic per-driver phase offset spreads the load.
@@ -126,22 +172,22 @@ def run_shadowsocks_experiment(
         driver.run_schedule(config.connections_per_pair, interval, start=start)
 
     # Run past the nominal duration so delayed replays drain.
-    world.sim.run(until=config.duration * 1.25)
+    settle(world, config.duration, drain=1.25)
 
     server_probes: Dict[str, List[ObservedProbe]] = {}
-    for name, server in servers:
-        host = world.hosts[name]
-        client_name = name.replace("-server", "-client")
-        client_ip = world.hosts[client_name].ip
-        server_probes[name] = extract_probes(
-            host.capture, config.server_port, [client_ip]
-        )
+    for name, _server in servers:
+        classifier = pipeline.analyzers[f"server:{name}"]
+        assert isinstance(classifier, CaptureProbeClassifier)
+        server_probes[name] = classifier.probes()
+    control_syns = pipeline.analyzers["control_syns"]
+    assert isinstance(control_syns, SynCount)
 
     return ShadowsocksExperimentResult(
         world=world,
         config=config,
         probe_log=list(world.gfw.probe_log),
         server_probes=server_probes,
-        control_probe_count=len(control.capture.syns_received()),
+        control_probe_count=control_syns.count,
         connections_made=len(drivers) * config.connections_per_pair,
+        pipeline=pipeline,
     )

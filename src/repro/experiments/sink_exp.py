@@ -13,9 +13,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis import (
+    AnalysisPipeline,
+    Analyzer,
+    FlaggedConnections,
+    ProbeTally,
+    RandomDataStats,
+)
 from ..gfw import DetectorConfig, ProbeRecord, shannon_entropy
+from ..runtime.topology import World, build_world, settle
 from ..workloads import RandomDataClient, RespondingServer, SinkServer
-from .common import World, build_world
 
 __all__ = ["SinkExperimentConfig", "SinkExperimentResult", "run_sink_experiment",
            "TABLE4_EXPERIMENTS"]
@@ -42,6 +49,7 @@ class SinkExperimentConfig:
     switch_after: Optional[float] = None
     base_rate: float = 0.5                   # boosted; see DetectorConfig
     server_port: int = 9000
+    stream_captures: bool = False
 
     @classmethod
     def table4(cls, experiment: str, **overrides) -> "SinkExperimentConfig":
@@ -50,12 +58,21 @@ class SinkExperimentConfig:
         return cls(**params)
 
 
+def declared_analyzers(config: SinkExperimentConfig) -> Dict[str, Analyzer]:
+    return {
+        "probes": ProbeTally(),
+        "flagged": FlaggedConnections(),
+        "random_data": RandomDataStats(bins=8),
+    }
+
+
 @dataclass
 class SinkExperimentResult:
     world: World
     config: SinkExperimentConfig
     probe_log: List[ProbeRecord]
     sent_payloads: List[Tuple[float, bytes]]
+    pipeline: AnalysisPipeline
 
     @property
     def trigger_lengths(self) -> List[int]:
@@ -113,7 +130,10 @@ def run_sink_experiment(config: Optional[SinkExperimentConfig] = None,
     world = build_world(
         seed=config.seed,
         detector_config=DetectorConfig(base_rate=config.base_rate),
+        stream_captures=config.stream_captures,
     )
+    pipeline = AnalysisPipeline(declared_analyzers(config))
+    pipeline.attach(world.bus)
     server_host = world.add_server("sink-server", region="us")
     client_host = world.add_client("random-client")
     rng = random.Random(config.seed + 7)
@@ -142,11 +162,12 @@ def run_sink_experiment(config: Optional[SinkExperimentConfig] = None,
     )
     interval = config.duration / max(1, config.connections)
     client.run_schedule(config.connections, interval)
-    world.sim.run(until=config.duration * 1.25)
+    settle(world, config.duration, drain=1.25)
 
     return SinkExperimentResult(
         world=world,
         config=config,
         probe_log=list(world.gfw.probe_log),
         sent_payloads=list(client.sent_payloads),
+        pipeline=pipeline,
     )

@@ -143,7 +143,15 @@ class BlockingModule:
             self._blocked_ports[(ip, port)] = unblock_time
             event = BlockEvent(now, ip, port, unblock_time)
         self.events.append(event)
-        self.sim.bus.incr("gfw.block.applied")
+        bus = self.sim.bus
+        bus.incr("gfw.block.applied")
+        if bus.wants_records:
+            bus.emit("block", {
+                "time": event.time,
+                "ip": event.ip,
+                "port": event.port,
+                "unblock_time": event.unblock_time,
+            })
         self.sim.schedule(unblock_time - now, self._unblock, event)
         return event
 

@@ -217,6 +217,16 @@ class GreatFirewall(Middlebox):
             self.flagged_connections += 1
             self.sim.bus.incr("gfw.conn.flagged")
             self._flagged_recently[key] = self.sim.now
+            bus = self.sim.bus
+            if bus.wants_records:
+                bus.emit("flow.flagged", {
+                    "time": self.sim.now,
+                    "initiator_ip": flow.initiator_ip,
+                    "initiator_port": flow.initiator_port,
+                    "responder_ip": flow.responder_ip,
+                    "responder_port": flow.responder_port,
+                    "length": len(seg.payload),
+                })
             self.on_flag(flow, seg.payload)
             self.scheduler.on_flagged_connection(
                 flow.responder_ip, flow.responder_port, seg.payload

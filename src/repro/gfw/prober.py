@@ -122,6 +122,22 @@ class ProberRunner:
         bus.incr(f"probe.type.{probe.probe_type}")
         if trigger_time is not None:
             bus.observe("probe.replay_delay", self.sim.now - trigger_time)
+        if bus.wants_records:
+            bus.emit("probe", {
+                "time": record.time_sent,
+                "src_ip": src_ip,
+                "src_port": src_port,
+                "server_ip": server_ip,
+                "server_port": server_port,
+                "probe_type": probe.probe_type,
+                "is_replay": probe.is_replay,
+                "payload": probe.payload,
+                "source_payload": probe.source_payload,
+                "tsval": record.tsval,
+                "process": process.name,
+                "trigger_time": trigger_time,
+                "delay": record.delay,
+            })
 
         done = False
         probe_timer = None
@@ -133,7 +149,19 @@ class ProberRunner:
             done = True
             record.reaction = reaction
             record.time_done = self.sim.now
-            self.sim.bus.incr(f"probe.reaction.{reaction}")
+            bus = self.sim.bus
+            bus.incr(f"probe.reaction.{reaction}")
+            if bus.wants_records:
+                bus.emit("probe.result", {
+                    "time": record.time_done,
+                    "src_ip": record.src_ip,
+                    "src_port": record.src_port,
+                    "server_ip": record.server_ip,
+                    "server_port": record.server_port,
+                    "probe_type": record.probe_type,
+                    "reaction": reaction,
+                    "response_bytes": record.response_bytes,
+                })
             for ev in (syn_timer, probe_timer):
                 if ev is not None:
                     ev.cancel()

@@ -18,15 +18,39 @@ class CaptureRecord:
 
 
 class Capture:
-    """An append-only log of segments seen at one observation point."""
+    """An append-only log of segments seen at one observation point.
+
+    Two independent switches control what happens per segment:
+
+    * ``enabled`` — master switch; off means the capture sees nothing
+      (no buffering, no taps);
+    * ``buffering`` — whether records are retained in ``records``.
+
+    *Taps* registered with :meth:`subscribe` are invoked with every
+    :class:`CaptureRecord` as it happens, independent of buffering —
+    this is how the streaming analysis pipeline observes a host's
+    traffic at constant memory: ``buffering = False`` keeps the taps
+    firing while nothing accumulates.
+    """
 
     def __init__(self):
         self.records: List[CaptureRecord] = []
         self.enabled = True
+        self.buffering = True
+        self.taps: List[Callable[[CaptureRecord], None]] = []
 
     def record(self, seg: Segment, time: float, sent: bool) -> None:
-        if self.enabled:
-            self.records.append(CaptureRecord(time, sent, seg))
+        if not self.enabled or (not self.buffering and not self.taps):
+            return
+        rec = CaptureRecord(time, sent, seg)
+        if self.buffering:
+            self.records.append(rec)
+        for tap in self.taps:
+            tap(rec)
+
+    def subscribe(self, tap: Callable[[CaptureRecord], None]) -> None:
+        """Register a live tap called with every record as it is captured."""
+        self.taps.append(tap)
 
     def __len__(self) -> int:
         return len(self.records)

@@ -1,16 +1,17 @@
 """Performance harness: benchmarks, baselines, and regression gates.
 
-``python -m repro bench`` drives this package.  It measures three layers
-of the reproduction — cipher throughput, simulator event throughput, and
-end-to-end tunnel packet throughput — and writes machine-readable
-``BENCH_crypto.json`` / ``BENCH_sim.json`` / ``BENCH_e2e.json`` files so
-the performance trajectory of the codebase is recorded alongside its
-correctness.  ``compare_entries`` gates a fresh run against a committed
+``python -m repro bench`` drives this package.  It measures four layers
+of the reproduction — cipher throughput, simulator event throughput,
+streaming-analysis throughput, and end-to-end tunnel packet throughput —
+and writes machine-readable ``BENCH_crypto.json`` / ``BENCH_sim.json`` /
+``BENCH_analysis.json`` / ``BENCH_e2e.json`` files so the performance
+trajectory of the codebase is recorded alongside its correctness.  ``compare_entries`` gates a fresh run against a committed
 baseline and is what CI's bench-smoke job calls.
 """
 
 from .bench import (
     BenchEntry,
+    bench_analysis,
     bench_crypto,
     bench_e2e,
     bench_sim,
@@ -22,6 +23,7 @@ from .compare import compare_entries, format_comparison, load_entries
 
 __all__ = [
     "BenchEntry",
+    "bench_analysis",
     "bench_crypto",
     "bench_e2e",
     "bench_sim",

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 __all__ = [
     "BenchEntry",
+    "bench_analysis",
     "bench_crypto",
     "bench_e2e",
     "bench_sim",
@@ -223,6 +224,82 @@ def bench_sim(*, events: int = 200000, fanout: int = 4,
     return _stamp([BenchEntry(
         name="sim.event_loop", unit="events/s", value=rate,
         params={"events": events, "fanout": fanout})])
+
+
+# ---------------------------------------------------------------- analysis
+
+
+def bench_analysis(*, events: int = 200000, repeats: int = 3,
+                   progress: Optional[Callable[[str], None]] = None,
+                   ) -> List[BenchEntry]:
+    """Streaming-analyzer throughput over a synthetic event stream.
+
+    Pre-builds a deterministic mix of ``probe``/``payload``/
+    ``flow.flagged`` records, then times a full
+    :class:`~repro.analysis.pipeline.AnalysisPipeline` — bus attach,
+    per-event ``observe`` across a representative analyzer set, and
+    ``finalize`` — reporting analysis events/s.
+    """
+    from repro.analysis.pipeline import (
+        AnalysisPipeline,
+        EcdfAnalyzer,
+        FlaggedConnections,
+        ProbeTally,
+        RandomDataStats,
+        ReplayDelays,
+    )
+    from repro.runtime.events import EventBus
+
+    if progress:
+        progress(f"analysis: {events} events")
+
+    rng = random.Random(0xA11A)
+    payloads = [rng.randbytes(rng.randint(16, 220)) for _ in range(64)]
+    stream = []
+    for i in range(events):
+        roll = rng.random()
+        if roll < 0.5:
+            stream.append(("payload", {
+                "time": i * 0.01,
+                "payload": payloads[rng.randrange(len(payloads))],
+            }))
+        elif roll < 0.85:
+            payload = payloads[rng.randrange(len(payloads))]
+            stream.append(("probe", {
+                "time": i * 0.01,
+                "src_ip": f"10.{rng.randrange(256)}.{rng.randrange(256)}.7",
+                "src_port": rng.randrange(1024, 65536),
+                "server_ip": "203.0.113.5",
+                "server_port": 8388,
+                "probe_type": rng.choice(["replay", "rand", "rand-len"]),
+                "is_replay": rng.random() < 0.5,
+                "payload": payload,
+                "source_payload": payload,
+                "delay": rng.random() * 400.0,
+            }))
+        else:
+            stream.append(("flow.flagged", {"time": i * 0.01}))
+
+    def run() -> int:
+        bus = EventBus()
+        pipeline = AnalysisPipeline({
+            "probes": ProbeTally(),
+            "flagged": FlaggedConnections(),
+            "replay_delays": ReplayDelays(),
+            "random_data": RandomDataStats(bins=8),
+            "delay_ecdf": EcdfAnalyzer(event="probe", field="delay",
+                                       quantiles=(0.5, 0.9, 0.99)),
+        }).attach(bus)
+        for kind, event in stream:
+            bus.emit(kind, event)
+        pipeline.outputs()
+        pipeline.detach()
+        return len(stream)
+
+    rate = _best_of(run, repeats)
+    return _stamp([BenchEntry(
+        name="analysis.pipeline", unit="events/s", value=rate,
+        params={"events": events, "analyzers": 5})])
 
 
 # -------------------------------------------------------------- end-to-end

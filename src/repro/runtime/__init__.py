@@ -33,6 +33,7 @@ from .scenario import (
     RunResult,
     Scenario,
     all_scenarios,
+    canonical_json,
     canonical_params,
     get_scenario,
     register,
@@ -46,6 +47,7 @@ __all__ = [
     "Scenario",
     "SweepResult",
     "all_scenarios",
+    "canonical_json",
     "canonical_params",
     "code_fingerprint",
     "default_cache_root",

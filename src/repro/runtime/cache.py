@@ -23,7 +23,7 @@ import json
 import os
 import pathlib
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from .scenario import RunResult, canonical_json
 
@@ -63,7 +63,7 @@ class ResultCache:
     RESULT_FILE = "result.json"
     MANIFEST_FILE = "manifest.json"
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    def __init__(self, root: Optional[Union[str, os.PathLike]] = None):
         self.root = pathlib.Path(root) if root is not None else default_cache_root()
         self.hits = 0
         self.misses = 0
@@ -112,6 +112,11 @@ class ResultCache:
             "fingerprint": result.fingerprint,
             "wall_time": result.wall_time,
             "events": result.events,
+            # Finalized analyzer outputs only — the full (bulkier)
+            # serialized states live in result.json; the manifest stays
+            # a human-auditable digest of what the run concluded.
+            "analysis": {name: spec.get("output")
+                         for name, spec in result.analysis.items()},
             "created": time.time(),
         }
         self._write_atomic(directory / self.RESULT_FILE,

@@ -43,11 +43,32 @@ Canonical event names (``<layer>.<subject>[.<detail>]``):
 
 New emitters should follow the same naming scheme; consumers must treat
 unknown names as forward-compatible.
+
+Besides counters and scalars, the bus carries a *structured record*
+channel for the streaming analysis pipeline
+(:mod:`repro.analysis.pipeline`): emitters publish dict-shaped events
+(``{"kind": ..., **fields}``) with :meth:`EventBus.emit`, and analyzers
+subscribe with :meth:`EventBus.subscribe_records`.  Structured events
+may carry rich in-memory values (payload bytes, segment objects); they
+are consumed live and are never part of the JSON snapshot.  Emitting is
+free when nobody listens — hot paths guard on
+:attr:`EventBus.wants_records` before even building the event dict.
+
+Canonical record kinds (see the pipeline module for the consumers):
+
+==================  =====================================================
+``probe``           a probe left the prober runner (payload, type, ...)
+``probe.result``    a probe finished with a classified reaction
+``flow.flagged``    the passive detector flagged a feature packet
+``block``           the blocking module installed a block rule
+``payload``         a workload client sent a ground-truth payload
+``capture``         a tapped host capture saw a segment (pipeline-local)
+==================  =====================================================
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List, Mapping
 
 __all__ = ["EventBus", "merge_counters"]
 
@@ -61,13 +82,14 @@ class EventBus:
     tests and progress displays can watch a run without polling.
     """
 
-    __slots__ = ("counters", "scalars", "_subscribers")
+    __slots__ = ("counters", "scalars", "_subscribers", "_record_subscribers")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
         # name -> [count, total, minimum, maximum]
         self.scalars: Dict[str, List[float]] = {}
         self._subscribers: List[Callable[[str, float], None]] = []
+        self._record_subscribers: List[Callable[[Dict[str, Any]], None]] = []
 
     # ------------------------------------------------------------- emitting
 
@@ -94,6 +116,41 @@ class EventBus:
 
     def subscribe(self, fn: Callable[[str, float], None]) -> None:
         self._subscribers.append(fn)
+
+    # -------------------------------------------------- structured records
+
+    @property
+    def wants_records(self) -> bool:
+        """True when at least one structured-record subscriber is attached.
+
+        Emitters on hot paths check this before building the event dict,
+        so runs without an analysis pipeline pay a single attribute test.
+        """
+        return bool(self._record_subscribers)
+
+    def emit(self, kind: str, event: Mapping[str, Any]) -> None:
+        """Publish one structured event to the record subscribers.
+
+        ``event`` carries the fields; the bus stamps ``kind`` into the
+        dict handed to subscribers.  Events may hold rich in-memory
+        values (bytes, segments) — they are consumed live, never stored
+        on the bus, and never serialized into a snapshot.
+        """
+        if not self._record_subscribers:
+            return
+        record = dict(event)
+        record["kind"] = kind
+        for fn in self._record_subscribers:
+            fn(record)
+
+    def subscribe_records(self, fn: Callable[[Dict[str, Any]], None]) -> None:
+        self._record_subscribers.append(fn)
+
+    def unsubscribe_records(self, fn: Callable[[Dict[str, Any]], None]) -> None:
+        try:
+            self._record_subscribers.remove(fn)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------ consuming
 

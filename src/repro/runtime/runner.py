@@ -66,6 +66,10 @@ def _execute(name: str, seed: int, overrides: Optional[Mapping[str, Any]],
     # included) to the same result loaded back from the cache.
     payload = json.loads(canonical_json(scenario.summarize(artifact)))
     events = json.loads(canonical_json(scenario.events_of(artifact)))
+    analysis = (
+        json.loads(canonical_json(scenario.analysis_of(artifact)))
+        if scenario.analysis_of is not None else {}
+    )
     result = RunResult(
         scenario=name,
         params=params_dict,
@@ -74,6 +78,7 @@ def _execute(name: str, seed: int, overrides: Optional[Mapping[str, Any]],
         events=events,
         wall_time=time.perf_counter() - started,
         fingerprint=fingerprint,
+        analysis=analysis,
     )
     if cache is not None:
         cache.store(result)
@@ -137,6 +142,12 @@ def merge_results(results: Sequence[RunResult]) -> Dict[str, Any]:
     Per-seed identities are kept in seed order; numeric payload scalars
     are additionally aggregated (mean/min/max) and event counters are
     summed, which is what figure-level consumers want from a sweep.
+
+    When every result carries a streaming-analysis section, the
+    serialized analyzer *states* are merged in seed order and
+    re-finalized into one cross-seed ``analysis`` document — shards
+    exchange sufficient statistics, never raw captures, so parallel and
+    serial sweeps merge to identical bytes.
     """
     ordered = sorted(results, key=lambda r: r.seed)
     runs = [r.identity() for r in ordered]
@@ -155,6 +166,11 @@ def merge_results(results: Sequence[RunResult]) -> Dict[str, Any]:
     for r in ordered:
         for name, count in (r.events.get("counters") or {}).items():
             event_totals[name] = event_totals.get(name, 0) + int(count)
+    # Imported lazily: repro.analysis pulls in the gfw/net stack, which
+    # plain runtime users (and the events module they import) must not.
+    from ..analysis.pipeline import merge_analysis
+
+    analysis = merge_analysis([r.analysis for r in ordered])
     return {
         "scenario": ordered[0].scenario if ordered else None,
         "params": ordered[0].params if ordered else {},
@@ -162,6 +178,7 @@ def merge_results(results: Sequence[RunResult]) -> Dict[str, Any]:
         "runs": runs,
         "metrics": metrics,
         "events": dict(sorted(event_totals.items())),
+        "analysis": json.loads(canonical_json(analysis)),
     }
 
 

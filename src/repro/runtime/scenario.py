@@ -72,6 +72,9 @@ class RunResult:
     events: Dict[str, Any]          # instrumentation bus snapshot
     wall_time: float                # seconds spent computing (0.0 on cache hit)
     fingerprint: str                # code fingerprint the result was built under
+    # Serialized streaming-analyzer section, {name: {analyzer, config,
+    # state, output}}; empty for scenarios without declared analyzers.
+    analysis: Dict[str, Any] = dataclasses.field(default_factory=dict)
     cache_hit: bool = False
 
     def identity(self) -> Dict[str, Any]:
@@ -82,6 +85,7 @@ class RunResult:
             "seed": self.seed,
             "payload": self.payload,
             "events": self.events,
+            "analysis": self.analysis,
         }
 
     def canonical_bytes(self) -> bytes:
@@ -105,6 +109,7 @@ class RunResult:
             events=dict(data["events"]),
             wall_time=float(data.get("wall_time", 0.0)),
             fingerprint=str(data.get("fingerprint", "")),
+            analysis=dict(data.get("analysis") or {}),
             cache_hit=bool(data.get("cache_hit", False)),
         )
 
@@ -129,6 +134,10 @@ class Scenario:
     events_of: Callable[[Any], Dict[str, Any]] = _default_events_of
     description: str = ""
     tags: tuple = ()
+    # Optional: artifact -> serialized analyzer section ({name: spec}).
+    # Scenarios whose experiments run an AnalysisPipeline declare this
+    # so the runner can persist, cache, and shard-merge analyzer states.
+    analysis_of: Optional[Callable[[Any], Dict[str, Any]]] = None
 
     def instantiate(self, seed: int, overrides: Optional[Mapping[str, Any]] = None):
         """Build the typed params object for one job."""

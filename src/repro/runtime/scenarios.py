@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..analysis.pipeline import series
 from ..defense import Brdgrd, harden
 from ..experiments import (
     BlockingExperimentConfig,
@@ -29,7 +30,6 @@ from ..experiments import (
     run_shadowsocks_experiment,
     run_sink_experiment,
 )
-from ..experiments.common import build_world
 from ..gfw import BlockingPolicy, DetectorConfig, PassiveDetector, Reaction
 from ..net import Impairment
 from ..probesim import PROBE_LENGTH_SCHEDULE, build_random_probe_row, build_replay_table
@@ -37,26 +37,44 @@ from ..shadowsocks import ShadowsocksClient, ShadowsocksServer, get_profile
 from ..workloads import CurlDriver
 from .events import EventBus
 from .scenario import Scenario, register
+from .topology import build_world
 
 __all__: List[str] = []  # import for side effects only
 
+# The experiment summarizers below read the streaming AnalysisPipeline
+# outputs; the *_batch twins recompute the same payload from the legacy
+# post-hoc accessors (probe log, buffered captures).  The property tests
+# in tests/property/ assert the two are byte-identical — keep them in
+# lockstep when changing either.
+_series = series
 
-def _series(values) -> Dict[str, float]:
-    """Summary stats of a numeric series (empty-safe, JSON-able)."""
-    values = sorted(values)
-    if not values:
-        return {"count": 0}
-    n = len(values)
-    median = (values[n // 2] if n % 2
-              else (values[n // 2 - 1] + values[n // 2]) / 2.0)
-    return {"count": n, "mean": sum(values) / n, "median": median,
-            "min": values[0], "max": values[-1]}
+
+def _analysis_payload(result) -> Dict[str, object]:
+    """Scenario ``analysis_of`` hook for pipeline-bearing experiment results."""
+    return result.pipeline.payload()
 
 
 # --------------------------------------------------------------- §3.1
 
 
 def _summarize_shadowsocks(result) -> Dict[str, object]:
+    a = result.pipeline.outputs()
+    return {
+        "connections": result.connections_made,
+        "flagged": a["flagged"]["count"],
+        "probes": a["probes"]["count"],
+        "probes_by_type": a["probes"]["by_type"],
+        "unique_prober_ips": a["probes"]["unique_src_ips"],
+        "control_probes": a["control_syns"]["count"],
+        "first_replay_delays": a["replay_delays"]["first"],
+        "all_replay_delays": a["replay_delays"]["all"],
+        "server_probes": {name[len("server:"):]: out["count"]
+                          for name, out in sorted(a.items())
+                          if name.startswith("server:")},
+    }
+
+
+def _summarize_shadowsocks_batch(result) -> Dict[str, object]:
     first, all_delays = result.replay_delays
     return {
         "connections": result.connections_made,
@@ -78,6 +96,7 @@ register(Scenario(
     params_type=ShadowsocksExperimentConfig,
     build=run_shadowsocks_experiment,
     summarize=_summarize_shadowsocks,
+    analysis_of=_analysis_payload,
     description="libev + Outline client/server pairs behind the GFW; "
                 "probe log and server captures.",
     tags=("experiment", "gfw", "shadowsocks"),
@@ -88,6 +107,20 @@ register(Scenario(
 
 
 def _summarize_sink(result) -> Dict[str, object]:
+    a = result.pipeline.outputs()
+    rd = a["random_data"]
+    return {
+        "connections": rd["connections"],
+        "probes": a["probes"]["count"],
+        "probes_by_type": a["probes"]["by_type"],
+        "replays": rd["replays"],
+        "replay_lengths": rd["replay_lengths"],
+        "trigger_lengths": rd["trigger_lengths"],
+        "replay_ratio_by_entropy": rd["ratio_by_entropy"],
+    }
+
+
+def _summarize_sink_batch(result) -> Dict[str, object]:
     replay_records = result.replay_records()
     return {
         "connections": len(result.sent_payloads),
@@ -109,6 +142,7 @@ register(Scenario(
     params_type=SinkExperimentConfig,
     build=run_sink_experiment,
     summarize=_summarize_sink,
+    analysis_of=_analysis_payload,
     description="Bare TCP client sends controlled (length, entropy) "
                 "payloads to a sink/responding server.",
     tags=("experiment", "gfw"),
@@ -119,6 +153,19 @@ register(Scenario(
 
 
 def _summarize_brdgrd(result) -> Dict[str, object]:
+    a = result.pipeline.outputs()
+    guarded, control = a["guarded"], a["control"]
+    return {
+        "probe_syns": guarded["count"],
+        "control_syns": control["count"],
+        "hourly_counts": guarded["hourly"],
+        "control_hourly_counts": control["hourly"],
+        "rate_active": guarded["rate_active"],
+        "rate_inactive": guarded["rate_inactive"],
+    }
+
+
+def _summarize_brdgrd_batch(result) -> Dict[str, object]:
     active, inactive = result.window_rates()
     return {
         "probe_syns": len(result.probe_syn_times),
@@ -136,6 +183,7 @@ register(Scenario(
     params_type=BrdgrdExperimentConfig,
     build=run_brdgrd_experiment,
     summarize=_summarize_brdgrd,
+    analysis_of=_analysis_payload,
     description="Probing rate at a brdgrd-guarded server vs a control "
                 "as brdgrd toggles on a schedule.",
     tags=("experiment", "defense"),
@@ -146,6 +194,33 @@ register(Scenario(
 
 
 def _summarize_blocking(result) -> Dict[str, object]:
+    a = result.pipeline.outputs()
+    events = a["blocks"]["events"]
+    blocked = {e["ip"]: e for e in events}
+    profiles = result.server_profiles
+    servers = [
+        {
+            "ip": ip,
+            "profile": profile,
+            "probes": a["probes"]["by_server"].get(ip, 0),
+            "blocked": ip in blocked,
+            "blocked_at": blocked[ip]["time"] if ip in blocked else None,
+            "by_ip": blocked[ip]["port"] is None if ip in blocked else None,
+        }
+        for ip, profile in sorted(profiles.items())
+    ]
+    blocked_ips = {e["ip"] for e in events}
+    return {
+        "servers": servers,
+        "blocked_fraction": len(blocked_ips) / len(profiles),
+        "blocked_profiles": sorted(profiles[e["ip"]] for e in events
+                                   if e["ip"] in profiles),
+        "block_events": len(events),
+        "probes": a["probes"]["count"],
+    }
+
+
+def _summarize_blocking_batch(result) -> Dict[str, object]:
     blocked = {e.ip: e for e in result.block_events}
     servers = [
         {
@@ -173,10 +248,21 @@ register(Scenario(
     params_type=BlockingExperimentConfig,
     build=run_blocking_experiment,
     summarize=_summarize_blocking,
+    analysis_of=_analysis_payload,
     description="Vantage fleet of implementations under a human-gated "
                 "blocking policy with sensitive windows.",
     tags=("experiment", "blocking"),
 ))
+
+
+# Batch (legacy post-hoc) summarizers by scenario name, for the property
+# tests that verify streaming == batch on identical runs.
+BATCH_SUMMARIZERS = {
+    "shadowsocks": _summarize_shadowsocks_batch,
+    "sink": _summarize_sink_batch,
+    "brdgrd": _summarize_brdgrd_batch,
+    "blocking": _summarize_blocking_batch,
+}
 
 
 # ------------------------------------------------- §5.1 probesim sweeps

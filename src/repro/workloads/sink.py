@@ -109,8 +109,14 @@ class RandomDataClient:
 
         def on_connected() -> None:
             conn.send(payload)
-            self.host.sim.bus.incr("workload.fetch")
+            bus = self.host.sim.bus
+            bus.incr("workload.fetch")
             self.sent_payloads.append((self.host.sim.now, payload))
+            if bus.wants_records:
+                bus.emit("payload", {
+                    "time": self.host.sim.now,
+                    "payload": payload,
+                })
             self.on_send(payload)
             self.host.sim.schedule(self.hold_open, conn.close)
 

@@ -1,0 +1,128 @@
+"""Property tests for the streaming analysis pipeline.
+
+Two invariants anchor the refactor:
+
+1. **Streaming == batch.**  Every experiment summary computed
+   incrementally by the :class:`~repro.analysis.pipeline.AnalysisPipeline`
+   must be byte-identical (canonical JSON) to the legacy post-hoc
+   computation over buffered captures and probe logs.
+2. **Parallel merge == serial.**  Sweeping a scenario across seeds with
+   a process pool — where shards exchange serialized analyzer states,
+   never raw captures — must merge to the same bytes as a serial sweep.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import extract_probes
+from repro.runtime import get_scenario, run_sweep
+from repro.runtime.scenario import canonical_json
+from repro.runtime.scenarios import BATCH_SUMMARIZERS
+
+# Deliberately small parameterizations: every scenario in minutes-of-sim
+# rather than days, so the whole module stays tier-1 friendly.
+CHEAP_OVERRIDES = {
+    "shadowsocks": {"connections_per_pair": 40, "duration": 21600.0,
+                    "libev_pairs": 1, "outline_pairs": 1},
+    "sink": {"connections": 150, "duration": 7200.0},
+    "brdgrd": {"duration": 21600.0,
+               "brdgrd_windows": [[3600.0, 10800.0]]},
+    "blocking": {"connections_per_server": 30, "duration": 86400.0,
+                 "sensitive_periods": [[21600.0, 43200.0]]},
+    "probesim-grid": {"trials": 1, "profiles": ["ss-libev-3.1.3"],
+                      "methods": ["aes-128-gcm"], "lengths": [1, 2, 50]},
+    "probesim-replay": {"trials": 1,
+                        "pairs": [["ss-libev-3.1.3", "aes-256-ctr"]]},
+    "ablation-detector-features": {"samples": 50},
+    "impairment-matrix": {"loss_rates": [0.0], "reorder_rates": [0.0],
+                          "connections": 5, "duration": 1800.0},
+    "ablation-defense-matrix": {"connections": 4, "duration": 1800.0},
+}
+
+EXPERIMENT_SCENARIOS = sorted(BATCH_SUMMARIZERS)
+
+
+def _build(name, seed, extra=None):
+    scenario = get_scenario(name)
+    overrides = dict(CHEAP_OVERRIDES[name], **(extra or {}))
+    return scenario, scenario.build(scenario.instantiate(seed, overrides))
+
+
+def _assert_streaming_equals_batch(name, seed):
+    scenario, artifact = _build(name, seed)
+    streaming = canonical_json(scenario.summarize(artifact))
+    batch = canonical_json(BATCH_SUMMARIZERS[name](artifact))
+    assert streaming == batch
+    return artifact
+
+
+# ------------------------------------------------- streaming == batch
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=5, deadline=None)
+def test_sink_streaming_equals_batch(seed):
+    _assert_streaming_equals_batch("sink", seed)
+
+
+@pytest.mark.parametrize("name", ["shadowsocks", "brdgrd", "blocking"])
+def test_streaming_equals_batch(name):
+    _assert_streaming_equals_batch(name, seed=3)
+
+
+def test_capture_classifier_matches_extract_probes():
+    """The deferred per-server classifier replays ``extract_probes``."""
+    _, artifact = _build("shadowsocks", seed=1)
+    config = artifact.config
+    for name, probes in artifact.server_probes.items():
+        capture = artifact.world.hosts[name].capture
+        client_ip = artifact.world.hosts[
+            name.replace("-server", "-client")].ip
+        batch = extract_probes(capture, config.server_port, [client_ip])
+        assert [p.__dict__ for p in probes] == [p.__dict__ for p in batch]
+
+
+# -------------------------------------------- parallel merge == serial
+
+
+@pytest.mark.parametrize("name", sorted(CHEAP_OVERRIDES))
+def test_parallel_merge_equals_serial(name):
+    overrides = CHEAP_OVERRIDES[name]
+    serial = run_sweep(name, seeds=[0, 1], overrides=overrides,
+                       jobs=1, use_cache=False)
+    parallel = run_sweep(name, seeds=[0, 1], overrides=overrides,
+                         jobs=2, use_cache=False)
+    assert serial.canonical_bytes() == parallel.canonical_bytes()
+
+
+def test_merged_analysis_equals_merged_states():
+    """The sweep's cross-seed analysis re-finalizes merged states."""
+    from repro.analysis.pipeline import merge_analysis
+
+    sweep = run_sweep("sink", seeds=[0, 1],
+                      overrides=CHEAP_OVERRIDES["sink"],
+                      jobs=1, use_cache=False)
+    merged = sweep.merged()
+    expected = merge_analysis([r.analysis for r in sweep.results])
+    assert canonical_json(merged["analysis"]) == canonical_json(expected)
+    per_seed = [r.analysis["probes"]["output"]["count"]
+                for r in sweep.results]
+    assert merged["analysis"]["probes"]["count"] == sum(per_seed)
+
+
+# -------------------------------------------------- bounded memory
+
+
+def test_stream_captures_bounded_memory():
+    """``stream_captures`` drops capture buffering without changing output."""
+    _, buffered = _build("sink", seed=2)
+    _, streamed = _build("sink", seed=2, extra={"stream_captures": True})
+    assert (canonical_json(streamed.pipeline.payload())
+            == canonical_json(buffered.pipeline.payload()))
+    buffered_records = sum(len(h.capture.records)
+                           for h in buffered.world.hosts.values())
+    streamed_records = sum(len(h.capture.records)
+                           for h in streamed.world.hosts.values())
+    assert buffered_records > 0
+    assert streamed_records == 0

@@ -67,8 +67,8 @@ def test_requires_subcommand():
 def test_parser_lists_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("run", "quickstart", "probesim", "identify", "sink",
-                    "brdgrd", "blocking", "profiles", "ciphers"):
+    for command in ("run", "analyze", "quickstart", "probesim", "identify",
+                    "sink", "brdgrd", "blocking", "profiles", "ciphers"):
         assert command in text
 
 

@@ -92,6 +92,7 @@ def test_runresult_roundtrip_and_identity():
     assert result.identity() == {
         "scenario": "s", "params": {"a": 1}, "seed": 3,
         "payload": {"x": 2.5}, "events": {"counters": {"e": 1}},
+        "analysis": {},
     }
     # Timing/provenance never leak into the deterministic identity.
     slower = RunResult(scenario="s", params={"a": 1}, seed=3,
