@@ -10,7 +10,7 @@ on servers where they are informative.
 import random
 
 from repro.analysis import banner, render_table
-from repro.experiments.common import build_world
+from repro.runtime.topology import build_world
 from repro.gfw import DetectorConfig, ProbeType, SchedulerConfig
 from repro.shadowsocks import ShadowsocksClient, ShadowsocksServer
 from repro.workloads import CurlDriver

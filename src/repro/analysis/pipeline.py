@@ -78,6 +78,7 @@ __all__ = [
     "RandomDataStats",
     "ReplayDelays",
     "SynCount",
+    "VerdictRecords",
     "analyzer_kinds",
     "build_analyzer",
     "merge_analysis",
@@ -453,6 +454,72 @@ class BlockEvents(Analyzer):
 
     def load_state(self, state: Mapping[str, Any]) -> None:
         self.events = [dict(e) for e in state.get("events") or []]
+
+
+@register_analyzer
+class VerdictRecords(Analyzer):
+    """Detector-pipeline verdicts (flagged feature packets), by stage.
+
+    Consumes the ``verdict`` records the reaction layer emits alongside
+    the legacy ``flow.flagged`` events.  Tracks the deciding stage kind,
+    score statistics, and per-responder counts — the observables a
+    detector-ensemble ablation compares across pipelines.
+    """
+
+    kind = "verdict_records"
+
+    def __init__(self, per_server_cap: int = 1024) -> None:
+        self.per_server_cap = per_server_cap
+        self.count = 0
+        self.by_stage: Dict[str, int] = {}
+        self.scores: List[float] = []   # sufficient stats kept small below
+        self.by_server: Dict[str, int] = {}
+
+    def config(self) -> Dict[str, Any]:
+        return {"per_server_cap": self.per_server_cap}
+
+    def observe(self, event: Mapping[str, Any]) -> None:
+        if event.get("kind") != "verdict":
+            return
+        self.count += 1
+        stage = str(event.get("stage", ""))
+        self.by_stage[stage] = self.by_stage.get(stage, 0) + 1
+        self.scores.append(float(event.get("score", 0.0)))
+        server = f"{event.get('responder_ip')}:{event.get('responder_port')}"
+        if server in self.by_server or len(self.by_server) < self.per_server_cap:
+            self.by_server[server] = self.by_server.get(server, 0) + 1
+
+    def merge(self, other: Analyzer) -> None:
+        self._check_mergeable(other)
+        assert isinstance(other, VerdictRecords)
+        self.count += other.count
+        for stage, n in other.by_stage.items():
+            self.by_stage[stage] = self.by_stage.get(stage, 0) + n
+        self.scores.extend(other.scores)
+        for server, n in other.by_server.items():
+            if server in self.by_server or len(self.by_server) < self.per_server_cap:
+                self.by_server[server] = self.by_server.get(server, 0) + n
+
+    def finalize(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "by_stage": dict(sorted(self.by_stage.items())),
+            "scores": series(self.scores),
+            "by_server": dict(sorted(self.by_server.items())),
+        }
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "by_stage": dict(self.by_stage),
+                "scores": list(self.scores),
+                "by_server": dict(self.by_server)}
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        self.count = int(state.get("count", 0))
+        self.by_stage = {str(k): int(v)
+                         for k, v in (state.get("by_stage") or {}).items()}
+        self.scores = [float(v) for v in state.get("scores") or []]
+        self.by_server = {str(k): int(v)
+                          for k, v in (state.get("by_server") or {}).items()}
 
 
 # --------------------------------------------------------- capture analyzers

@@ -58,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="KEY=VALUE",
                    help="override a scenario parameter (repeatable; "
                         "values parsed as JSON, else kept as strings)")
+    p.add_argument("--detectors", default=None, metavar="SPEC",
+                   help="detector-stage spec — a bare kind like 'entropy' "
+                        "or JSON like '{\"kind\": \"any\", \"members\": "
+                        "[\"entropy\", \"vmess\"]}' — for scenarios with a "
+                        "`detectors` parameter (shorthand for "
+                        "--set detectors=SPEC)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="print the merged sweep as canonical JSON")
     p.add_argument("--no-cache", action="store_true",
@@ -95,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="network loss probability per segment (default 0)")
     p.add_argument("--reorder", type=float, default=0.0, metavar="P",
                    help="network reorder probability per segment (default 0)")
+    p.add_argument("--detectors", default=None, metavar="SPEC",
+                   help="in-path detector-stage spec (bare kind or JSON); "
+                        "default: the paper's passive classifier")
 
     p = sub.add_parser("probesim", help="probe a server model (Figure 10 row)")
     p.add_argument("--profile", default="ss-libev-3.1.3")
@@ -129,7 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run performance benchmarks and write BENCH_*.json",
     )
     p.add_argument("--suite",
-                   choices=["crypto", "sim", "analysis", "e2e", "all"],
+                   choices=["crypto", "sim", "analysis", "detector", "e2e",
+                            "all"],
                    default="all", help="which benchmark suite(s) to run")
     p.add_argument("--quick", action="store_true",
                    help="smaller sizes/counts (CI smoke mode)")
@@ -183,6 +193,18 @@ def _parse_overrides(items) -> Optional[dict]:
     return overrides
 
 
+def _parse_detectors(text: Optional[str]):
+    """Parse a ``--detectors`` value: JSON spec, else a bare stage kind."""
+    if text is None:
+        return None
+    import json
+
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
 def _cmd_run(args) -> int:
     from .runtime import (
         ResultCache,
@@ -203,6 +225,8 @@ def _cmd_run(args) -> int:
     overrides = _parse_overrides(args.overrides)
     if overrides is None:
         return 2
+    if args.detectors is not None:
+        overrides["detectors"] = args.detectors
 
     cache = None
     if not args.no_cache:
@@ -307,6 +331,7 @@ def _cmd_quickstart(args) -> int:
     impairment = Impairment(loss=args.loss, reorder=args.reorder)
     world = build_world(seed=args.seed,
                         detector_config=DetectorConfig(base_rate=0.9),
+                        detectors=_parse_detectors(args.detectors),
                         websites=["example.com", "gfw.report"],
                         impairment=impairment if impairment.active else None)
     server_host = world.add_server("ss-server", region="uk")
@@ -446,6 +471,7 @@ def _cmd_bench(args) -> int:
     from .perf import (
         bench_analysis,
         bench_crypto,
+        bench_detector,
         bench_e2e,
         bench_sim,
         compare_entries,
@@ -474,6 +500,10 @@ def _cmd_bench(args) -> int:
         if args.suite in ("analysis", "all"):
             suites["analysis"] = bench_analysis(
                 events=20000 if args.quick else 200000,
+                repeats=1 if args.quick else 3, progress=progress)
+        if args.suite in ("detector", "all"):
+            suites["detector"] = bench_detector(
+                packets=2000 if args.quick else 20000,
                 repeats=1 if args.quick else 3, progress=progress)
         if args.suite in ("e2e", "all"):
             suites["e2e"] = bench_e2e(

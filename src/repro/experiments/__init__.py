@@ -10,7 +10,7 @@ from .brdgrd_exp import (
     BrdgrdExperimentResult,
     run_brdgrd_experiment,
 )
-from .common import CHINA_CIDRS, World, build_world, settle
+from ..runtime.topology import CHINA_CIDRS, World, build_world, settle
 from .shadowsocks_exp import (
     ShadowsocksExperimentConfig,
     ShadowsocksExperimentResult,

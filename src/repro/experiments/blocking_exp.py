@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis import (
     AnalysisPipeline,
@@ -62,6 +62,8 @@ class BlockingExperimentConfig:
     block_probability: float = 0.25
     unblock_after: float = 8 * 24 * 3600.0
     base_rate: float = 0.6
+    # Detector-stage spec (repro.gfw.stages); None = passive classifier.
+    detectors: Optional[Any] = None
     server_port: int = 8388
     stream_captures: bool = False
 
@@ -106,6 +108,7 @@ def run_blocking_experiment(config: Optional[BlockingExperimentConfig] = None,
     world = build_world(
         seed=config.seed,
         detector_config=DetectorConfig(base_rate=config.base_rate),
+        detectors=config.detectors,
         blocking_policy=policy,
         websites=["www.wikipedia.org", "example.com", "gfw.report"],
         stream_captures=config.stream_captures,

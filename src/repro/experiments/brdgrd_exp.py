@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis import AnalysisPipeline, Analyzer, ProbeSynTimes
 from ..defense import Brdgrd
@@ -42,6 +42,8 @@ class BrdgrdExperimentConfig:
     method: str = "chacha20-ietf-poly1305"
     profile: str = "outline-1.0.7"
     base_rate: float = 0.6
+    # Detector-stage spec (repro.gfw.stages); None = passive classifier.
+    detectors: Optional[Any] = None
     server_port: int = 8388
     with_control: bool = True
     stream_captures: bool = False
@@ -107,6 +109,7 @@ def run_brdgrd_experiment(config: Optional[BrdgrdExperimentConfig] = None,
     world = build_world(
         seed=config.seed,
         detector_config=DetectorConfig(base_rate=config.base_rate),
+        detectors=config.detectors,
         websites=["www.wikipedia.org", "example.com", "gfw.report"],
         stream_captures=config.stream_captures,
     )

@@ -1,13 +1,16 @@
-"""Back-compat shim: world-building now lives in :mod:`repro.runtime.topology`.
+"""Deprecated shim: world-building lives in :mod:`repro.runtime.topology`.
 
 The experiment modules and external callers historically imported
 ``build_world`` and friends from here; the canonical implementation
 moved into the runtime layer so scenarios and experiments share one
-topology helper instead of two drifting copies.  Import from
-:mod:`repro.runtime.topology` in new code.
+topology helper instead of two drifting copies.  Importing this module
+now raises a :class:`DeprecationWarning`; switch to
+:mod:`repro.runtime.topology` (same names, same behaviour).
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..runtime.topology import (
     CHINA_CIDRS,
@@ -24,3 +27,10 @@ from ..runtime.topology import (
 )
 
 __all__ = ["CHINA_CIDRS", "World", "build_world", "settle", "subnet_prefix"]
+
+warnings.warn(
+    "repro.experiments.common is deprecated; import from "
+    "repro.runtime.topology instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis import (
     AnalysisPipeline,
@@ -52,6 +52,9 @@ class ShadowsocksExperimentConfig:
     # probe log; the *relative* probe statistics are scale-invariant.
     base_rate: float = 0.6
     nr1_flag_threshold: int = 10
+    # JSON-able detector-stage spec (see repro.gfw.stages); None keeps
+    # the paper's passive classifier configured by base_rate.
+    detectors: Optional[Any] = None
     server_port: int = 8388
     # Streaming mode: captures stay enabled for the analysis taps but
     # buffer nothing, so long runs are constant-memory.
@@ -121,6 +124,7 @@ def run_shadowsocks_experiment(
     world = build_world(
         seed=config.seed,
         detector_config=DetectorConfig(base_rate=config.base_rate),
+        detectors=config.detectors,
         scheduler_config=SchedulerConfig(nr1_flag_threshold=config.nr1_flag_threshold),
         websites=sorted(set(CURL_SITES) | set(SITES)),
         stream_captures=config.stream_captures,

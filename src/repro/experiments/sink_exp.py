@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis import (
     AnalysisPipeline,
@@ -48,6 +48,8 @@ class SinkExperimentConfig:
     # (the Exp 1.a -> 1.b transition at 310 hours).
     switch_after: Optional[float] = None
     base_rate: float = 0.5                   # boosted; see DetectorConfig
+    # Detector-stage spec (repro.gfw.stages); None = passive classifier.
+    detectors: Optional[Any] = None
     server_port: int = 9000
     stream_captures: bool = False
 
@@ -130,6 +132,7 @@ def run_sink_experiment(config: Optional[SinkExperimentConfig] = None,
     world = build_world(
         seed=config.seed,
         detector_config=DetectorConfig(base_rate=config.base_rate),
+        detectors=config.detectors,
         stream_captures=config.stream_captures,
     )
     pipeline = AnalysisPipeline(declared_analyzers(config))

@@ -12,6 +12,20 @@ from .detector import DetectorConfig, PassiveDetector
 from .entropy import shannon_entropy
 from .firewall import FLEET_HOST_IP, FlowState, GreatFirewall
 from .fleet import FleetConfig, ProberFleet, TsvalProcess
+from .flowtable import FlowTable
+from .reaction import ReactionPolicy, Verdict
+from .stages import (
+    DetectorContext,
+    DetectorStage,
+    EntropyStage,
+    LengthDistStage,
+    PassiveStage,
+    StageResult,
+    VmessStage,
+    build_stage,
+    register_stage,
+    stage_kinds,
+)
 from .probes import (
     NR1_CENTERS,
     NR1_LENGTHS,
@@ -31,12 +45,17 @@ __all__ = [
     "BlockingModule",
     "BlockingPolicy",
     "DetectorConfig",
+    "DetectorContext",
     "DetectorEvaluation",
+    "DetectorStage",
     "EntropyClassifier",
+    "EntropyStage",
     "FIG7_ANCHORS",
     "FLEET_HOST_IP",
     "FleetConfig",
     "FlowState",
+    "FlowTable",
+    "LengthDistStage",
     "LengthDistributionClassifier",
     "GreatFirewall",
     "NR1_CENTERS",
@@ -44,6 +63,7 @@ __all__ = [
     "NR2_LENGTH",
     "NR3_LENGTHS",
     "PassiveDetector",
+    "PassiveStage",
     "Probe",
     "ProbeForge",
     "ProbeRecord",
@@ -54,11 +74,18 @@ __all__ = [
     "RANDOM_TYPES",
     "REPLAY_TYPES",
     "Reaction",
+    "ReactionPolicy",
     "ReplayDelayModel",
     "SENSITIVE_PERIODS_2019",
     "SchedulerConfig",
     "ServerProbeState",
+    "StageResult",
     "TsvalProcess",
+    "Verdict",
+    "VmessStage",
+    "build_stage",
     "evaluate_detector",
+    "register_stage",
     "shannon_entropy",
+    "stage_kinds",
 ]

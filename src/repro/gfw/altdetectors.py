@@ -42,7 +42,10 @@ class EntropyClassifier:
         self.min_length = min_length
 
     def fit(self, positives: Sequence[bytes], negatives: Sequence[bytes]) -> "EntropyClassifier":
-        candidates = [e / 10.0 for e in range(10, 80)]
+        # Inclusive upper bound: 8.0 bits/byte is a legal threshold (a
+        # grid stopping at 7.9 could never select it, so corpora whose
+        # negatives sit in [7.9, 8.0) were unseparable).
+        candidates = [e / 10.0 for e in range(10, 81)]
         best, best_score = self.threshold, -1.0
         pos = [shannon_entropy(p) for p in positives if len(p) >= self.min_length]
         neg = [shannon_entropy(p) for p in negatives if len(p) >= self.min_length]

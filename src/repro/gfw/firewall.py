@@ -1,48 +1,56 @@
-"""The Great Firewall as an on-path middlebox.
+"""The Great Firewall as an on-path middlebox (thin orchestrator).
 
-Ties the pieces together: flow tracking on border-crossing traffic, the
-passive length/entropy detector, the staged probe scheduler driving the
-prober fleet, and the blocking module.  Triggering is bidirectional
-(§4.2): the initiator may be on either side of the border.
+The censor is three explicit layers threaded together here:
+
+* **sensor** — the border predicate plus the first-class
+  :class:`~repro.gfw.flowtable.FlowTable`, which owns flow creation,
+  eviction, flag dedup, and surfaces the feature packet (first
+  initiator data) and first responder data;
+* **detector** — a :class:`~repro.gfw.stages.DetectorStage` pipeline
+  built from a JSON-able ``detectors`` spec (default: the paper's
+  passive length/entropy classifier), evaluated per feature packet;
+* **reaction** — a :class:`~repro.gfw.reaction.ReactionPolicy`
+  consuming typed :class:`~repro.gfw.reaction.Verdict` records and
+  driving the staged probe scheduler and the blocking module.
+
+Triggering is bidirectional (§4.2): the initiator may be on either side
+of the border.  With no ``detectors`` spec the pipeline is byte-identical
+to the pre-refactor monolith (property-tested): same RNG draws, same
+counter emissions, same probe schedule.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, List, Mapping, Optional, Union
 
 from ..net.capture import Capture
 from ..net.host import Host
 from ..net.ipaddr import ip_to_int, parse_cidr
 from ..net.network import Middlebox, Network
-from ..net.packet import Flags, Segment
-from .blocking import BlockingModule, BlockingPolicy
+from ..net.packet import Segment
+from .blocking import BlockingPolicy
 from .delays import ReplayDelayModel
 from .detector import DetectorConfig, PassiveDetector
 from .fleet import FleetConfig, ProberFleet
+from .flowtable import FlowKey, FlowState, FlowTable
 from .probes import ProbeForge
 from .prober import ProberRunner
-from .scheduler import ProbeScheduler, SchedulerConfig
+from .reaction import ReactionPolicy, Verdict
+from .scheduler import SchedulerConfig
+from .stages import DetectorContext, DetectorStage, PassiveStage, build_stage
 
 __all__ = ["GreatFirewall", "FlowState"]
 
 FLEET_HOST_IP = "100.64.0.1"  # the fleet's anchor address (never a probe source)
 
-
-@dataclass
-class FlowState:
-    initiator_ip: str
-    initiator_port: int
-    responder_ip: str
-    responder_port: int
-    saw_initiator_data: bool = False
-    saw_responder_data: bool = False
-    last_seen: float = 0.0
+DetectorsSpec = Union[str, Mapping[str, Any], DetectorStage]
 
 
 class GreatFirewall(Middlebox):
-    """On-path censor: detect, probe, block."""
+    """On-path censor: sensor → detector → reaction."""
+
+    EVICTION_SWEEP_INTERVAL = FlowTable.EVICTION_SWEEP_INTERVAL
 
     def __init__(
         self,
@@ -52,6 +60,7 @@ class GreatFirewall(Middlebox):
         *,
         rng: Optional[random.Random] = None,
         detector_config: Optional[DetectorConfig] = None,
+        detectors: Optional[DetectorsSpec] = None,
         scheduler_config: Optional[SchedulerConfig] = None,
         fleet_config: Optional[FleetConfig] = None,
         blocking_policy: Optional[BlockingPolicy] = None,
@@ -68,10 +77,22 @@ class GreatFirewall(Middlebox):
             base, prefix = parse_cidr(cidr)
             mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
             self._inside_masks.append((base, mask))
-        self._inside_cache: Dict[str, bool] = {}
+        self._inside_cache: dict = {}
         self.rng = rng or random.Random(0x6F0)
 
+        # Detector layer: the spec wins when given; otherwise the
+        # classic passive classifier (kept as ``self.detector`` for
+        # introspection either way, when the pipeline is passive).
         self.detector = PassiveDetector(detector_config)
+        if detectors is None:
+            self.pipeline: DetectorStage = PassiveStage(detector=self.detector)
+        elif isinstance(detectors, DetectorStage):
+            self.pipeline = detectors
+        else:
+            self.pipeline = build_stage(detectors)
+        if isinstance(self.pipeline, PassiveStage):
+            self.detector = self.pipeline.detector
+
         self.fleet_host = Host(sim, network, FLEET_HOST_IP, "gfw-fleet",
                                rng=random.Random(self.rng.randrange(1 << 30)))
         self.fleet = ProberFleet(self.fleet_host,
@@ -80,44 +101,31 @@ class GreatFirewall(Middlebox):
         self.runner = ProberRunner(self.fleet,
                                    rng=random.Random(self.rng.randrange(1 << 30)))
         self.forge = ProbeForge(random.Random(self.rng.randrange(1 << 30)))
-        self.scheduler = ProbeScheduler(
-            self.runner,
+        self.reactions = ReactionPolicy.default(
+            sim, self.runner,
             forge=self.forge,
             delay_model=ReplayDelayModel(),
             rng=random.Random(self.rng.randrange(1 << 30)),
-            config=scheduler_config,
+            scheduler_config=scheduler_config,
+            blocking_policy=blocking_policy,
+            blocking_rng=random.Random(self.rng.randrange(1 << 30)),
+            flag_hook=lambda flow, payload: self.on_flag(flow, payload),
         )
-        self.blocking = BlockingModule(sim,
-                                       rng=random.Random(self.rng.randrange(1 << 30)),
-                                       policy=blocking_policy)
-        self.scheduler.on_probe_result = self.blocking.consider
 
-        self.flows: Dict[tuple, FlowState] = {}
-        # Flow-table hygiene: flows that never see FIN/RST (SYN scans,
-        # NR probes, half-open connections) must not accumulate forever
-        # on multi-week runs.  ``max_flows`` is a hard count cap (the
-        # oldest quartile is reclaimed when it is hit); setting
-        # ``flow_idle_timeout`` (seconds) additionally sweeps flows idle
-        # longer than that, amortized over tracked segments.
-        self.flow_idle_timeout = flow_idle_timeout
-        self.max_flows = max_flows
+        # Sensor layer: the flow table owns connection state + hygiene.
+        self.flow_table = FlowTable(sim, idle_timeout=flow_idle_timeout,
+                                    max_flows=max_flows)
+        self.flow_table.on_first_initiator_data = self._first_initiator_data
+        self.flow_table.on_first_responder_data = self._first_responder_data
         self.inside_cache_max = inside_cache_max
-        self._track_calls = 0
-        self.evicted_flows = 0
-        # Replay/retransmission hardening: connection keys whose feature
-        # packet was already flagged recently, so a retransmitted SYN
-        # recreating the flow entry cannot double-count the flag.
-        self._flagged_recently: Dict[tuple, float] = {}
-        self.flag_dedup_window = 60.0
         # Off by default: long experiments would otherwise accumulate
         # millions of records.  Enable for debugging.
         self.capture = Capture()
         self.capture.enabled = False
         self.flagged_connections = 0
-        self.inspected_connections = 0
         self.dropped_segments = 0
         # Hook for tests/experiments: called on every flag decision.
-        self.on_flag: Callable[[FlowState, bytes], None] = lambda flow, payload: None
+        self.on_flag = lambda flow, payload: None
         network.add_middlebox(self)
 
     # ------------------------------------------------------------- geometry
@@ -148,121 +156,96 @@ class GreatFirewall(Middlebox):
     # ------------------------------------------------------------ main path
 
     def process(self, seg: Segment, network: Network) -> List[Segment]:
-        if self.blocking.should_drop(seg):
+        if self.reactions.should_drop(seg):
             self.dropped_segments += 1
             self.sim.bus.incr("gfw.segment.dropped")
             return []
         if not self.crosses_border(seg) or self._is_fleet_traffic(seg):
             return [seg]
         self.capture.record(seg, self.sim.now, sent=False)
-        self._track(seg)
+        self.flow_table.track(seg, reliable=self.network.reliable)
         return [seg]
 
-    # Amortization period (in tracked segments) for the idle-flow sweep.
-    EVICTION_SWEEP_INTERVAL = 4096
+    # --------------------------------------------------- sensor → detector
 
-    def _track(self, seg: Segment) -> None:
-        self._track_calls += 1
-        if self._track_calls % self.EVICTION_SWEEP_INTERVAL == 0:
-            self._evict_idle_flows()
-        key = seg.conn_key()
-        flow = self.flows.get(key)
-        if flow is None:
-            if seg.is_syn:
-                if len(self.flows) >= self.max_flows:
-                    self._evict_oldest_flows()
-                self.flows[key] = FlowState(
-                    initiator_ip=seg.src_ip,
-                    initiator_port=seg.src_port,
-                    responder_ip=seg.dst_ip,
-                    responder_port=seg.dst_port,
-                    last_seen=self.sim.now,
-                )
-                self.inspected_connections += 1
-                self.sim.bus.incr("gfw.flow.opened")
-            return
-        flow.last_seen = self.sim.now
-        if seg.is_syn:
-            # A SYN on a live flow is not a new connection.  On a lossy
-            # network it is a retransmission (counted); on a reliable one
-            # it can only be ephemeral-port reuse against a stale entry.
-            if not self.network.reliable:
-                self.sim.bus.incr("gfw.flow.syn.retransmit")
-            return
-        if seg.is_data:
-            from_initiator = (
-                (seg.src_ip, seg.src_port) == (flow.initiator_ip, flow.initiator_port)
-            )
-            if from_initiator and not flow.saw_initiator_data:
-                flow.saw_initiator_data = True
-                self._first_initiator_data(key, flow, seg)
-            elif not from_initiator and not flow.saw_responder_data:
-                flow.saw_responder_data = True
-                self.scheduler.note_server_data(flow.responder_ip, flow.responder_port)
-        if seg.has(Flags.RST) or seg.has(Flags.FIN):
-            # Connection teardown: the feature packet (if any) has been
-            # seen by now, so the flow entry can be reclaimed.
-            del self.flows[key]
+    def _first_responder_data(self, flow: FlowState) -> None:
+        self.reactions.on_server_data(flow.responder_ip, flow.responder_port)
 
-    def _first_initiator_data(self, key: tuple, flow: FlowState, seg: Segment) -> None:
+    def _first_initiator_data(self, key: FlowKey, flow: FlowState,
+                              seg: Segment) -> None:
         """The feature packet: first data from the connection's initiator."""
-        flagged_at = self._flagged_recently.get(key)
-        if flagged_at is not None and self.sim.now - flagged_at <= self.flag_dedup_window:
+        now = self.sim.now
+        if self.flow_table.recently_flagged(key, now):
             # A retransmitted SYN re-created the flow entry after a
             # teardown and the feature packet arrived again: one
             # connection, one flag decision.
             self.sim.bus.incr("gfw.conn.reflag.suppressed")
             return
-        if self.detector.inspect(seg.payload, self.rng):
-            self.flagged_connections += 1
-            self.sim.bus.incr("gfw.conn.flagged")
-            self._flagged_recently[key] = self.sim.now
-            bus = self.sim.bus
-            if bus.wants_records:
-                bus.emit("flow.flagged", {
-                    "time": self.sim.now,
-                    "initiator_ip": flow.initiator_ip,
-                    "initiator_port": flow.initiator_port,
-                    "responder_ip": flow.responder_ip,
-                    "responder_port": flow.responder_port,
-                    "length": len(seg.payload),
-                })
-            self.on_flag(flow, seg.payload)
-            self.scheduler.on_flagged_connection(
-                flow.responder_ip, flow.responder_port, seg.payload
-            )
-
-    # -------------------------------------------------- flow-table hygiene
-
-    def _evict_idle_flows(self) -> None:
-        """Reclaim flows idle past the timeout (and stale flag records)."""
-        now = self.sim.now
-        if self._flagged_recently:
-            stale = [k for k, t in self._flagged_recently.items()
-                     if now - t > self.flag_dedup_window]
-            for k in stale:
-                del self._flagged_recently[k]
-        if self.flow_idle_timeout is None:
+        ctx = DetectorContext(seg.payload, now=now, rng=self.rng, flow=flow)
+        result = self.pipeline.evaluate(ctx)
+        if not result.flagged:
             return
-        idle = [k for k, f in self.flows.items()
-                if now - f.last_seen > self.flow_idle_timeout]
-        for k in idle:
-            del self.flows[k]
-        if idle:
-            self.evicted_flows += len(idle)
-            self.sim.bus.incr("gfw.flow.evicted", len(idle))
+        self.flagged_connections += 1
+        self.sim.bus.incr("gfw.conn.flagged")
+        self.flow_table.note_flagged(key, now)
+        self.reactions.on_verdict(
+            Verdict(
+                time=now,
+                initiator_ip=flow.initiator_ip,
+                initiator_port=flow.initiator_port,
+                responder_ip=flow.responder_ip,
+                responder_port=flow.responder_port,
+                length=len(seg.payload),
+                flagged=True,
+                score=result.score,
+                stage=result.stage,
+            ),
+            flow,
+            seg.payload,
+        )
 
-    def _evict_oldest_flows(self) -> None:
-        """Hard cap: reclaim the least-recently-seen quartile of the table."""
-        victims = sorted(self.flows, key=lambda k: self.flows[k].last_seen)
-        count = max(1, len(victims) // 4)
-        for k in victims[:count]:
-            del self.flows[k]
-        self.evicted_flows += count
-        self.sim.bus.incr("gfw.flow.evicted", count)
+    # ----------------------------------------------- back-compat shortcuts
 
-    # ------------------------------------------------------------ shortcuts
+    @property
+    def scheduler(self):
+        return self.reactions.scheduler
+
+    @property
+    def blocking(self):
+        return self.reactions.blocking
 
     @property
     def probe_log(self):
         return self.runner.log
+
+    @property
+    def flows(self):
+        return self.flow_table.flows
+
+    @property
+    def inspected_connections(self) -> int:
+        return self.flow_table.opened
+
+    @property
+    def evicted_flows(self) -> int:
+        return self.flow_table.evicted
+
+    @property
+    def flow_idle_timeout(self) -> Optional[float]:
+        return self.flow_table.idle_timeout
+
+    @property
+    def max_flows(self) -> int:
+        return self.flow_table.max_flows
+
+    @property
+    def flag_dedup_window(self) -> float:
+        return self.flow_table.flag_dedup_window
+
+    @property
+    def _track_calls(self) -> int:
+        return self.flow_table._track_calls
+
+    @_track_calls.setter
+    def _track_calls(self, value: int) -> None:
+        self.flow_table._track_calls = value

@@ -1,10 +1,11 @@
 """Performance harness: benchmarks, baselines, and regression gates.
 
-``python -m repro bench`` drives this package.  It measures four layers
+``python -m repro bench`` drives this package.  It measures five layers
 of the reproduction — cipher throughput, simulator event throughput,
-streaming-analysis throughput, and end-to-end tunnel packet throughput —
-and writes machine-readable ``BENCH_crypto.json`` / ``BENCH_sim.json`` /
-``BENCH_analysis.json`` / ``BENCH_e2e.json`` files so the performance
+streaming-analysis throughput, detector-stage throughput, and
+end-to-end tunnel packet throughput — and writes machine-readable
+``BENCH_crypto.json`` / ``BENCH_sim.json`` / ``BENCH_analysis.json`` /
+``BENCH_detector.json`` / ``BENCH_e2e.json`` files so the performance
 trajectory of the codebase is recorded alongside its correctness.  ``compare_entries`` gates a fresh run against a committed
 baseline and is what CI's bench-smoke job calls.
 """
@@ -13,6 +14,7 @@ from .bench import (
     BenchEntry,
     bench_analysis,
     bench_crypto,
+    bench_detector,
     bench_e2e,
     bench_sim,
     git_rev,
@@ -25,6 +27,7 @@ __all__ = [
     "BenchEntry",
     "bench_analysis",
     "bench_crypto",
+    "bench_detector",
     "bench_e2e",
     "bench_sim",
     "compare_entries",

@@ -29,6 +29,7 @@ __all__ = [
     "BenchEntry",
     "bench_analysis",
     "bench_crypto",
+    "bench_detector",
     "bench_e2e",
     "bench_sim",
     "git_rev",
@@ -300,6 +301,72 @@ def bench_analysis(*, events: int = 200000, repeats: int = 3,
     return _stamp([BenchEntry(
         name="analysis.pipeline", unit="events/s", value=rate,
         params={"events": events, "analyzers": 5})])
+
+
+# ---------------------------------------------------------------- detector
+
+
+def bench_detector(*, packets: int = 20000, repeats: int = 3,
+                   progress: Optional[Callable[[str], None]] = None,
+                   ) -> List[BenchEntry]:
+    """Detector-stage throughput over a mixed first-packet corpus.
+
+    Builds a deterministic half-Shadowsocks / half-plaintext corpus (the
+    same generators the trainable stages fit on), cycles it up to
+    ``packets`` feature packets, and times each registered in-path
+    pipeline shape — the paper's passive classifier, the deterministic
+    entropy and VMess stages, and a three-member weighted ensemble —
+    plus the batched passive path, reporting flagged-or-not decisions
+    per wall-clock second (flags/s).
+    """
+    from repro.gfw.stages import DetectorContext, build_stage, training_corpus
+
+    if progress:
+        progress(f"detector: {packets} packets")
+
+    positives, negatives = training_corpus(seed=0xD7, samples=128)
+    mixed = [p for pair in zip(positives, negatives) for p in pair]
+    corpus = [mixed[i % len(mixed)] for i in range(packets)]
+
+    specs = {
+        "passive": {"kind": "passive", "base_rate": 1.0},
+        "entropy": "entropy",
+        "vmess": "vmess",
+        "ensemble": {"kind": "weighted", "threshold": 0.6,
+                     "members": [{"kind": "passive", "base_rate": 1.0},
+                                 "entropy", "vmess"]},
+    }
+    entries: List[BenchEntry] = []
+    for label, spec in specs.items():
+        stage = build_stage(spec)
+        if progress:
+            progress(f"detector: {label}")
+
+        def run(stage=stage) -> int:
+            rng = random.Random(0x5EED)
+            evaluate = stage.evaluate
+            for payload in corpus:
+                evaluate(DetectorContext(payload, rng=rng))
+            return len(corpus)
+
+        entries.append(BenchEntry(
+            name=f"detector.{label}", unit="flags/s",
+            value=_best_of(run, repeats),
+            params={"packets": packets, "spec": label}))
+
+    batch_stage = build_stage(specs["passive"])
+
+    def run_batch() -> int:
+        rng = random.Random(0x5EED)
+        ctxs = [DetectorContext(payload, rng=rng) for payload in corpus]
+        batch_stage.evaluate_batch(ctxs)
+        return len(corpus)
+
+    entries.append(BenchEntry(
+        name="detector.passive_batch", unit="flags/s",
+        value=_best_of(run_batch, repeats),
+        params={"packets": packets, "spec": "passive"}))
+    return _stamp(entries)
 
 
 # -------------------------------------------------------------- end-to-end

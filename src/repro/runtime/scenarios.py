@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..analysis import AnalysisPipeline, FlaggedConnections, VerdictRecords
 from ..analysis.pipeline import series
 from ..defense import Brdgrd, harden
 from ..experiments import (
@@ -34,7 +35,7 @@ from ..gfw import BlockingPolicy, DetectorConfig, PassiveDetector, Reaction
 from ..net import Impairment
 from ..probesim import PROBE_LENGTH_SCHEDULE, build_random_probe_row, build_replay_table
 from ..shadowsocks import ShadowsocksClient, ShadowsocksServer, get_profile
-from ..workloads import CurlDriver
+from ..workloads import CurlDriver, http_get_request
 from .events import EventBus
 from .scenario import Scenario, register
 from .topology import build_world
@@ -627,6 +628,129 @@ register(Scenario(
                 "hit-rate, probe volume, TCP retransmissions, and blocking "
                 "outcome per grid cell.",
     tags=("ablation", "impairment", "net"),
+))
+
+
+# ------------------------------------------ detector-ensemble ablation
+
+
+# (label, detector-stage spec) — the spec grammar of repro.gfw.stages.
+_ENSEMBLE_CASES: Tuple[Tuple[str, object], ...] = (
+    ("passive", {"kind": "passive", "base_rate": 1.0}),
+    ("entropy", {"kind": "entropy", "threshold": 7.2}),
+    ("vmess", "vmess"),
+    ("length-dist", {"kind": "length-dist", "train_samples": 200}),
+    ("entropy-or-vmess", {"kind": "any",
+                          "members": [{"kind": "entropy", "threshold": 7.2},
+                                      "vmess"]}),
+    ("weighted-vote", {"kind": "weighted", "threshold": 0.55,
+                       "weights": [0.5, 0.5],
+                       "members": [{"kind": "entropy", "threshold": 7.2},
+                                   {"kind": "length-dist",
+                                    "train_samples": 200}]}),
+)
+
+
+@dataclass
+class DetectorEnsembleConfig:
+    """Swap the in-path detector pipeline; keep probing/blocking fixed."""
+
+    seed: int = 83
+    connections: int = 20
+    interval: float = 30.0
+    duration: float = 3 * 3600.0
+    method: str = "chacha20-ietf-poly1305"
+    profile: str = "ss-libev-3.3.1"
+    server_port: int = 8388
+    cases: Tuple[Tuple[str, object], ...] = _ENSEMBLE_CASES
+
+
+class _EnsembleArtifact:
+    def __init__(self, cases, analysis, bus):
+        self.cases = cases
+        self.analysis = analysis
+        self.bus = bus
+
+
+def _run_ensemble_case(config: DetectorEnsembleConfig, spec: object,
+                       seed: int, bus: EventBus):
+    world = build_world(
+        seed=seed,
+        detectors=spec,
+        websites=["example.com"],
+    )
+    pipeline = AnalysisPipeline({"verdicts": VerdictRecords(),
+                                 "flagged": FlaggedConnections()})
+    pipeline.attach(world.bus)
+    server_host = world.add_server("server", region="uk")
+    ss_client = world.add_client("ss-client")
+    web_client = world.add_client("web-client", residential=True)
+    ShadowsocksServer(server_host, config.server_port, "pw", config.method,
+                      config.profile, rng=random.Random(seed + 1))
+    client = ShadowsocksClient(ss_client, server_host.ip, config.server_port,
+                               "pw", config.method,
+                               rng=random.Random(seed + 2))
+    CurlDriver(client, rng=random.Random(seed + 3),
+               sites=["example.com"]).run_schedule(config.connections,
+                                                   config.interval)
+
+    # Plaintext background: direct border-crossing HTTP fetches, so the
+    # ablation measures false positives alongside detection hits.
+    web_ip = world.hosts["web-example.com"].ip
+    web_rng = random.Random(seed + 4)
+
+    def browse() -> None:
+        conn = web_client.connect(web_ip, 80)
+        conn.on_connected = lambda: conn.send(
+            http_get_request("example.com", web_rng))
+        conn.on_data = lambda data: conn.close()
+        conn.on_remote_fin = conn.close
+
+    for i in range(config.connections):
+        world.sim.schedule(i * config.interval + config.interval / 2, browse)
+
+    world.sim.run(until=config.duration)
+    bus.absorb(world.bus)
+    out = pipeline.outputs()
+    summary = {
+        "spec": world.gfw.pipeline.spec(),
+        "flagged": out["flagged"]["count"],
+        "verdicts": out["verdicts"]["count"],
+        "by_stage": out["verdicts"]["by_stage"],
+        "scores": out["verdicts"]["scores"],
+        "probes": len(world.gfw.probe_log),
+        "ss_connections": config.connections,
+        "plaintext_connections": config.connections,
+    }
+    return summary, pipeline.payload()
+
+
+def _build_detector_ensemble(config: DetectorEnsembleConfig) -> _EnsembleArtifact:
+    bus = EventBus()
+    cases: Dict[str, object] = {}
+    analysis: Dict[str, object] = {}
+    for i, (label, spec) in enumerate(config.cases):
+        summary, payload = _run_ensemble_case(config, spec,
+                                              seed=config.seed + i, bus=bus)
+        cases[label] = summary
+        for name, section in payload.items():
+            analysis[f"{label}:{name}"] = section
+    return _EnsembleArtifact(cases, analysis, bus)
+
+
+register(Scenario(
+    name="ablation-detector-ensemble",
+    title="Ablation: in-path detector pipelines vs the full censor",
+    params_type=DetectorEnsembleConfig,
+    build=_build_detector_ensemble,
+    summarize=lambda artifact: {"cases": artifact.cases},
+    analysis_of=lambda artifact: artifact.analysis,
+    events_of=lambda artifact: artifact.bus.snapshot(),
+    description="Shadowsocks + plaintext traffic against swapped detector "
+                "pipelines (passive, entropy, vmess, length-dist, and "
+                "ensembles); per-case verdict records on the analysis "
+                "channel.",
+    tags=("ablation", "detector", "gfw"),
 ))
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..gfw import (
     BlockingPolicy,
@@ -132,6 +132,7 @@ def build_world(
     seed: int = 0,
     *,
     detector_config: Optional[DetectorConfig] = None,
+    detectors: Optional[Any] = None,
     scheduler_config: Optional[SchedulerConfig] = None,
     fleet_config: Optional[FleetConfig] = None,
     blocking_policy: Optional[BlockingPolicy] = None,
@@ -140,6 +141,11 @@ def build_world(
     stream_captures: bool = False,
 ) -> World:
     """Build a bordered world with a GFW on the path.
+
+    ``detectors`` is a JSON-able detector-stage spec (see
+    :mod:`repro.gfw.stages`) selecting the in-path detector pipeline;
+    ``None`` keeps the paper's passive classifier configured by
+    ``detector_config``.
 
     ``impairment`` attaches a network-wide fault profile (loss,
     reordering, duplication, jitter, flaps); an inactive (all-zero)
@@ -161,6 +167,7 @@ def build_world(
         sim, net, CHINA_CIDRS,
         rng=random.Random(rng.randrange(1 << 30)),
         detector_config=detector_config,
+        detectors=detectors,
         scheduler_config=scheduler_config,
         fleet_config=fleet_config,
         blocking_policy=blocking_policy,

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.experiments.common import build_world
+from repro.runtime.topology import build_world
 from repro.gfw import (
     BlockingPolicy,
     DetectorConfig,

@@ -2,7 +2,7 @@
 
 import random
 
-from repro.experiments.common import build_world
+from repro.runtime.topology import build_world
 from repro.gfw import DetectorConfig
 from repro.net import Impairment
 from repro.runtime import run_sweep

@@ -114,3 +114,48 @@ def test_run_json_output(tmp_path, capsys):
     assert doc["scenario"] == "ablation-detector-features"
     assert doc["seeds"] == [0, 1]
     assert len(doc["runs"]) == 2
+
+
+def test_run_detectors_flag_swaps_pipeline(capsys):
+    import json
+
+    assert main(["run", "sink", "--no-cache", "--json",
+                 "--set", "connections=10", "--set", "duration=600.0",
+                 "--detectors", '{"kind": "entropy", "threshold": 7.2}']) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["params"]["detectors"] == {
+        "kind": "entropy", "threshold": 7.2}
+
+
+def test_run_detectors_flag_bare_kind(capsys):
+    assert main(["run", "sink", "--no-cache",
+                 "--set", "connections=5", "--set", "duration=300.0",
+                 "--detectors", "vmess"]) == 0
+    assert "sink: 1 seed(s)" in capsys.readouterr().out
+
+
+def test_run_detectors_flag_rejected_without_parameter(capsys):
+    assert main(["run", "ablation-detector-features", "--no-cache",
+                 "--detectors", "entropy"]) == 2
+    assert "no parameter 'detectors'" in capsys.readouterr().err
+
+
+def test_quickstart_detectors_flag(capsys):
+    assert main(["quickstart", "--connections", "3", "--seed", "3",
+                 "--detectors", "entropy"]) == 0
+    out = capsys.readouterr().out
+    assert "connections: 3" in out
+    assert "flagged: 3" in out
+
+
+def test_bench_detector_suite(tmp_path, capsys):
+    import json
+
+    assert main(["bench", "--suite", "detector", "--quick",
+                 "--out-dir", str(tmp_path)]) == 0
+    doc = json.loads((tmp_path / "BENCH_detector.json").read_text())
+    names = {entry["name"] for entry in doc}
+    assert {"detector.passive", "detector.entropy", "detector.vmess",
+            "detector.ensemble", "detector.passive_batch"} <= names
+    assert all(entry["unit"] == "flags/s" for entry in doc)
+    assert all(entry["value"] > 0 for entry in doc)

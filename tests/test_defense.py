@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.defense import Brdgrd, harden
-from repro.experiments.common import build_world
+from repro.runtime.topology import build_world
 from repro.gfw import DetectorConfig
 from repro.net import Host, Network, Simulator
 from repro.probesim import ProberSimulator, ReactionKind, build_random_probe_row

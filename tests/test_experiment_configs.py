@@ -67,7 +67,7 @@ def test_shadowsocks_config_profiles_cycle():
 
 
 def test_subnet_prefix_normalization():
-    from repro.experiments.common import subnet_prefix
+    from repro.runtime.topology import subnet_prefix
 
     assert subnet_prefix("192.0.2.0/24") == "192.0.2."
     assert subnet_prefix("192.0.2.0") == "192.0.2."

@@ -1,0 +1,37 @@
+"""The retired ``repro.experiments.common`` shim warns but still works."""
+
+import importlib
+import sys
+
+import pytest
+
+
+def test_importing_common_fires_deprecation_warning():
+    sys.modules.pop("repro.experiments.common", None)
+    with pytest.warns(DeprecationWarning, match="repro.runtime.topology"):
+        importlib.import_module("repro.experiments.common")
+
+
+def test_shim_reexports_canonical_objects():
+    sys.modules.pop("repro.experiments.common", None)
+    with pytest.warns(DeprecationWarning):
+        common = importlib.import_module("repro.experiments.common")
+    from repro.runtime import topology
+
+    for name in ("CHINA_CIDRS", "World", "build_world", "settle",
+                 "subnet_prefix"):
+        assert getattr(common, name) is getattr(topology, name)
+
+
+def test_package_root_does_not_warn():
+    # ``from repro.experiments import build_world`` is the supported
+    # path and must stay silent: the package root imports from
+    # repro.runtime.topology directly, not through the shim.
+    sys.modules.pop("repro.experiments.common", None)
+    sys.modules.pop("repro.experiments", None)
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        module = importlib.import_module("repro.experiments")
+    assert hasattr(module, "build_world")

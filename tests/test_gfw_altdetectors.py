@@ -48,6 +48,24 @@ def test_entropy_classifier_fit_validates():
         EntropyClassifier().fit([], [b"x" * 100])
 
 
+def test_entropy_classifier_fit_grid_includes_8_bits():
+    # Regression: the fit grid used to stop at 7.9, so a corpus whose
+    # negatives sit in [7.9, 8.0) could never be separated from exact
+    # 8.0-entropy positives.  The 8.0 threshold must be selectable.
+    from repro.gfw.entropy import shannon_entropy
+
+    positives = [bytes(range(256)) * 4] * 20             # entropy exactly 8.0
+    # 255 equiprobable symbols: entropy = log2(255) ~ 7.994, in [7.9, 8.0).
+    negatives = [bytes(range(255)) * 4] * 20
+    assert shannon_entropy(positives[0]) == 8.0
+    assert 7.9 <= shannon_entropy(negatives[0]) < 8.0
+    clf = EntropyClassifier().fit(positives, negatives)
+    assert clf.threshold == 8.0
+    ev = evaluate_detector(clf.flag, positives, negatives)
+    assert ev.recall == 1.0
+    assert ev.false_positive_rate == 0.0
+
+
 def test_length_classifier_learns_histograms():
     rng = random.Random(1)
     # Positives cluster at 400-500 bytes; negatives at 100-200.

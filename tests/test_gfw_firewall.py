@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.experiments.common import CHINA_CIDRS, build_world
+from repro.runtime.topology import CHINA_CIDRS, build_world
 from repro.gfw import DetectorConfig, GreatFirewall
 from repro.net import Flags, Host, Network, Segment, Simulator
 
