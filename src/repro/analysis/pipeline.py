@@ -71,6 +71,7 @@ __all__ = [
     "CaptureProbeClassifier",
     "EcdfAnalyzer",
     "FlaggedConnections",
+    "FlowCensus",
     "OverlapAnalyzer",
     "ProbeSynTimes",
     "ProbeTally",
@@ -520,6 +521,101 @@ class VerdictRecords(Analyzer):
         self.scores = [float(v) for v in state.get("scores") or []]
         self.by_server = {str(k): int(v)
                           for k, v in (state.get("by_server") or {}).items()}
+
+
+@register_analyzer
+class FlowCensus(Analyzer):
+    """Aggregate census of ``scale.flow`` records (the scale-1m scenario).
+
+    Deliberately integer-only and order-insensitive: every field is a
+    count, so merging shard states is plain addition and the merged
+    result is byte-identical to the serial run no matter how the flow
+    space was partitioned.  (List- or float-accumulating analyzers like
+    :class:`VerdictRecords` cannot make that promise — their state
+    depends on observation order.)
+    """
+
+    kind = "flow_census"
+
+    def __init__(self, bins: int = 16) -> None:
+        self.bins = int(bins)
+        self.flows = 0
+        self.flagged = 0
+        # responder port -> [flows, flagged]
+        self.by_port: Dict[str, List[int]] = {}
+        self.by_stage: Dict[str, int] = {}
+        self.entropy_hist = [0] * self.bins
+
+    def config(self) -> Dict[str, Any]:
+        return {"bins": self.bins}
+
+    def observe(self, event: Mapping[str, Any]) -> None:
+        if event.get("kind") != "scale.flow":
+            return
+        self.flows += 1
+        flagged = bool(event.get("flagged"))
+        port = str(event.get("port"))
+        tally = self.by_port.get(port)
+        if tally is None:
+            tally = self.by_port[port] = [0, 0]
+        tally[0] += 1
+        if flagged:
+            self.flagged += 1
+            tally[1] += 1
+            stage = str(event.get("stage", ""))
+            self.by_stage[stage] = self.by_stage.get(stage, 0) + 1
+        entropy = float(event.get("entropy", 0.0))
+        index = int(entropy / 8.0 * self.bins)
+        self.entropy_hist[min(self.bins - 1, max(0, index))] += 1
+
+    def merge(self, other: Analyzer) -> None:
+        self._check_mergeable(other)
+        assert isinstance(other, FlowCensus)
+        if other.bins != self.bins:
+            raise ValueError("cannot merge FlowCensus with different bins")
+        self.flows += other.flows
+        self.flagged += other.flagged
+        for port, (total, hits) in other.by_port.items():
+            tally = self.by_port.get(port)
+            if tally is None:
+                self.by_port[port] = [total, hits]
+            else:
+                tally[0] += total
+                tally[1] += hits
+        for stage, n in other.by_stage.items():
+            self.by_stage[stage] = self.by_stage.get(stage, 0) + n
+        for i, n in enumerate(other.entropy_hist):
+            self.entropy_hist[i] += n
+
+    def finalize(self) -> Dict[str, Any]:
+        return {
+            "flows": self.flows,
+            "flagged": self.flagged,
+            "by_port": {port: list(tally)
+                        for port, tally in sorted(self.by_port.items())},
+            "by_stage": dict(sorted(self.by_stage.items())),
+            "entropy_hist": list(self.entropy_hist),
+        }
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "flows": self.flows,
+            "flagged": self.flagged,
+            "by_port": {port: list(tally)
+                        for port, tally in sorted(self.by_port.items())},
+            "by_stage": dict(sorted(self.by_stage.items())),
+            "entropy_hist": list(self.entropy_hist),
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        self.flows = int(state.get("flows", 0))
+        self.flagged = int(state.get("flagged", 0))
+        self.by_port = {str(k): [int(v[0]), int(v[1])]
+                        for k, v in (state.get("by_port") or {}).items()}
+        self.by_stage = {str(k): int(v)
+                         for k, v in (state.get("by_stage") or {}).items()}
+        self.entropy_hist = [int(n) for n in
+                             state.get("entropy_hist") or [0] * self.bins]
 
 
 # --------------------------------------------------------- capture analyzers

@@ -4,7 +4,9 @@ Commands mirror the paper's workflow:
 
 * ``run``         — run any registered scenario through the runtime
   (multi-seed, parallel, cached): ``run <scenario> --seeds N --jobs M``;
-  ``run --list`` enumerates the registry;
+  ``--shards N`` (or ``auto``) partitions one scenario's flow/unit
+  space across a process pool and merges the shards back
+  byte-identically; ``run --list`` enumerates the registry;
 * ``analyze``     — re-finalize the streaming analyzers of already-cached
   runs (merging states across seeds) without re-simulating anything;
 * ``quickstart``  — tunnel a request under the GFW and print the probes;
@@ -53,7 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed-start", type=int, default=0, metavar="S",
                    help="first seed of the sweep (default 0)")
     p.add_argument("--jobs", type=int, default=1, metavar="M",
-                   help="worker processes (default 1 = serial)")
+                   help="worker processes (default 1 = serial; with "
+                        "--shards, 1 = one process per shard up to the "
+                        "CPU count)")
+    p.add_argument("--shards", default=None, metavar="N",
+                   help="partition the scenario's flow/unit space into N "
+                        "disjoint shards, run them in worker processes, and "
+                        "merge the results back byte-identically with the "
+                        "serial run; 'auto' = CPU count (shardable "
+                        "scenarios only)")
     p.add_argument("--set", dest="overrides", action="append", default=[],
                    metavar="KEY=VALUE",
                    help="override a scenario parameter (repeatable; "
@@ -104,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--detectors", default=None, metavar="SPEC",
                    help="in-path detector-stage spec (bare kind or JSON); "
                         "default: the paper's passive classifier")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="split the censor into N disjoint flow-space "
+                        "sensors: the same workload runs once per shard "
+                        "and each shard's GFW only tracks the flows it "
+                        "owns (demonstrates the flow partitioner)")
 
     p = sub.add_parser("probesim", help="probe a server model (Figure 10 row)")
     p.add_argument("--profile", default="ss-libev-3.1.3")
@@ -139,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--suite",
                    choices=["crypto", "sim", "analysis", "detector", "e2e",
-                            "all"],
+                            "shard", "all"],
                    default="all", help="which benchmark suite(s) to run")
     p.add_argument("--quick", action="store_true",
                    help="smaller sizes/counts (CI smoke mode)")
@@ -205,11 +220,33 @@ def _parse_detectors(text: Optional[str]):
         return text
 
 
+def _parse_shards(text: Optional[str]) -> Optional[int]:
+    """Parse ``--shards``: None passes through, 'auto' = CPU count.
+
+    Returns the shard count, or raises ValueError on a bad value.
+    """
+    if text is None:
+        return None
+    if text == "auto":
+        import os
+
+        return os.cpu_count() or 1
+    count = int(text)  # ValueError on junk propagates to the caller
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    return count
+
+
 def _cmd_run(args) -> int:
+    import time
+
     from .runtime import (
         ResultCache,
+        ShardingError,
+        SweepResult,
         all_scenarios,
         default_cache_root,
+        run_sharded,
         run_sweep,
     )
 
@@ -227,16 +264,46 @@ def _cmd_run(args) -> int:
         return 2
     if args.detectors is not None:
         overrides["detectors"] = args.detectors
+    try:
+        shards = _parse_shards(args.shards)
+    except ValueError as exc:
+        print(f"error: --shards expects a positive integer or 'auto': {exc}",
+              file=sys.stderr)
+        return 2
 
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_root())
     seeds = range(args.seed_start, args.seed_start + max(args.seeds, 1))
+
+    def sharded_sweep() -> SweepResult:
+        # One sharded execution per seed; the merged per-seed results
+        # slot into the ordinary sweep machinery (printing, --json).
+        started = time.perf_counter()
+        jobs = args.jobs if args.jobs > 1 else None  # None = auto fan-out
+        results = []
+        for seed in seeds:
+            sharded = run_sharded(args.scenario, seed=seed,
+                                  overrides=overrides, shards=shards,
+                                  jobs=jobs, cache=cache,
+                                  use_cache=not args.no_cache)
+            results.append(sharded.merged)
+        return SweepResult(
+            scenario=results[0].scenario,
+            results=results,
+            wall_time=time.perf_counter() - started,
+            jobs=args.jobs,
+        )
+
     try:
         sweep = _run_profiled(
             args.cprofile,
+            sharded_sweep if shards is not None else
             lambda: run_sweep(args.scenario, seeds, overrides, jobs=args.jobs,
                               cache=cache, use_cache=not args.no_cache))
+    except ShardingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -246,8 +313,9 @@ def _cmd_run(args) -> int:
         return 0
 
     merged = sweep.merged()
+    shard_note = f"shards={shards}, " if shards is not None else ""
     print(f"{args.scenario}: {len(sweep.results)} seed(s), "
-          f"jobs={sweep.jobs}, wall={sweep.wall_time:.2f}s, "
+          f"{shard_note}jobs={sweep.jobs}, wall={sweep.wall_time:.2f}s, "
           f"cache {sweep.cache_hits} hit / {sweep.cache_misses} miss")
     for name, stats in merged["metrics"].items():
         print(f"  {name:<30} mean={stats['mean']:<12.6g} "
@@ -329,20 +397,50 @@ def _cmd_quickstart(args) -> int:
     from .workloads import CurlDriver
 
     impairment = Impairment(loss=args.loss, reorder=args.reorder)
-    world = build_world(seed=args.seed,
-                        detector_config=DetectorConfig(base_rate=0.9),
-                        detectors=_parse_detectors(args.detectors),
-                        websites=["example.com", "gfw.report"],
-                        impairment=impairment if impairment.active else None)
-    server_host = world.add_server("ss-server", region="uk")
-    client_host = world.add_client("client")
-    ShadowsocksServer(server_host, 8388, "pw", args.method, args.profile)
-    client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
-                               args.method)
-    CurlDriver(client, rng=random.Random(args.seed),
-               sites=["example.com", "gfw.report"]).run_schedule(
-                   args.connections, 60.0)
-    world.sim.run(until=args.connections * 60.0 + 3600)
+
+    def run_world(shard=None):
+        world = build_world(
+            seed=args.seed,
+            detector_config=DetectorConfig(base_rate=0.9),
+            detectors=_parse_detectors(args.detectors),
+            websites=["example.com", "gfw.report"],
+            impairment=impairment if impairment.active else None,
+            shard=shard)
+        server_host = world.add_server("ss-server", region="uk")
+        client_host = world.add_client("client")
+        ShadowsocksServer(server_host, 8388, "pw", args.method, args.profile)
+        client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
+                                   args.method)
+        CurlDriver(client, rng=random.Random(args.seed),
+                   sites=["example.com", "gfw.report"]).run_schedule(
+                       args.connections, 60.0)
+        world.sim.run(until=args.connections * 60.0 + 3600)
+        return world
+
+    if args.shards is not None:
+        if args.shards < 1:
+            print(f"error: --shards must be >= 1, got {args.shards}",
+                  file=sys.stderr)
+            return 2
+        # The same deterministic workload replays once per shard; each
+        # shard's censor only tracks the flows whose seed-stable flow_key
+        # hashes to it, so the tracked-flow counts sum to the serial run's.
+        total_tracked = total_flagged = total_probes = 0
+        for index in range(args.shards):
+            world = run_world(shard=(index, args.shards))
+            tracked = world.gfw.inspected_connections
+            flagged = world.gfw.flagged_connections
+            probes = len(world.gfw.probe_log)
+            print(f"shard {index}/{args.shards}: tracked={tracked:<5} "
+                  f"flagged={flagged:<5} probes={probes}")
+            total_tracked += tracked
+            total_flagged += flagged
+            total_probes += probes
+        print(f"total over {args.shards} shard(s): tracked={total_tracked}  "
+              f"flagged={total_flagged}  probes={total_probes}")
+        return 0
+
+    world = run_world()
     print(f"connections: {args.connections}  flagged: "
           f"{world.gfw.flagged_connections}  probes: {len(world.gfw.probe_log)}")
     if impairment.active:
@@ -473,6 +571,7 @@ def _cmd_bench(args) -> int:
         bench_crypto,
         bench_detector,
         bench_e2e,
+        bench_shard,
         bench_sim,
         compare_entries,
         format_comparison,
@@ -508,6 +607,11 @@ def _cmd_bench(args) -> int:
         if args.suite in ("e2e", "all"):
             suites["e2e"] = bench_e2e(
                 connections=10 if args.quick else 40, progress=progress)
+        if args.suite in ("shard", "all"):
+            suites["shard"] = bench_shard(
+                flows=20000 if args.quick else 1_000_000,
+                workers=(1, 2) if args.quick else (1, 2, 4, 8),
+                progress=progress)
         return suites
 
     suites = _run_profiled(args.cprofile, execute)

@@ -22,7 +22,7 @@ counter emissions, same probe schedule.
 from __future__ import annotations
 
 import random
-from typing import Any, List, Mapping, Optional, Union
+from typing import Any, List, Mapping, Optional, Tuple, Union
 
 from ..net.capture import Capture
 from ..net.host import Host
@@ -67,6 +67,7 @@ class GreatFirewall(Middlebox):
         flow_idle_timeout: Optional[float] = None,
         max_flows: int = 1 << 18,
         inside_cache_max: int = 1 << 16,
+        shard: Optional[Tuple[int, int]] = None,
     ):
         self.sim = sim
         self.network = network
@@ -113,8 +114,10 @@ class GreatFirewall(Middlebox):
         )
 
         # Sensor layer: the flow table owns connection state + hygiene.
+        # ``shard`` makes this censor one of N disjoint sensors over the
+        # flow space (see repro.runtime.sharding).
         self.flow_table = FlowTable(sim, idle_timeout=flow_idle_timeout,
-                                    max_flows=max_flows)
+                                    max_flows=max_flows, shard=shard)
         self.flow_table.on_first_initiator_data = self._first_initiator_data
         self.flow_table.on_first_responder_data = self._first_responder_data
         self.inside_cache_max = inside_cache_max

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.packet import Flags, Segment
+from ..runtime.sharding import flow_key, shard_of
 
 __all__ = ["FlowKey", "FlowState", "FlowTable"]
 
@@ -71,9 +72,20 @@ class FlowTable:
         idle_timeout: Optional[float] = None,
         max_flows: int = 1 << 18,
         flag_dedup_window: float = 60.0,
+        shard: Optional[Tuple[int, int]] = None,
     ):
         self.sim = sim
         self.flows: Dict[FlowKey, FlowState] = {}
+        # Flow-space partition: ``(index, count)`` makes this table one
+        # of ``count`` disjoint sensors — it silently ignores new flows
+        # whose seed-stable ``flow_key`` hashes to another shard (the
+        # same keying the runner's unit partitioner uses, so both layers
+        # always agree on who owns a flow).  ``None`` tracks everything.
+        if shard is not None:
+            index, count = shard
+            if not 0 <= index < count:
+                raise ValueError(f"shard index {index} not in [0, {count})")
+        self.shard = shard
         # Flow-table hygiene: flows that never see FIN/RST (SYN scans,
         # NR probes, half-open connections) must not accumulate forever
         # on multi-week runs.  ``max_flows`` is a hard count cap (the
@@ -120,6 +132,10 @@ class FlowTable:
         flow = self.flows.get(key)
         if flow is None:
             if seg.is_syn:
+                if (self.shard is not None
+                        and shard_of(flow_key(*key), self.shard[1])
+                        != self.shard[0]):
+                    return
                 if len(self.flows) >= self.max_flows:
                     self.evict_oldest()
                 self.flows[key] = FlowState(

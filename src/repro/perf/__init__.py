@@ -1,12 +1,14 @@
 """Performance harness: benchmarks, baselines, and regression gates.
 
-``python -m repro bench`` drives this package.  It measures five layers
+``python -m repro bench`` drives this package.  It measures six layers
 of the reproduction — cipher throughput, simulator event throughput,
-streaming-analysis throughput, detector-stage throughput, and
-end-to-end tunnel packet throughput — and writes machine-readable
+streaming-analysis throughput, detector-stage throughput, end-to-end
+tunnel packet throughput, and flow-sharded scale-1m throughput at
+several worker counts — and writes machine-readable
 ``BENCH_crypto.json`` / ``BENCH_sim.json`` / ``BENCH_analysis.json`` /
-``BENCH_detector.json`` / ``BENCH_e2e.json`` files so the performance
-trajectory of the codebase is recorded alongside its correctness.  ``compare_entries`` gates a fresh run against a committed
+``BENCH_detector.json`` / ``BENCH_e2e.json`` / ``BENCH_shard.json``
+files so the performance trajectory of the codebase is recorded
+alongside its correctness.  ``compare_entries`` gates a fresh run against a committed
 baseline and is what CI's bench-smoke job calls.
 """
 
@@ -16,6 +18,7 @@ from .bench import (
     bench_crypto,
     bench_detector,
     bench_e2e,
+    bench_shard,
     bench_sim,
     git_rev,
     host_fingerprint,
@@ -29,6 +32,7 @@ __all__ = [
     "bench_crypto",
     "bench_detector",
     "bench_e2e",
+    "bench_shard",
     "bench_sim",
     "compare_entries",
     "format_comparison",

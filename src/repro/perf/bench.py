@@ -31,6 +31,7 @@ __all__ = [
     "bench_crypto",
     "bench_detector",
     "bench_e2e",
+    "bench_shard",
     "bench_sim",
     "git_rev",
     "host_fingerprint",
@@ -414,3 +415,65 @@ def bench_e2e(*, connections: int = 40, repeats: int = 1,
         name="e2e.shadowsocks_tunnel", unit="packets/s", value=rate,
         params={"connections": connections, "method": method,
                 "segments": segments["n"]})])
+
+
+# ------------------------------------------------------------------- shard
+
+
+def bench_shard(*, flows: int = 1_000_000,
+                workers: Iterable[int] = (1, 2, 4, 8),
+                progress: Optional[Callable[[str], None]] = None,
+                ) -> List[BenchEntry]:
+    """Sharded scale-1m throughput at several worker counts.
+
+    Runs the ``scale-1m`` scenario (``flows`` synthetic border-crossing
+    flows through the censor hot path) under ``run_sharded`` at each
+    worker count and emits three entries per count:
+
+    * ``shard.events_per_s.wN`` — simulator events per wall-clock
+      second of the whole sharded run (orchestration included).  On a
+      single-CPU host the shards of one run execute sequentially, so
+      this number does *not* grow with N there.
+    * ``shard.packets_per_s.wN`` — tracked segments per wall second.
+    * ``shard.aggregate_events_per_s.wN`` — the sum over shards of
+      each shard's isolated events/s.  This is the capacity the shard
+      layout exposes: with one process per shard on an unloaded
+      N-core host, wall rate approaches this number.  It is the
+      scaling metric the shard suite gates on.
+
+    The actual process parallelism is ``min(workers, cpu_count)`` and
+    is recorded in each entry's params (``jobs``/``cpus``) so numbers
+    are never read as wall-clock speedup a host cannot deliver.
+    """
+    import os
+
+    from repro.runtime.runner import run_sharded
+
+    cpus = os.cpu_count() or 1
+    entries: List[BenchEntry] = []
+    for count in workers:
+        jobs = min(count, cpus)
+        if progress:
+            progress(f"shard: {flows} flows across {count} shard(s), "
+                     f"jobs={jobs}")
+        sharded = run_sharded("scale-1m", seed=0, overrides={"flows": flows},
+                              shards=count, jobs=jobs, use_cache=False)
+        counters = sharded.merged.events["counters"]
+        events = counters.get("sim.events", 0)
+        packets = counters.get("scale.segments", 0)
+        aggregate = sum(
+            shard.events["counters"].get("sim.events", 0) / shard.wall_time
+            for shard in sharded.shards if shard.wall_time > 0
+        )
+        params = {"flows": flows, "workers": count, "jobs": jobs,
+                  "cpus": cpus}
+        entries.append(BenchEntry(
+            name=f"shard.events_per_s.w{count}", unit="events/s",
+            value=events / sharded.wall_time, params=dict(params)))
+        entries.append(BenchEntry(
+            name=f"shard.packets_per_s.w{count}", unit="packets/s",
+            value=packets / sharded.wall_time, params=dict(params)))
+        entries.append(BenchEntry(
+            name=f"shard.aggregate_events_per_s.w{count}", unit="events/s",
+            value=aggregate, params=dict(params)))
+    return _stamp(entries)

@@ -23,10 +23,12 @@ Quick use::
 from .cache import ResultCache, code_fingerprint, default_cache_root
 from .events import EventBus, merge_counters
 from .runner import (
+    ShardedResult,
     SweepResult,
     merge_results,
     run_artifact,
     run_scenario,
+    run_sharded,
     run_sweep,
 )
 from .scenario import (
@@ -39,24 +41,40 @@ from .scenario import (
     register,
     scenario_names,
 )
+from .sharding import (
+    Sharder,
+    ShardingError,
+    derive_seed,
+    flow_key,
+    partition,
+    shard_of,
+)
 
 __all__ = [
     "EventBus",
     "ResultCache",
     "RunResult",
     "Scenario",
+    "ShardedResult",
+    "Sharder",
+    "ShardingError",
     "SweepResult",
     "all_scenarios",
     "canonical_json",
     "canonical_params",
     "code_fingerprint",
     "default_cache_root",
+    "derive_seed",
+    "flow_key",
     "get_scenario",
     "merge_counters",
     "merge_results",
+    "partition",
     "register",
     "run_artifact",
     "run_scenario",
+    "run_sharded",
     "run_sweep",
     "scenario_names",
+    "shard_of",
 ]

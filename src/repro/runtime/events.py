@@ -63,6 +63,7 @@ Canonical record kinds (see the pipeline module for the consumers):
 ``block``           the blocking module installed a block rule
 ``payload``         a workload client sent a ground-truth payload
 ``capture``         a tapped host capture saw a segment (pipeline-local)
+``scale.flow``      the scale harness finished one synthetic flow
 ==================  =====================================================
 """
 

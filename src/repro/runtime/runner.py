@@ -30,13 +30,16 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .cache import ResultCache, code_fingerprint
-from .scenario import RunResult, canonical_json, canonical_params, get_scenario
+from .scenario import RunResult, Scenario, canonical_json, canonical_params, get_scenario
+from .sharding import Sharder, ShardingError, fold_snapshots, partition
 
 __all__ = [
+    "ShardedResult",
     "SweepResult",
     "merge_results",
     "run_artifact",
     "run_scenario",
+    "run_sharded",
     "run_sweep",
 ]
 
@@ -46,12 +49,24 @@ __all__ = [
 
 def _execute(name: str, seed: int, overrides: Optional[Mapping[str, Any]],
              cache: Optional[ResultCache], use_cache: bool,
+             extra_params: Optional[Mapping[str, Any]] = None,
              ) -> Tuple[RunResult, Optional[Any]]:
-    """Run one job; returns (result, artifact) — artifact None on cache hit."""
+    """Run one job; returns (result, artifact) — artifact None on cache hit.
+
+    ``extra_params`` are execution-identity keys (e.g. the shard stamp
+    ``{"shards": {"count": N, "index": k}}``) merged into the canonical
+    params dict *before* cache lookup/store, so results produced under
+    different execution layouts can never satisfy each other's cache
+    keys.
+    """
     scenario = get_scenario(name)
     name = scenario.name  # canonicalize aliases so results/cache keys agree
     params = scenario.instantiate(seed, overrides)
     params_dict = canonical_params(params)
+    if extra_params:
+        merged = dict(params_dict)
+        merged.update(json.loads(canonical_json(dict(extra_params))))
+        params_dict = {key: merged[key] for key in sorted(merged)}
     fingerprint = code_fingerprint()
 
     if cache is not None and use_cache:
@@ -234,5 +249,274 @@ def run_sweep(name: str, seeds: Iterable[int],
         scenario=name,
         results=results,
         wall_time=time.perf_counter() - started,
+        jobs=jobs,
+    )
+
+
+# ------------------------------------------------------- sharded execution
+
+
+@dataclass
+class ShardedResult:
+    """One scenario run partitioned into flow shards and merged back.
+
+    ``merged`` is the recombined :class:`RunResult`; its ``params``
+    carry the shard layout (``{"shards": {"count", "layout"}}``) so the
+    cache can never confuse it with a serial run.  ``shards`` holds the
+    per-shard results (empty when ``merged`` came straight from the
+    cache); ``layout`` maps shard index → owned unit labels.
+    """
+
+    scenario: str
+    merged: RunResult
+    shards: List[RunResult]
+    layout: List[List[str]]
+    wall_time: float
+    jobs: int
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.merged.cache_hit) + sum(
+            1 for r in self.shards if r.cache_hit)
+
+    def serial_identity(self) -> Dict[str, Any]:
+        """The merged identity with the shard stamp stripped.
+
+        Byte-comparing this against a serial run's ``identity()`` is the
+        sharding correctness contract: everything except the layout
+        bookkeeping must be identical.
+        """
+        ident = self.merged.identity()
+        ident["params"] = {k: v for k, v in ident["params"].items()
+                           if k != "shards"}
+        return ident
+
+    def canonical_bytes(self) -> bytes:
+        return canonical_json(self.serial_identity()).encode("utf-8")
+
+
+def _require_sharder(scenario: Scenario) -> Sharder:
+    sharder = scenario.sharder
+    if sharder is None:
+        from .scenario import all_scenarios
+
+        shardable = ", ".join(
+            s.name for s in all_scenarios() if s.sharder is not None
+        ) or "(none)"
+        raise ShardingError(
+            f"scenario {scenario.name!r} is not shardable "
+            f"(no flow partitioner declared); shardable scenarios: {shardable}"
+        )
+    return sharder
+
+
+def _deep_union(base: Dict[str, Any], add: Mapping[str, Any],
+                path: str = "") -> Dict[str, Any]:
+    """Union shard payload slices; identical leaves tolerated, else error."""
+    for key, value in add.items():
+        here = f"{path}/{key}"
+        if key not in base:
+            base[key] = value
+        elif isinstance(base[key], dict) and isinstance(value, Mapping):
+            _deep_union(base[key], value, here)
+        elif base[key] != value:
+            raise ShardingError(
+                f"shard payloads disagree at {here!r}: "
+                f"{base[key]!r} != {value!r}"
+            )
+    return base
+
+
+def _merge_cases(ordered: Sequence[RunResult], labels: Sequence[str],
+                 ) -> Tuple[Dict[str, Any], Dict[str, Any], Dict[str, Any]]:
+    """Recombine case-mode shards: union slices, re-fold unit buses.
+
+    Every unit (case) ran in exactly one shard with its own bus; the
+    serial run's top-level counters/scalars are the fold of per-unit
+    snapshots in unit order, so replaying that fold over the union of
+    shard-carried snapshots reproduces them byte-for-byte.
+    """
+    payload: Dict[str, Any] = {}
+    analysis: Dict[str, Any] = {}
+    units: Dict[str, Any] = {}
+    for result in ordered:
+        # Round-trip the slice so the union never aliases (and therefore
+        # never mutates) a live shard result's own payload dict.
+        _deep_union(payload, json.loads(canonical_json(result.payload)))
+        for name, spec in result.analysis.items():
+            if name in analysis:
+                raise ShardingError(
+                    f"analysis section {name!r} produced by two shards")
+            analysis[name] = spec
+        for label, snap in (result.events.get("units") or {}).items():
+            if label in units:
+                raise ShardingError(f"unit {label!r} executed by two shards")
+            units[label] = snap
+    missing = [label for label in labels if label not in units]
+    if missing:
+        raise ShardingError(f"units never executed by any shard: {missing}")
+    events = fold_snapshots([units[label] for label in labels])
+    events["units"] = {label: units[label] for label in labels}
+    return payload, events, analysis
+
+
+def _merge_flows(ordered: Sequence[RunResult], sharder: Sharder,
+                 ) -> Tuple[Dict[str, Any], Dict[str, Any], Dict[str, Any]]:
+    """Recombine flow-mode shards through analyzer state merging.
+
+    Counters are integer sums (order-free); scalar series are rejected
+    because their fold order across shards is not reproducible; the
+    payload is re-derived from the merged analyzer outputs with the
+    same function the serial summarizer uses.
+    """
+    from ..analysis.pipeline import restore_analyzer
+
+    counters: Dict[str, int] = {}
+    for result in ordered:
+        if result.events.get("scalars"):
+            names = sorted(result.events["scalars"])
+            raise ShardingError(
+                f"flow-sharded run emitted scalar series {names}; scalar "
+                f"folds are order-dependent and cannot merge byte-identically"
+            )
+        for name, n in (result.events.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(n)
+    events = {"counters": dict(sorted(counters.items())), "scalars": {}}
+
+    analysis: Dict[str, Any] = {}
+    for name in ordered[0].analysis:
+        analyzer = restore_analyzer(ordered[0].analysis[name])
+        for later in ordered[1:]:
+            spec = later.analysis.get(name)
+            if spec is None:
+                raise ShardingError(f"shard missing analysis section {name!r}")
+            analyzer.merge(restore_analyzer(spec))
+        analysis[name] = {
+            "analyzer": analyzer.kind,
+            "config": analyzer.config(),
+            "state": analyzer.state_dict(),
+            "output": analyzer.finalize(),
+        }
+    if sharder.payload_from_analysis is None:
+        raise ShardingError(
+            "flows-mode sharder declares no payload_from_analysis")
+    payload = sharder.payload_from_analysis(
+        {name: spec["output"] for name, spec in analysis.items()})
+    return payload, events, analysis
+
+
+def _shard_worker(job: Tuple[str, int, Dict[str, Any], Dict[str, Any],
+                             Optional[str], bool]) -> Dict[str, Any]:
+    """Top-level (picklable) worker: one shard in a pool process."""
+    name, seed, overrides, extra_params, cache_root, use_cache = job
+    cache = ResultCache(cache_root) if cache_root is not None else None
+    result, _ = _execute(name, seed, overrides, cache, use_cache,
+                         extra_params=extra_params)
+    return result.to_json_dict()
+
+
+def run_sharded(name: str, seed: int = 0,
+                overrides: Optional[Mapping[str, Any]] = None, *,
+                shards: int, jobs: Optional[int] = None,
+                cache: Optional[ResultCache] = None,
+                use_cache: bool = True) -> ShardedResult:
+    """Partition one scenario across ``shards`` workers and merge back.
+
+    The scenario must declare a :class:`~repro.runtime.sharding.Sharder`;
+    its unit labels are assigned to shards by seed-stable
+    :func:`~repro.runtime.sharding.flow_key` hashing, each non-empty
+    shard runs the scenario restricted to its own units (in its own
+    process when ``jobs > 1``), and the per-shard results recombine into
+    one :class:`RunResult` byte-identical — modulo the recorded shard
+    layout — with the serial run.
+
+    ``jobs=None`` uses one process per non-empty shard, capped at the
+    machine's CPU count; ``jobs<=1`` runs the shards sequentially
+    in-process (still produces the identical merged result).
+    """
+    import os
+
+    scenario = get_scenario(name)
+    name = scenario.name
+    sharder = _require_sharder(scenario)
+    if shards < 1:
+        raise ShardingError(f"shard count must be >= 1, got {shards}")
+    overrides = dict(overrides or {})
+    started = time.perf_counter()
+
+    params = scenario.instantiate(seed, overrides)
+    labels = list(sharder.units(params))
+    if not labels:
+        raise ShardingError(
+            f"scenario {name!r} has no shardable units under these params")
+    layout = partition(labels, shards)
+    layout_param = {"shards": {"count": shards, "layout": layout}}
+    merged_params = dict(canonical_params(params))
+    merged_params.update(json.loads(canonical_json(layout_param)))
+    merged_params = {key: merged_params[key] for key in sorted(merged_params)}
+    fingerprint = code_fingerprint()
+
+    if cache is not None and use_cache:
+        cached = cache.load(name, merged_params, seed, fingerprint)
+        if cached is not None:
+            return ShardedResult(
+                scenario=name, merged=cached, shards=[], layout=layout,
+                wall_time=time.perf_counter() - started, jobs=0,
+            )
+
+    shard_jobs = [
+        (index,
+         {**overrides, **sharder.restrict(params, layout[index])},
+         {"shards": {"count": shards, "index": index}})
+        for index in range(shards) if layout[index]
+    ]
+    if jobs is None:
+        jobs = min(len(shard_jobs), os.cpu_count() or 1)
+
+    if jobs <= 1 or len(shard_jobs) <= 1:
+        results = [
+            _execute(name, seed, shard_overrides, cache, use_cache,
+                     extra_params=extra)[0]
+            for _, shard_overrides, extra in shard_jobs
+        ]
+    else:
+        cache_root = str(cache.root) if cache is not None else None
+        job_args = [(name, seed, shard_overrides, extra, cache_root, use_cache)
+                    for _, shard_overrides, extra in shard_jobs]
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            # pool.map preserves shard-index order deterministically.
+            results = [RunResult.from_json_dict(d)
+                       for d in pool.map(_shard_worker, job_args)]
+        if cache is not None:
+            for result in results:
+                if result.cache_hit:
+                    cache.hits += 1
+                else:
+                    cache.misses += 1
+
+    if sharder.mode == "cases":
+        payload, events, analysis = _merge_cases(results, labels)
+    else:
+        payload, events, analysis = _merge_flows(results, sharder)
+
+    wall = time.perf_counter() - started
+    merged = RunResult(
+        scenario=name,
+        params=merged_params,
+        seed=seed,
+        payload=json.loads(canonical_json(payload)),
+        events=json.loads(canonical_json(events)),
+        wall_time=wall,
+        fingerprint=fingerprint,
+        analysis=json.loads(canonical_json(analysis)),
+    )
+    if cache is not None:
+        cache.store(merged)
+    return ShardedResult(
+        scenario=name,
+        merged=merged,
+        shards=results,
+        layout=layout,
+        wall_time=wall,
         jobs=jobs,
     )

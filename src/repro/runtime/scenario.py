@@ -138,6 +138,10 @@ class Scenario:
     # Scenarios whose experiments run an AnalysisPipeline declare this
     # so the runner can persist, cache, and shard-merge analyzer states.
     analysis_of: Optional[Callable[[Any], Dict[str, Any]]] = None
+    # Optional: how this scenario's workload partitions into disjoint
+    # shards (see repro.runtime.sharding.Sharder).  None means the
+    # scenario is not shardable and `run_sharded` refuses it.
+    sharder: Optional[Any] = None
 
     def instantiate(self, seed: int, overrides: Optional[Mapping[str, Any]] = None):
         """Build the typed params object for one job."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import AnalysisPipeline, FlaggedConnections, VerdictRecords
 from ..analysis.pipeline import series
@@ -38,7 +38,11 @@ from ..shadowsocks import ShadowsocksClient, ShadowsocksServer, get_profile
 from ..workloads import CurlDriver, http_get_request
 from .events import EventBus
 from .scenario import Scenario, register
+from .sharding import Sharder, derive_seed, fold_snapshots
 from .topology import build_world
+
+# Registering imports its module; the scale-1m scenario lives there.
+from . import scale  # noqa: F401  (registers on import)
 
 __all__: List[str] = []  # import for side effects only
 
@@ -53,6 +57,22 @@ _series = series
 def _analysis_payload(result) -> Dict[str, object]:
     """Scenario ``analysis_of`` hook for pipeline-bearing experiment results."""
     return result.pipeline.payload()
+
+
+def _unit_events(unit_buses: Sequence[Tuple[str, EventBus]]) -> Dict[str, object]:
+    """Events document for case-sharded scenarios: fold + per-unit detail.
+
+    Each case (sub-experiment) runs against its own bus; the top-level
+    ``counters``/``scalars`` are the :func:`fold_snapshots` of the
+    per-unit snapshots in unit order — the same arithmetic, in the same
+    order, as the old shared-bus ``absorb`` chain — and ``units`` keeps
+    the per-unit snapshots so a sharded run can replay the exact fold
+    when it recombines (see :func:`repro.runtime.runner.run_sharded`).
+    """
+    snaps = [(label, bus.snapshot()) for label, bus in unit_buses]
+    events = fold_snapshots([snap for _, snap in snaps])
+    events["units"] = {label: snap for label, snap in snaps}
+    return events
 
 
 # --------------------------------------------------------------- §3.1
@@ -280,20 +300,24 @@ class ProbesimGridConfig:
                                 "chacha20-ietf-poly1305")
     lengths: Tuple[int, ...] = PROBE_LENGTH_SCHEDULE
     trials: int = 4
+    # Sharding restriction: which compatible (profile, method) pairs
+    # this run covers.  None (the default, and the serial run) means
+    # every compatible pair of the profiles x methods grid.
+    pairs: Optional[Tuple[Tuple[str, str], ...]] = None
 
 
 class _GridArtifact:
-    def __init__(self, rows, bus):
+    def __init__(self, rows, unit_buses):
         self.rows = rows
-        self.bus = bus
+        self.unit_buses = unit_buses
 
 
-def _build_probesim_grid(config: ProbesimGridConfig) -> _GridArtifact:
+def _grid_pairs(config: ProbesimGridConfig) -> List[Tuple[str, str]]:
+    """Compatible (profile, method) pairs, honouring a pairs restriction."""
     from ..crypto import get_spec
     from ..crypto.registry import CipherKind
 
-    bus = EventBus()
-    rows = {}
+    pairs: List[Tuple[str, str]] = []
     for profile_name in config.profiles:
         profile = get_profile(profile_name)
         for method in config.methods:
@@ -302,12 +326,32 @@ def _build_probesim_grid(config: ProbesimGridConfig) -> _GridArtifact:
                 continue
             if kind == CipherKind.AEAD and not profile.supports_aead:
                 continue
-            row = build_random_probe_row(
-                profile_name, method, config.lengths,
-                trials=config.trials, seed=config.seed, bus=bus,
-            )
-            rows[(profile_name, method)] = row
-    return _GridArtifact(rows, bus)
+            pairs.append((profile_name, method))
+    if config.pairs is not None:
+        wanted = {tuple(pair) for pair in config.pairs}
+        unknown = wanted - set(pairs)
+        if unknown:
+            raise ValueError(
+                f"pairs not in the compatible grid: {sorted(unknown)}")
+        pairs = [pair for pair in pairs if pair in wanted]
+    return pairs
+
+
+def _build_probesim_grid(config: ProbesimGridConfig) -> _GridArtifact:
+    # One bus per (profile, method) row: rows are independent (each row
+    # reseeds from config.seed), so per-row buses cost nothing and give
+    # the sharded merge the per-unit snapshots it replays.
+    rows = {}
+    unit_buses: List[Tuple[str, EventBus]] = []
+    for profile_name, method in _grid_pairs(config):
+        bus = EventBus()
+        row = build_random_probe_row(
+            profile_name, method, config.lengths,
+            trials=config.trials, seed=config.seed, bus=bus,
+        )
+        rows[(profile_name, method)] = row
+        unit_buses.append((f"{profile_name}|{method}", bus))
+    return _GridArtifact(rows, unit_buses)
 
 
 def _summarize_probesim_grid(artifact: _GridArtifact) -> Dict[str, object]:
@@ -328,17 +372,23 @@ register(Scenario(
     params_type=ProbesimGridConfig,
     build=_build_probesim_grid,
     summarize=_summarize_probesim_grid,
-    events_of=lambda artifact: artifact.bus.snapshot(),
+    events_of=lambda artifact: _unit_events(artifact.unit_buses),
     description="Length sweep of random probes against server models; "
                 "incompatible (impl, cipher) combos are skipped.",
     tags=("probesim", "sweep"),
+    sharder=Sharder(
+        mode="cases",
+        units=lambda config: [f"{p}|{m}" for p, m in _grid_pairs(config)],
+        restrict=lambda config, labels: {
+            "pairs": tuple(tuple(label.split("|", 1)) for label in labels)},
+    ),
 ))
 
 
 class _ReplayArtifact:
-    def __init__(self, table, bus):
+    def __init__(self, table, unit_buses):
         self.table = table
-        self.bus = bus
+        self.unit_buses = unit_buses
 
 
 @dataclass
@@ -357,10 +407,17 @@ class ProbesimReplayConfig:
 
 
 def _build_probesim_replay(config: ProbesimReplayConfig) -> _ReplayArtifact:
-    bus = EventBus()
-    table = build_replay_table(list(config.pairs), trials=config.trials,
-                               seed=config.seed, bus=bus)
-    return _ReplayArtifact(table, bus)
+    # One bus per pair: every trial reseeds from (seed, trial) alone, so
+    # a pair's row is identical whether it runs with the full battery or
+    # restricted to a shard's subset.
+    table = {}
+    unit_buses: List[Tuple[str, EventBus]] = []
+    for pair in config.pairs:
+        bus = EventBus()
+        table.update(build_replay_table([tuple(pair)], trials=config.trials,
+                                        seed=config.seed, bus=bus))
+        unit_buses.append((f"{pair[0]}|{pair[1]}", bus))
+    return _ReplayArtifact(table, unit_buses)
 
 
 def _summarize_probesim_replay(artifact: _ReplayArtifact) -> Dict[str, object]:
@@ -381,10 +438,16 @@ register(Scenario(
     params_type=ProbesimReplayConfig,
     build=_build_probesim_replay,
     summarize=_summarize_probesim_replay,
-    events_of=lambda artifact: artifact.bus.snapshot(),
+    events_of=lambda artifact: _unit_events(artifact.unit_buses),
     description="Identical vs byte-changed replay reactions per "
                 "(implementation, cipher) pair.",
     tags=("probesim", "sweep"),
+    sharder=Sharder(
+        mode="cases",
+        units=lambda config: [f"{p}|{m}" for p, m in config.pairs],
+        restrict=lambda config, labels: {
+            "pairs": tuple(tuple(label.split("|", 1)) for label in labels)},
+    ),
 ))
 
 
@@ -454,17 +517,6 @@ register(Scenario(
 ))
 
 
-@dataclass
-class DefenseMatrixConfig:
-    """§7 defense configurations against the full GFW pipeline."""
-
-    seed: int = 300
-    connections: int = 30
-    interval: float = 20.0
-    duration: float = 12 * 3600.0
-    server_port: int = 8388
-
-
 _DEFENSE_CASES: Tuple[Tuple[str, str, str, bool, bool], ...] = (
     # (label, method, profile, hardened, brdgrd)
     ("stream, no defenses (ssr)", "aes-256-ctr", "ssr", False, False),
@@ -475,11 +527,27 @@ _DEFENSE_CASES: Tuple[Tuple[str, str, str, bool, bool], ...] = (
      True, True),
 )
 
+_DEFENSE_CASES_BY_LABEL = {case[0]: case for case in _DEFENSE_CASES}
+
+
+@dataclass
+class DefenseMatrixConfig:
+    """§7 defense configurations against the full GFW pipeline."""
+
+    seed: int = 300
+    connections: int = 30
+    interval: float = 20.0
+    duration: float = 12 * 3600.0
+    server_port: int = 8388
+    # Which defense cases run (shard restriction); labels index
+    # _DEFENSE_CASES.
+    cases: Tuple[str, ...] = tuple(case[0] for case in _DEFENSE_CASES)
+
 
 class _DefenseArtifact:
-    def __init__(self, cases, bus):
+    def __init__(self, cases, unit_buses):
         self.cases = cases
-        self.bus = bus
+        self.unit_buses = unit_buses
 
 
 def _run_defense_case(config: DefenseMatrixConfig, method: str, profile_name: str,
@@ -522,14 +590,24 @@ def _run_defense_case(config: DefenseMatrixConfig, method: str, profile_name: st
 
 
 def _build_defense_matrix(config: DefenseMatrixConfig) -> _DefenseArtifact:
-    bus = EventBus()
-    cases = {
-        label: _run_defense_case(config, method, profile, hardened, brdgrd,
-                                 seed=config.seed + i, bus=bus)
-        for i, (label, method, profile, hardened, brdgrd)
-        in enumerate(_DEFENSE_CASES)
-    }
-    return _DefenseArtifact(cases, bus)
+    # Per-case seeds derive from (seed, label), not the case's position,
+    # so a case simulates identically inside any shard subset; per-case
+    # buses carry the unit snapshots the sharded merge replays.
+    cases = {}
+    unit_buses: List[Tuple[str, EventBus]] = []
+    for label in config.cases:
+        try:
+            _, method, profile, hardened, brdgrd = _DEFENSE_CASES_BY_LABEL[label]
+        except KeyError:
+            known = ", ".join(sorted(_DEFENSE_CASES_BY_LABEL))
+            raise ValueError(f"unknown defense case {label!r}; known: {known}")
+        bus = EventBus()
+        cases[label] = _run_defense_case(
+            config, method, profile, hardened, brdgrd,
+            seed=derive_seed(config.seed, label), bus=bus,
+        )
+        unit_buses.append((label, bus))
+    return _DefenseArtifact(cases, unit_buses)
 
 
 @dataclass
@@ -548,12 +626,29 @@ class ImpairmentMatrixConfig:
     method: str = "chacha20-ietf-poly1305"
     profile: str = "ss-libev-3.3.1"
     server_port: int = 8388
+    # Sharding restriction: which grid-cell labels run.  None (the
+    # default, and the serial run) means the full loss x reorder grid.
+    cells: Optional[Tuple[str, ...]] = None
 
 
 class _ImpairmentArtifact:
-    def __init__(self, cells, bus):
+    def __init__(self, cells, unit_buses):
         self.cells = cells
-        self.bus = bus
+        self.unit_buses = unit_buses
+
+
+def _impairment_labels(config: ImpairmentMatrixConfig) -> List[str]:
+    """Grid-cell labels in grid order, honouring a cells restriction."""
+    labels = [f"loss={loss:g}|reorder={reorder:g}"
+              for loss in config.loss_rates
+              for reorder in config.reorder_rates]
+    if config.cells is not None:
+        wanted = set(config.cells)
+        unknown = wanted - set(labels)
+        if unknown:
+            raise ValueError(f"cells not in the grid: {sorted(unknown)}")
+        labels = [label for label in labels if label in wanted]
+    return labels
 
 
 def _run_impairment_cell(config: ImpairmentMatrixConfig, loss: float,
@@ -604,17 +699,23 @@ def _run_impairment_cell(config: ImpairmentMatrixConfig, loss: float,
 
 
 def _build_impairment_matrix(config: ImpairmentMatrixConfig) -> _ImpairmentArtifact:
-    bus = EventBus()
+    # Per-cell seeds derive from (seed, label), not the cell's grid
+    # position, so a cell simulates identically inside any shard subset.
+    wanted = set(_impairment_labels(config))
     cells = {}
-    for i, loss in enumerate(config.loss_rates):
-        for j, reorder in enumerate(config.reorder_rates):
+    unit_buses: List[Tuple[str, EventBus]] = []
+    for loss in config.loss_rates:
+        for reorder in config.reorder_rates:
             label = f"loss={loss:g}|reorder={reorder:g}"
+            if label not in wanted:
+                continue
+            bus = EventBus()
             cells[label] = _run_impairment_cell(
                 config, loss, reorder,
-                seed=config.seed + i * len(config.reorder_rates) + j,
-                bus=bus,
+                seed=derive_seed(config.seed, label), bus=bus,
             )
-    return _ImpairmentArtifact(cells, bus)
+            unit_buses.append((label, bus))
+    return _ImpairmentArtifact(cells, unit_buses)
 
 
 register(Scenario(
@@ -623,11 +724,16 @@ register(Scenario(
     params_type=ImpairmentMatrixConfig,
     build=_build_impairment_matrix,
     summarize=lambda artifact: {"cells": artifact.cells},
-    events_of=lambda artifact: artifact.bus.snapshot(),
+    events_of=lambda artifact: _unit_events(artifact.unit_buses),
     description="Loss/reorder sweep over the full GFW pipeline: detector "
                 "hit-rate, probe volume, TCP retransmissions, and blocking "
                 "outcome per grid cell.",
     tags=("ablation", "impairment", "net"),
+    sharder=Sharder(
+        mode="cases",
+        units=_impairment_labels,
+        restrict=lambda config, labels: {"cells": tuple(labels)},
+    ),
 ))
 
 
@@ -666,10 +772,10 @@ class DetectorEnsembleConfig:
 
 
 class _EnsembleArtifact:
-    def __init__(self, cases, analysis, bus):
+    def __init__(self, cases, analysis, unit_buses):
         self.cases = cases
         self.analysis = analysis
-        self.bus = bus
+        self.unit_buses = unit_buses
 
 
 def _run_ensemble_case(config: DetectorEnsembleConfig, spec: object,
@@ -726,16 +832,21 @@ def _run_ensemble_case(config: DetectorEnsembleConfig, spec: object,
 
 
 def _build_detector_ensemble(config: DetectorEnsembleConfig) -> _EnsembleArtifact:
-    bus = EventBus()
+    # Per-case seeds derive from (seed, label), not the case's position,
+    # so ablating cases in and out (or sharding them) never reseeds the
+    # survivors; per-case buses carry the unit snapshots shards replay.
     cases: Dict[str, object] = {}
     analysis: Dict[str, object] = {}
-    for i, (label, spec) in enumerate(config.cases):
-        summary, payload = _run_ensemble_case(config, spec,
-                                              seed=config.seed + i, bus=bus)
+    unit_buses: List[Tuple[str, EventBus]] = []
+    for label, spec in config.cases:
+        bus = EventBus()
+        summary, payload = _run_ensemble_case(
+            config, spec, seed=derive_seed(config.seed, label), bus=bus)
         cases[label] = summary
         for name, section in payload.items():
             analysis[f"{label}:{name}"] = section
-    return _EnsembleArtifact(cases, analysis, bus)
+        unit_buses.append((label, bus))
+    return _EnsembleArtifact(cases, analysis, unit_buses)
 
 
 register(Scenario(
@@ -745,12 +856,19 @@ register(Scenario(
     build=_build_detector_ensemble,
     summarize=lambda artifact: {"cases": artifact.cases},
     analysis_of=lambda artifact: artifact.analysis,
-    events_of=lambda artifact: artifact.bus.snapshot(),
+    events_of=lambda artifact: _unit_events(artifact.unit_buses),
     description="Shadowsocks + plaintext traffic against swapped detector "
                 "pipelines (passive, entropy, vmess, length-dist, and "
                 "ensembles); per-case verdict records on the analysis "
                 "channel.",
     tags=("ablation", "detector", "gfw"),
+    sharder=Sharder(
+        mode="cases",
+        units=lambda config: [label for label, _ in config.cases],
+        restrict=lambda config, labels: {
+            "cases": tuple(case for case in config.cases
+                           if case[0] in set(labels))},
+    ),
 ))
 
 
@@ -760,8 +878,13 @@ register(Scenario(
     params_type=DefenseMatrixConfig,
     build=_build_defense_matrix,
     summarize=lambda artifact: {"cases": artifact.cases},
-    events_of=lambda artifact: artifact.bus.snapshot(),
+    events_of=lambda artifact: _unit_events(artifact.unit_buses),
     description="Stream/AEAD/hardened/brdgrd server configurations under "
                 "an aggressive GFW with blocking enabled.",
     tags=("ablation", "defense"),
+    sharder=Sharder(
+        mode="cases",
+        units=lambda config: list(config.cases),
+        restrict=lambda config, labels: {"cases": tuple(labels)},
+    ),
 ))

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..gfw import (
     BlockingPolicy,
@@ -139,6 +139,7 @@ def build_world(
     websites: Optional[List[str]] = None,
     impairment: Optional[Impairment] = None,
     stream_captures: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> World:
     """Build a bordered world with a GFW on the path.
 
@@ -146,6 +147,12 @@ def build_world(
     :mod:`repro.gfw.stages`) selecting the in-path detector pipeline;
     ``None`` keeps the paper's passive classifier configured by
     ``detector_config``.
+
+    ``shard=(index, count)`` makes this world's censor one of ``count``
+    disjoint sensors over the flow space: its flow table only admits
+    border-crossing connections whose seed-stable
+    :func:`~repro.runtime.sharding.flow_key` hashes to ``index``
+    (see :mod:`repro.runtime.sharding`).
 
     ``impairment`` attaches a network-wide fault profile (loss,
     reordering, duplication, jitter, flaps); an inactive (all-zero)
@@ -171,6 +178,7 @@ def build_world(
         scheduler_config=scheduler_config,
         fleet_config=fleet_config,
         blocking_policy=blocking_policy,
+        shard=shard,
     )
     world = World(sim=sim, net=net, gfw=gfw, rng=rng,
                   stream_captures=stream_captures)

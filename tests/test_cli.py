@@ -148,6 +148,75 @@ def test_quickstart_detectors_flag(capsys):
     assert "flagged: 3" in out
 
 
+def test_run_shards_executes_and_merges(capsys):
+    assert main(["run", "scale-1m", "--shards", "2", "--no-cache",
+                 "--set", "flows=1000", "--set", "block_size=128"]) == 0
+    out = capsys.readouterr().out
+    assert "shards=2" in out
+    assert "gfw.flow.opened" in out
+
+
+def test_run_shards_matches_serial_run(tmp_path, capsys):
+    import json
+
+    argv = ["run", "scale-1m", "--set", "flows=1000",
+            "--set", "block_size=128", "--cache-dir", str(tmp_path),
+            "--json"]
+    assert main(argv) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(argv + ["--shards", "2"]) == 0
+    sharded = json.loads(capsys.readouterr().out)
+    # Identical modulo the recorded shard layout in params.
+    assert sharded["params"].pop("shards")["count"] == 2
+    for run in sharded["runs"]:
+        run["params"].pop("shards")
+    assert sharded == serial
+
+
+def test_run_shards_auto(capsys):
+    assert main(["run", "scale-1m", "--shards", "auto", "--no-cache",
+                 "--set", "flows=500", "--set", "block_size=64"]) == 0
+    assert "scale-1m: 1 seed(s), shards=" in capsys.readouterr().out
+
+
+def test_run_shards_bad_values(capsys):
+    assert main(["run", "scale-1m", "--shards", "zero",
+                 "--no-cache"]) == 2
+    assert "--shards" in capsys.readouterr().err
+    assert main(["run", "scale-1m", "--shards", "0", "--no-cache"]) == 2
+    assert ">= 1" in capsys.readouterr().err
+
+
+def test_run_shards_non_shardable_scenario(capsys):
+    assert main(["run", "sink", "--shards", "2", "--no-cache"]) == 2
+    err = capsys.readouterr().err
+    assert "not shardable" in err
+    assert "scale-1m" in err           # the error lists the alternatives
+
+
+def test_quickstart_shards_partition_the_workload(capsys):
+    assert main(["quickstart", "--connections", "6", "--seed", "3",
+                 "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "shard 0/2" in out and "shard 1/2" in out
+    assert "total over 2 shard(s): tracked=6" in out
+
+
+def test_bench_shard_suite(tmp_path, capsys):
+    import json
+
+    assert main(["bench", "--suite", "shard", "--quick",
+                 "--out-dir", str(tmp_path)]) == 0
+    doc = json.loads((tmp_path / "BENCH_shard.json").read_text())
+    names = {entry["name"] for entry in doc}
+    assert {"shard.events_per_s.w1", "shard.events_per_s.w2",
+            "shard.aggregate_events_per_s.w1",
+            "shard.aggregate_events_per_s.w2",
+            "shard.packets_per_s.w1", "shard.packets_per_s.w2"} <= names
+    assert all(entry["value"] > 0 for entry in doc)
+    assert all(entry["params"]["flows"] == 20000 for entry in doc)
+
+
 def test_bench_detector_suite(tmp_path, capsys):
     import json
 

@@ -168,6 +168,79 @@ def test_scratchpad_lazy_and_persistent():
     assert flow.scratch == {"hits": 3}
 
 
+def test_shard_validation_rejects_bad_index():
+    import pytest
+
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FlowTable(sim, shard=(2, 2))
+    with pytest.raises(ValueError):
+        FlowTable(sim, shard=(-1, 2))
+
+
+def test_shard_admission_filter_partitions_new_flows():
+    """A sharded table silently ignores SYNs owned by other shards."""
+    from repro.runtime.sharding import flow_key, shard_of
+
+    count = 3
+    sims_tables = [make_table(shard=(index, count)) for index in range(count)]
+    for i in range(60):
+        for _sim, table in sims_tables:
+            table.track(syn(i))
+    total = 0
+    for index, (sim, table) in enumerate(sims_tables):
+        for key in table.flows:
+            assert shard_of(flow_key(*key), count) == index
+        assert table.opened == len(table)
+        assert sim.bus.count("gfw.flow.opened") == table.opened
+        total += len(table)
+    assert total == 60                   # disjoint cover of the flow space
+
+
+def test_sharded_table_equals_global_table_restricted_to_partition():
+    """Shard filter == pre-filtering the segment stream (cap + LRS + sweep).
+
+    Feeding *all* traffic through a sharded table must leave exactly the
+    state of an unsharded table (same cap, same idle timeout) that only
+    ever saw the shard's own segments — including which flows the count
+    cap's least-recently-seen eviction reclaimed and what the idle sweep
+    did.
+    """
+    from repro.runtime.sharding import flow_key, shard_of
+
+    count = 2
+    for index in range(count):
+        sim_a, sharded = make_table(shard=(index, count), max_flows=4,
+                                    idle_timeout=30.0)
+        sim_b, plain = make_table(max_flows=4, idle_timeout=30.0)
+        def owned(seg, index=index):
+            return shard_of(flow_key(*seg.conn_key()), count) == index
+        for i in range(24):
+            now = float(i)
+            sim_a.now = sim_b.now = now
+            segments = [syn(i), data(i, b"feature")]
+            if i % 3 == 0:
+                segments.append(fin(i))
+            for seg in segments:
+                sharded.track(seg)
+                if owned(seg):
+                    plain.track(seg)
+            if i == 12:                   # idle sweep fires on both
+                sim_a.now = sim_b.now = now + 100.0
+                sharded.sweep(sim_a.now)
+                plain.sweep(sim_b.now)
+        assert set(sharded.flows) == set(plain.flows)
+        assert ({k: f.last_seen for k, f in sharded.flows.items()}
+                == {k: f.last_seen for k, f in plain.flows.items()})
+        assert sharded.opened == plain.opened
+        assert sharded.evicted == plain.evicted
+        assert (sim_a.bus.count("gfw.flow.opened")
+                == sim_b.bus.count("gfw.flow.opened"))
+        assert (sim_a.bus.count("gfw.flow.evicted")
+                == sim_b.bus.count("gfw.flow.evicted"))
+        assert plain.evicted > 0          # the cap actually fired
+
+
 def test_firewall_inside_cache_cap_is_separate_hygiene():
     # The border-predicate cache cap lives on the orchestrator, not the
     # flow table: overflowing it clears the cache (a pure recompute
