@@ -606,7 +606,8 @@ def _cmd_bench(args) -> int:
                 repeats=1 if args.quick else 3, progress=progress)
         if args.suite in ("e2e", "all"):
             suites["e2e"] = bench_e2e(
-                connections=10 if args.quick else 40, progress=progress)
+                connections=10 if args.quick else 40,
+                repeats=1 if args.quick else 5, progress=progress)
         if args.suite in ("shard", "all"):
             suites["shard"] = bench_shard(
                 flows=20000 if args.quick else 1_000_000,

@@ -64,30 +64,51 @@ def _get_aes_tables():
     return _aes_tables
 
 
-def _aes_rounds(words, rounds, round_keys):
-    """Run the AES round loop over a (n, 4) uint32 state matrix."""
+def _aes_rounds(w0, w1, w2, w3, rounds, round_keys):
+    """Run the AES round loop over four 1-D uint32 column arrays.
+
+    Keeping each column in its own contiguous array wires ShiftRows
+    directly into the operand pattern (mirroring the scalar
+    ``AES._encrypt_words``) instead of paying a fancy-indexed
+    ``[:, roll]`` gather — a fresh (n, 4) copy per table per round —
+    as the earlier state-matrix formulation did.
+    """
     t0, t1, t2, t3, sbox = _get_aes_tables()
     ff = np.uint32(0xFF)
-    roll1 = (1, 2, 3, 0)
-    roll2 = (2, 3, 0, 1)
-    roll3 = (3, 0, 1, 2)
-    rk = [np.array(k, dtype=np.uint32) for k in round_keys]
-    w = words ^ rk[0]
+    rk = [tuple(np.uint32(w) for w in k) for k in round_keys]
+    k0, k1, k2, k3 = rk[0]
+    w0 = w0 ^ k0
+    w1 = w1 ^ k1
+    w2 = w2 ^ k2
+    w3 = w3 ^ k3
     for r in range(1, rounds):
-        w = (
-            t0[w >> 24]
-            ^ t1[((w >> 16) & ff)[:, roll1]]
-            ^ t2[((w >> 8) & ff)[:, roll2]]
-            ^ t3[(w & ff)[:, roll3]]
-        )
-        w ^= rk[r]
-    e = (
-        (sbox[w >> 24] << 24)
-        | (sbox[((w >> 16) & ff)[:, roll1]] << 16)
-        | (sbox[((w >> 8) & ff)[:, roll2]] << 8)
-        | sbox[(w & ff)[:, roll3]]
-    ) ^ rk[rounds]
-    return e
+        k0, k1, k2, k3 = rk[r]
+        e0 = t0[w0 >> 24] ^ t1[(w1 >> 16) & ff] ^ t2[(w2 >> 8) & ff] ^ t3[w3 & ff] ^ k0
+        e1 = t0[w1 >> 24] ^ t1[(w2 >> 16) & ff] ^ t2[(w3 >> 8) & ff] ^ t3[w0 & ff] ^ k1
+        e2 = t0[w2 >> 24] ^ t1[(w3 >> 16) & ff] ^ t2[(w0 >> 8) & ff] ^ t3[w1 & ff] ^ k2
+        e3 = t0[w3 >> 24] ^ t1[(w0 >> 16) & ff] ^ t2[(w1 >> 8) & ff] ^ t3[w2 & ff] ^ k3
+        w0, w1, w2, w3 = e0, e1, e2, e3
+    # Final round: SubBytes + ShiftRows only.
+    k0, k1, k2, k3 = rk[rounds]
+    e0 = ((sbox[w0 >> 24] << 24) | (sbox[(w1 >> 16) & ff] << 16)
+          | (sbox[(w2 >> 8) & ff] << 8) | sbox[w3 & ff]) ^ k0
+    e1 = ((sbox[w1 >> 24] << 24) | (sbox[(w2 >> 16) & ff] << 16)
+          | (sbox[(w3 >> 8) & ff] << 8) | sbox[w0 & ff]) ^ k1
+    e2 = ((sbox[w2 >> 24] << 24) | (sbox[(w3 >> 16) & ff] << 16)
+          | (sbox[(w0 >> 8) & ff] << 8) | sbox[w1 & ff]) ^ k2
+    e3 = ((sbox[w3 >> 24] << 24) | (sbox[(w0 >> 16) & ff] << 16)
+          | (sbox[(w1 >> 8) & ff] << 8) | sbox[w2 & ff]) ^ k3
+    return e0, e1, e2, e3
+
+
+def _interleave_columns(e0, e1, e2, e3, nblocks: int) -> bytes:
+    """Pack four column arrays back into big-endian block bytes."""
+    out = np.empty((nblocks, 4), dtype=np.uint32)
+    out[:, 0] = e0
+    out[:, 1] = e1
+    out[:, 2] = e2
+    out[:, 3] = e3
+    return out.astype(">u4").tobytes()
 
 
 def aes_keystream(round_keys, rounds: int, counter: int, nblocks: int,
@@ -101,8 +122,8 @@ def aes_keystream(round_keys, rounds: int, counter: int, nblocks: int,
     fixed = counter & ~step_mask
     start = counter & step_mask
     idx = np.arange(nblocks, dtype=np.uint64)
-    words = np.empty((nblocks, 4), dtype=np.uint32)
     m32 = np.uint64(_M32)
+    cols = {}
     carry = idx
     for col in (3, 2, 1, 0):
         shift = 32 * (3 - col)
@@ -111,18 +132,22 @@ def aes_keystream(round_keys, rounds: int, counter: int, nblocks: int,
         carry = s >> np.uint64(32)
         mask_word = (step_mask >> shift) & _M32
         fixed_word = (fixed >> shift) & _M32
-        words[:, col] = ((word & np.uint64(mask_word))
-                         | np.uint64(fixed_word)).astype(np.uint32)
-    e = _aes_rounds(words, rounds, round_keys)
-    return e.astype(">u4").tobytes()
+        cols[col] = ((word & np.uint64(mask_word))
+                     | np.uint64(fixed_word)).astype(np.uint32)
+    e0, e1, e2, e3 = _aes_rounds(cols[0], cols[1], cols[2], cols[3],
+                                 rounds, round_keys)
+    return _interleave_columns(e0, e1, e2, e3, nblocks)
 
 
 def aes_batch_encrypt(round_keys, rounds: int, blocks) -> bytes:
     """ECB-encrypt a buffer of concatenated 16-byte blocks in one batch."""
     words = np.frombuffer(bytes(blocks), dtype=">u4").astype(np.uint32)
     words = words.reshape(-1, 4)
-    e = _aes_rounds(words, rounds, round_keys)
-    return e.astype(">u4").tobytes()
+    e0, e1, e2, e3 = _aes_rounds(
+        np.ascontiguousarray(words[:, 0]), np.ascontiguousarray(words[:, 1]),
+        np.ascontiguousarray(words[:, 2]), np.ascontiguousarray(words[:, 3]),
+        rounds, round_keys)
+    return _interleave_columns(e0, e1, e2, e3, len(words))
 
 
 def chacha_blocks(init, counter: int, nblocks: int, djb: bool) -> bytes:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import struct
 
+from . import recordcache
 from .chacha20 import ChaCha20, chacha20_block
 from .gcm import AESGCM, AuthenticationError, _eq
 from .poly1305 import _Poly1305
@@ -43,10 +44,18 @@ class ChaCha20Poly1305:
         return mac.tag()
 
     def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        return recordcache.cached_seal(self._seal, "c20p", self._key, nonce,
+                                       plaintext, aad)
+
+    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        return recordcache.cached_open(self._open, "c20p", self._key, nonce,
+                                       sealed, aad)
+
+    def _seal(self, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
         ciphertext = ChaCha20(self._key, nonce, counter=1).encrypt(plaintext)
         return ciphertext + self._tag(nonce, aad, ciphertext)
 
-    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    def _open(self, nonce: bytes, sealed: bytes, aad: bytes) -> bytes:
         if len(sealed) < self.TAG_SIZE:
             raise AuthenticationError("ciphertext shorter than tag")
         ciphertext, tag = sealed[: -self.TAG_SIZE], sealed[-self.TAG_SIZE :]

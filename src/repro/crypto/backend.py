@@ -15,6 +15,7 @@ by the equivalence tests and ``repro bench --backend``).
 from __future__ import annotations
 
 import os
+from functools import lru_cache
 from typing import Optional
 
 __all__ = ["BACKENDS", "current_backend", "set_backend",
@@ -25,15 +26,27 @@ BACKENDS = ("fast", "reference")
 _override: Optional[str] = None
 
 
+_env_backend: Optional[str] = None
+
+
 def current_backend() -> str:
-    """Active backend name: the ``set_backend`` override, else $REPRO_CRYPTO."""
+    """Active backend name: the ``set_backend`` override, else $REPRO_CRYPTO.
+
+    The environment variable is read (and validated) once per process —
+    this sits on the per-session ``new_aead`` path, and an ``environ``
+    probe costs more than the whole dispatch.  In-process switching goes
+    through :func:`set_backend`, which always wins over the cached value.
+    """
     if _override is not None:
         return _override
-    name = os.environ.get("REPRO_CRYPTO", "fast").strip().lower() or "fast"
-    if name not in BACKENDS:
-        raise ValueError(
-            f"REPRO_CRYPTO must be one of {BACKENDS}, got {name!r}")
-    return name
+    global _env_backend
+    if _env_backend is None:
+        name = os.environ.get("REPRO_CRYPTO", "fast").strip().lower() or "fast"
+        if name not in BACKENDS:
+            raise ValueError(
+                f"REPRO_CRYPTO must be one of {BACKENDS}, got {name!r}")
+        _env_backend = name
+    return _env_backend
 
 
 def set_backend(name: Optional[str]) -> None:
@@ -46,7 +59,17 @@ def set_backend(name: Optional[str]) -> None:
 
 def stream_cipher_impls():
     """(chacha20_djb, chacha20_ietf, rc4, ctr, cfb) constructors."""
-    if current_backend() == "reference":
+    return _stream_impls_for(current_backend())
+
+
+def aead_impls():
+    """(aes_gcm, chacha20_poly1305) constructors."""
+    return _aead_impls_for(current_backend())
+
+
+@lru_cache(maxsize=None)
+def _stream_impls_for(name: str):
+    if name == "reference":
         from . import _reference as ref
 
         return (ref.ReferenceChaCha20DJB, ref.ReferenceChaCha20,
@@ -58,9 +81,9 @@ def stream_cipher_impls():
     return (ChaCha20DJB, ChaCha20, RC4, CTRMode, CFBMode)
 
 
-def aead_impls():
-    """(aes_gcm, chacha20_poly1305) constructors."""
-    if current_backend() == "reference":
+@lru_cache(maxsize=None)
+def _aead_impls_for(name: str):
+    if name == "reference":
         from . import _reference as ref
 
         return (ref.ReferenceAESGCM, ref.ReferenceChaCha20Poly1305)

@@ -12,6 +12,7 @@ per-block and per-byte overhead matter.
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 
 from . import _numpy as _nx
 
@@ -20,32 +21,59 @@ __all__ = ["chacha20_block", "ChaCha20"]
 _CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
 _M = 0xFFFFFFFF
 
-_ROUND_INDICES = (
-    (0, 4, 8, 12), (1, 5, 9, 13), (2, 6, 10, 14), (3, 7, 11, 15),
-    (0, 5, 10, 15), (1, 6, 11, 12), (2, 7, 8, 13), (3, 4, 9, 14),
-)
-
-
 def _run_rounds(init: list) -> bytes:
-    """20 ChaCha rounds over ``init``; returns the serialized block."""
-    x = list(init)
+    """20 ChaCha rounds over ``init``; returns the serialized block.
+
+    The double round is fully unrolled over sixteen named locals: the
+    per-word list loads/stores and the quarter-round index walk of a
+    rolled loop cost more than the arithmetic itself, and this function
+    carries every tunnel byte in the simulation.
+    """
+    i0, i1, i2, i3, i4, i5, i6, i7, i8, i9, iA, iB, iC, iD, iE, iF = init
+    x0, x1, x2, x3, x4, x5, x6, x7 = i0, i1, i2, i3, i4, i5, i6, i7
+    x8, x9, xA, xB, xC, xD, xE, xF = i8, i9, iA, iB, iC, iD, iE, iF
     for _ in range(10):
-        for a, b, c, d in _ROUND_INDICES:
-            xa, xb, xc, xd = x[a], x[b], x[c], x[d]
-            xa = (xa + xb) & _M
-            xd ^= xa
-            xd = ((xd << 16) | (xd >> 16)) & _M
-            xc = (xc + xd) & _M
-            xb ^= xc
-            xb = ((xb << 12) | (xb >> 20)) & _M
-            xa = (xa + xb) & _M
-            xd ^= xa
-            xd = ((xd << 8) | (xd >> 24)) & _M
-            xc = (xc + xd) & _M
-            xb ^= xc
-            xb = ((xb << 7) | (xb >> 25)) & _M
-            x[a], x[b], x[c], x[d] = xa, xb, xc, xd
-    return struct.pack("<16L", *((s + i) & _M for s, i in zip(x, init)))
+        # Column round: QR(0,4,8,12) QR(1,5,9,13) QR(2,6,10,14) QR(3,7,11,15)
+        x0 = (x0 + x4) & _M; xC ^= x0; xC = ((xC << 16) | (xC >> 16)) & _M
+        x8 = (x8 + xC) & _M; x4 ^= x8; x4 = ((x4 << 12) | (x4 >> 20)) & _M
+        x0 = (x0 + x4) & _M; xC ^= x0; xC = ((xC << 8) | (xC >> 24)) & _M
+        x8 = (x8 + xC) & _M; x4 ^= x8; x4 = ((x4 << 7) | (x4 >> 25)) & _M
+        x1 = (x1 + x5) & _M; xD ^= x1; xD = ((xD << 16) | (xD >> 16)) & _M
+        x9 = (x9 + xD) & _M; x5 ^= x9; x5 = ((x5 << 12) | (x5 >> 20)) & _M
+        x1 = (x1 + x5) & _M; xD ^= x1; xD = ((xD << 8) | (xD >> 24)) & _M
+        x9 = (x9 + xD) & _M; x5 ^= x9; x5 = ((x5 << 7) | (x5 >> 25)) & _M
+        x2 = (x2 + x6) & _M; xE ^= x2; xE = ((xE << 16) | (xE >> 16)) & _M
+        xA = (xA + xE) & _M; x6 ^= xA; x6 = ((x6 << 12) | (x6 >> 20)) & _M
+        x2 = (x2 + x6) & _M; xE ^= x2; xE = ((xE << 8) | (xE >> 24)) & _M
+        xA = (xA + xE) & _M; x6 ^= xA; x6 = ((x6 << 7) | (x6 >> 25)) & _M
+        x3 = (x3 + x7) & _M; xF ^= x3; xF = ((xF << 16) | (xF >> 16)) & _M
+        xB = (xB + xF) & _M; x7 ^= xB; x7 = ((x7 << 12) | (x7 >> 20)) & _M
+        x3 = (x3 + x7) & _M; xF ^= x3; xF = ((xF << 8) | (xF >> 24)) & _M
+        xB = (xB + xF) & _M; x7 ^= xB; x7 = ((x7 << 7) | (x7 >> 25)) & _M
+        # Diagonal round: QR(0,5,10,15) QR(1,6,11,12) QR(2,7,8,13) QR(3,4,9,14)
+        x0 = (x0 + x5) & _M; xF ^= x0; xF = ((xF << 16) | (xF >> 16)) & _M
+        xA = (xA + xF) & _M; x5 ^= xA; x5 = ((x5 << 12) | (x5 >> 20)) & _M
+        x0 = (x0 + x5) & _M; xF ^= x0; xF = ((xF << 8) | (xF >> 24)) & _M
+        xA = (xA + xF) & _M; x5 ^= xA; x5 = ((x5 << 7) | (x5 >> 25)) & _M
+        x1 = (x1 + x6) & _M; xC ^= x1; xC = ((xC << 16) | (xC >> 16)) & _M
+        xB = (xB + xC) & _M; x6 ^= xB; x6 = ((x6 << 12) | (x6 >> 20)) & _M
+        x1 = (x1 + x6) & _M; xC ^= x1; xC = ((xC << 8) | (xC >> 24)) & _M
+        xB = (xB + xC) & _M; x6 ^= xB; x6 = ((x6 << 7) | (x6 >> 25)) & _M
+        x2 = (x2 + x7) & _M; xD ^= x2; xD = ((xD << 16) | (xD >> 16)) & _M
+        x8 = (x8 + xD) & _M; x7 ^= x8; x7 = ((x7 << 12) | (x7 >> 20)) & _M
+        x2 = (x2 + x7) & _M; xD ^= x2; xD = ((xD << 8) | (xD >> 24)) & _M
+        x8 = (x8 + xD) & _M; x7 ^= x8; x7 = ((x7 << 7) | (x7 >> 25)) & _M
+        x3 = (x3 + x4) & _M; xE ^= x3; xE = ((xE << 16) | (xE >> 16)) & _M
+        x9 = (x9 + xE) & _M; x4 ^= x9; x4 = ((x4 << 12) | (x4 >> 20)) & _M
+        x3 = (x3 + x4) & _M; xE ^= x3; xE = ((xE << 8) | (xE >> 24)) & _M
+        x9 = (x9 + xE) & _M; x4 ^= x9; x4 = ((x4 << 7) | (x4 >> 25)) & _M
+    return struct.pack(
+        "<16L",
+        (x0 + i0) & _M, (x1 + i1) & _M, (x2 + i2) & _M, (x3 + i3) & _M,
+        (x4 + i4) & _M, (x5 + i5) & _M, (x6 + i6) & _M, (x7 + i7) & _M,
+        (x8 + i8) & _M, (x9 + i9) & _M, (xA + iA) & _M, (xB + iB) & _M,
+        (xC + iC) & _M, (xD + iD) & _M, (xE + iE) & _M, (xF + iF) & _M,
+    )
 
 
 def _quarter_round(state: list, a: int, b: int, c: int, d: int) -> None:
@@ -64,8 +92,16 @@ def _rotl32(v: int, c: int) -> int:
     return ((v << c) | (v >> (32 - c))) & _M
 
 
+@lru_cache(maxsize=4096)
 def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
-    """One 64-byte ChaCha20 keystream block (RFC 8439 §2.3)."""
+    """One 64-byte ChaCha20 keystream block (RFC 8439 §2.3).
+
+    Memoized: the dominant caller is Poly1305 one-time-key derivation,
+    which evaluates the identical (key, counter=0, nonce) block on the
+    sealing and the opening side of every AEAD record in one process.
+    The function is pure, so the cache is unobservable; 4096 entries of
+    64 bytes bound it to ~¼ MB.
+    """
     if len(key) != 32:
         raise ValueError(f"ChaCha20 key must be 32 bytes, got {len(key)}")
     if len(nonce) != 12:

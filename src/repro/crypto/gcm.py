@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import struct
 
+from . import recordcache
 from ._numpy import xor_bytes
 from .aes import AES
 
@@ -99,6 +100,7 @@ class AESGCM:
     NONCE_SIZE = 12
 
     def __init__(self, key: bytes):
+        self._key = key
         self._aes = AES(key)
         self._h = int.from_bytes(self._aes.encrypt_block(bytes(16)), "big")
         self._tables = None
@@ -165,15 +167,21 @@ class AESGCM:
 
     def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Encrypt and append the 16-byte tag."""
+        return recordcache.cached_seal(self._seal, "gcm", self._key, nonce,
+                                       plaintext, aad)
+
+    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        """Verify the trailing tag and decrypt; raise AuthenticationError."""
+        return recordcache.cached_open(self._open, "gcm", self._key, nonce,
+                                       sealed, aad)
+
+    def _seal(self, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
         if len(nonce) != self.NONCE_SIZE:
             raise ValueError(f"GCM nonce must be {self.NONCE_SIZE} bytes")
         ciphertext = self._crypt(nonce, plaintext)
         return ciphertext + self._tag(nonce, aad, ciphertext)
 
-    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
-        """Verify the trailing tag and decrypt; raise AuthenticationError."""
-        if len(nonce) != self.NONCE_SIZE:
-            raise ValueError(f"GCM nonce must be {self.NONCE_SIZE} bytes")
+    def _open(self, nonce: bytes, sealed: bytes, aad: bytes) -> bytes:
         if len(sealed) < self.TAG_SIZE:
             raise AuthenticationError("ciphertext shorter than tag")
         ciphertext, tag = sealed[: -self.TAG_SIZE], sealed[-self.TAG_SIZE :]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from functools import lru_cache
 
 __all__ = ["evp_bytes_to_key", "hkdf_sha1", "SS_SUBKEY_INFO", "derive_subkey"]
 
@@ -28,8 +29,15 @@ def evp_bytes_to_key(password: bytes, key_len: int) -> bytes:
     return derived[:key_len]
 
 
+@lru_cache(maxsize=1024)
 def hkdf_sha1(key: bytes, salt: bytes, info: bytes, length: int) -> bytes:
-    """RFC 5869 HKDF-Extract + HKDF-Expand with SHA-1."""
+    """RFC 5869 HKDF-Extract + HKDF-Expand with SHA-1.
+
+    Memoized: the Shadowsocks AEAD construction derives the same
+    (master key, salt) session subkey on the encryptor and the decryptor
+    of every direction, so in-process each derivation repeats at least
+    once.  Pure function; the cache only skips recomputation.
+    """
     if length <= 0 or length > 255 * 20:
         raise ValueError(f"invalid HKDF output length {length}")
     prk = hmac.new(salt if salt else bytes(20), key, hashlib.sha1).digest()

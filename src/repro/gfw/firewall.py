@@ -147,7 +147,16 @@ class GreatFirewall(Middlebox):
         return cached
 
     def crosses_border(self, seg: Segment) -> bool:
-        return self.is_inside(seg.src_ip) != self.is_inside(seg.dst_ip)
+        # Inlined cache probes: this predicate runs per segment (or per
+        # burst), and after warm-up virtually every address is cached.
+        cache = self._inside_cache
+        src = cache.get(seg.src_ip)
+        if src is None:
+            src = self.is_inside(seg.src_ip)
+        dst = cache.get(seg.dst_ip)
+        if dst is None:
+            dst = self.is_inside(seg.dst_ip)
+        return src != dst
 
     def _is_fleet_traffic(self, seg: Segment) -> bool:
         fleet_ips = self.fleet_host.extra_ips
@@ -169,6 +178,48 @@ class GreatFirewall(Middlebox):
         self.flow_table.track(seg, reliable=self.network.reliable)
         return [seg]
 
+    def process_burst(self, segs: List[Segment],
+                      network: Network) -> List[Segment]:
+        """Batched sensor entry: one burst, one border/flow-key lookup.
+
+        All segments in a burst share one directional flow, so the
+        border predicate, the fleet check, and the connection key are
+        hoisted out of the loop.  Everything order-sensitive stays
+        per-segment and in order: ``should_drop`` is re-checked before
+        every segment (an earlier segment's verdict may have installed a
+        blocking rule that must catch the rest of the burst) and
+        ``track`` side effects (sweeps, callbacks, verdicts) interleave
+        exactly as in the sequential path.
+        """
+        first = segs[0]
+        interesting = (self.crosses_border(first)
+                       and not self._is_fleet_traffic(first))
+        reactions = self.reactions
+        bus = self.sim.bus
+        forwarded: List[Segment] = []
+        if not interesting:
+            for seg in segs:
+                if reactions.should_drop(seg):
+                    self.dropped_segments += 1
+                    bus.incr("gfw.segment.dropped")
+                else:
+                    forwarded.append(seg)
+            return forwarded
+        track_keyed = self.flow_table.track_keyed
+        key = first.conn_key()
+        reliable = self.network.reliable
+        capture = self.capture
+        now = self.sim.now
+        for seg in segs:
+            if reactions.should_drop(seg):
+                self.dropped_segments += 1
+                bus.incr("gfw.segment.dropped")
+                continue
+            capture.record(seg, now, sent=False)
+            track_keyed(seg, key, reliable=reliable)
+            forwarded.append(seg)
+        return forwarded
+
     # --------------------------------------------------- sensor → detector
 
     def _first_responder_data(self, flow: FlowState) -> None:
@@ -185,7 +236,10 @@ class GreatFirewall(Middlebox):
             self.sim.bus.incr("gfw.conn.reflag.suppressed")
             return
         ctx = DetectorContext(seg.payload, now=now, rng=self.rng, flow=flow)
-        result = self.pipeline.evaluate(ctx)
+        # Route through the batch entry (PR 5): for a single-context
+        # batch every stage draws RNG identically to ``evaluate``, and
+        # stages with vectorized batch paths get to use them.
+        result = self.pipeline.evaluate_batch([ctx])[0]
         if not result.flagged:
             return
         self.flagged_connections += 1

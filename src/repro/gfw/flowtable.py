@@ -125,10 +125,29 @@ class FlowTable:
         monolithic firewall used to act, so detector and reaction side
         effects interleave with table mutations identically.
         """
+        self.track_keyed(seg, seg.conn_key(), reliable=reliable)
+
+    def track_burst(self, segs: List[Segment], *, reliable: bool = True) -> None:
+        """Fold a same-connection burst into the table.
+
+        The connection key is computed once for the whole burst; each
+        segment is then tracked individually, so sweep amortization and
+        the ``on_first_*`` callback firing points are byte-identical to
+        per-segment :meth:`track` calls.
+        """
+        if not segs:
+            return
+        key = segs[0].conn_key()
+        for seg in segs:
+            self.track_keyed(seg, key, reliable=reliable)
+
+    def track_keyed(self, seg: Segment, key: FlowKey, *,
+                    reliable: bool = True) -> None:
+        """:meth:`track` with the connection key precomputed by the caller
+        (burst entry points share one key across a whole burst)."""
         self._track_calls += 1
         if self._track_calls % self.EVICTION_SWEEP_INTERVAL == 0:
             self.sweep(self.sim.now)
-        key = seg.conn_key()
         flow = self.flows.get(key)
         if flow is None:
             if seg.is_syn:

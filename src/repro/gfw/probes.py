@@ -26,6 +26,8 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..randutil import byte_draws
+
 __all__ = ["ProbeType", "Probe", "ProbeForge", "NR1_CENTERS", "NR1_LENGTHS",
            "NR2_LENGTH", "NR3_LENGTHS", "REPLAY_TYPES", "RANDOM_TYPES"]
 
@@ -108,7 +110,7 @@ class ProbeForge:
     # ------------------------------------------------------- random probes
 
     def random_payload(self, length: int) -> bytes:
-        return bytes(self.rng.randrange(256) for _ in range(length))
+        return byte_draws(self.rng, length)
 
     def nr1(self, length: Optional[int] = None) -> Probe:
         """An NR1 probe; length drawn uniformly from the trios if not given."""

@@ -10,7 +10,7 @@ from .packet import Flags, Segment
 __all__ = ["CaptureRecord", "Capture"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CaptureRecord:
     time: float
     sent: bool  # True if this host transmitted the segment

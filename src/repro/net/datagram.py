@@ -29,9 +29,28 @@ class Datagram:
     def source(self) -> Tuple[str, int]:
         return (self.src_ip, self.src_port)
 
+    def copy(self, **changes) -> "Datagram":
+        new = Datagram(
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            payload=self.payload,
+            ttl=self.ttl,
+            timestamp=self.timestamp,
+        )
+        for name, value in changes.items():
+            if name not in _DATAGRAM_FIELDS:
+                raise TypeError(f"copy() got an unexpected field {name!r}")
+            setattr(new, name, value)
+        return new
+
     def __repr__(self) -> str:
         return (f"<UDP {self.src_ip}:{self.src_port} > "
                 f"{self.dst_ip}:{self.dst_port} len={len(self.payload)}>")
+
+
+_DATAGRAM_FIELDS = frozenset(Datagram.__dataclass_fields__)
 
 
 class UdpEndpoint:

@@ -7,11 +7,12 @@ centralized processes — is modeled without thousands of host objects.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Callable, Dict, Optional, Tuple
 
 from .capture import Capture
-from .packet import Flags, Segment
+from .packet import Flags, Segment, SegmentBurst
 from .tcp import TcpConnection, TcpState
 
 __all__ = ["Host"]
@@ -23,6 +24,12 @@ LINUX_EPHEMERAL_RANGE = (32768, 60999)
 
 class Host:
     """A network endpoint with its own clock, ports, and capture."""
+
+    # Burst the transmit side (see ``begin_tx_batch``).  Class-level so
+    # equivalence tests — and ``REPRO_NET_BATCH=0`` — can force the
+    # historical one-event-per-segment datapath; both paths produce
+    # byte-identical runs (property-tested), batching is purely faster.
+    tx_batching = os.environ.get("REPRO_NET_BATCH", "1") not in ("0", "false", "no")
 
     def __init__(
         self,
@@ -52,6 +59,14 @@ class Host:
         self._next_ephemeral = self.rng.randint(*LINUX_EPHEMERAL_RANGE)
         self.extra_ips: set = set()
 
+        # Transmit batching: while a batch is open (depth-counted, so
+        # contexts nest), outbound segments are buffered and flushed as
+        # per-flow bursts when the outermost context closes.  Captures
+        # are still recorded at the ``transmit`` call site, so trace
+        # order is unchanged.
+        self._tx_depth = 0
+        self._tx_buffer: list = []
+
         # UDP: bound ports and a (time, sent, datagram) log.
         self._udp_ports: Dict[int, object] = {}
         self.udp_log: list = []
@@ -64,8 +79,12 @@ class Host:
         return int(self._tsval_offset + self.tsval_rate * self.sim.now) & 0xFFFFFFFF
 
     def next_ip_id(self) -> int:
-        # The paper finds "no clear pattern" in prober IP IDs; model as random.
-        return self.rng.randrange(1 << 16)
+        # The paper finds "no clear pattern" in prober IP IDs; model as
+        # random.  ``_randbelow`` is ``randrange(stop)`` minus the
+        # argument-normalization wrapper: the identical draw stream (see
+        # repro.randutil) at a fraction of the cost, and this runs once
+        # per emitted segment.
+        return self.rng._randbelow(1 << 16)
 
     def alloc_port(self) -> int:
         lo, hi = LINUX_EPHEMERAL_RANGE
@@ -114,10 +133,83 @@ class Host:
     def transmit(self, seg: Segment) -> None:
         """Hand a segment to the network (stamped by the sending capture)."""
         self.capture.record(seg, self.sim.now, sent=True)
-        self.network.send_segment(seg)
+        if self._tx_depth:
+            self._tx_buffer.append(seg)
+        else:
+            self.network.send_segment(seg)
+
+    def begin_tx_batch(self) -> None:
+        """Open a transmit batch; segments buffer until the outermost
+        :meth:`end_tx_batch` flushes them as per-flow bursts.
+
+        A no-op when ``tx_batching`` is off — transmissions then hit the
+        network immediately, one event per segment (the historical path).
+        """
+        if self.tx_batching:
+            self._tx_depth += 1
+
+    def end_tx_batch(self) -> None:
+        if not self.tx_batching:
+            return
+        self._tx_depth -= 1
+        if self._tx_depth == 0 and self._tx_buffer:
+            self._flush_tx()
+
+    def _flush_tx(self) -> None:
+        """Hand buffered segments to the network, grouped into bursts.
+
+        Consecutive runs sharing one directional flow 4-tuple become one
+        burst — this preserves the *global* emission order exactly (no
+        cross-flow reordering), so on-path observers see the identical
+        segment sequence the unbatched datapath produced.
+        """
+        buffer = self._tx_buffer
+        self._tx_buffer = []
+        send = self.network.send_segment
+        if len(buffer) == 1:
+            send(buffer[0])
+            return
+        send_burst = self.network.send_segment_burst
+        run: list = [buffer[0]]
+        run_flow = buffer[0].flow()
+        for seg in buffer[1:]:
+            flow = seg.flow()
+            if flow == run_flow:
+                run.append(seg)
+                continue
+            if len(run) == 1:
+                send(run[0])
+            else:
+                send_burst(SegmentBurst(run))
+            run = [seg]
+            run_flow = flow
+        if len(run) == 1:
+            send(run[0])
+        else:
+            send_burst(SegmentBurst(run))
 
     def deliver(self, seg: Segment) -> None:
         """Receive a segment from the network."""
+        self.begin_tx_batch()
+        try:
+            self._deliver_one(seg)
+        finally:
+            self.end_tx_batch()
+
+    def deliver_burst(self, segs) -> None:
+        """Receive a same-flow burst (one delivery event) from the network.
+
+        Routes through :meth:`deliver` per segment (batch contexts nest),
+        so subclasses or tests overriding ``deliver`` see every arrival.
+        """
+        self.begin_tx_batch()
+        try:
+            for seg in segs:
+                self.deliver(seg)
+        finally:
+            self.end_tx_batch()
+
+    def _deliver_one(self, seg: Segment) -> None:
         self.capture.record(seg, self.sim.now, sent=False)
         key = (seg.dst_ip, seg.dst_port, seg.src_ip, seg.src_port)
         conn = self._connections.get(key)

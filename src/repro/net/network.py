@@ -20,7 +20,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from .impairment import Impairment
-from .packet import Segment
+from .packet import Segment, SegmentBurst
 
 __all__ = ["Network", "Middlebox"]
 
@@ -33,10 +33,24 @@ class Middlebox:
     originate traffic by calling :meth:`Network.inject`.
     ``process_datagram`` is the UDP analogue; the default passes
     datagrams through untouched.
+
+    ``process_burst`` is the batched entry: it receives a same-flow
+    segment list and returns the segments to forward, in order.  The
+    default delegates to ``process`` one segment at a time, so existing
+    middleboxes behave identically under the batched datapath;
+    middleboxes with per-burst hoistable work (the GFW's border
+    predicate, flow lookup) override it.
     """
 
     def process(self, seg: Segment, network: "Network") -> List[Segment]:
         return [seg]
+
+    def process_burst(self, segs: List[Segment],
+                      network: "Network") -> List[Segment]:
+        out: List[Segment] = []
+        for seg in segs:
+            out.extend(self.process(seg, network))
+        return out
 
     def process_datagram(self, dgram, network: "Network") -> list:
         return [dgram]
@@ -67,6 +81,10 @@ class Network:
         self.rng = rng or random.Random(0x1A7E7)
         self.segments_delivered = 0
         self.segments_dropped = 0
+        # UDP bookkeeping is separate: datagram drops used to be folded
+        # into ``segments_dropped``, muddling TCP accounting.
+        self.datagrams_delivered = 0
+        self.datagrams_dropped = 0
         self.impairment_drops = 0
         # "refuse": SYNs to unattached addresses bounce with RST (fast
         # failure, the common case on the real Internet); "drop": silence,
@@ -164,6 +182,31 @@ class Network:
         seg.timestamp = self.sim.now
         self._through_middleboxes(seg, index=0)
 
+    def send_segment_burst(self, burst: SegmentBurst) -> None:
+        """Route a same-flow burst through the middlebox chain as one unit.
+
+        The burst traverses every middlebox in emission order and is
+        delivered by a single scheduled event (per-segment events on
+        impaired paths, so each copy keeps its own fault draws — see
+        :meth:`_schedule_delivery_burst`).  Byte-identical to calling
+        :meth:`send_segment` once per member.
+        """
+        now = self.sim.now
+        for seg in burst.segments:
+            seg.timestamp = now
+        current = burst.segments
+        for mbox in self.middleboxes:
+            before = len(current)
+            current = mbox.process_burst(current, self)
+            if len(current) < before:
+                # Exact when no middlebox fans out inside a burst (none
+                # of the built-ins do); a fanning-out middlebox should
+                # route singles through ``process`` for exact accounting.
+                self.segments_dropped += before - len(current)
+            if not current:
+                return
+        self._schedule_delivery_burst(current)
+
     def inject(self, seg: Segment, skip_middleboxes: bool = False) -> None:
         """Originate a segment from a middlebox (e.g. a GFW prober SYN)."""
         seg.timestamp = self.sim.now
@@ -175,12 +218,20 @@ class Network:
     def _through_middleboxes(self, seg: Segment, index: int) -> None:
         current = [seg]
         for i in range(index, len(self.middleboxes)):
+            mbox = self.middleboxes[i]
             next_round: List[Segment] = []
             for s in current:
-                next_round.extend(self.middleboxes[i].process(s, self))
+                forwarded = mbox.process(s, self)
+                if forwarded:
+                    next_round.extend(forwarded)
+                else:
+                    # Count every segment a middlebox swallowed — also
+                    # under fan-out, where a partially dropped round
+                    # previously went uncounted and a fully dropped one
+                    # counted as a single loss.
+                    self.segments_dropped += 1
             current = next_round
             if not current:
-                self.segments_dropped += 1
                 return
         for s in current:
             self._schedule_delivery(s)
@@ -191,24 +242,52 @@ class Network:
         if impairment is None:
             self.sim.schedule(delay, self._deliver, seg)
             return
-        for extra in self._impaired_delays(impairment, "net"):
+        delays = self._impaired_delays(impairment, "net")
+        if not delays:
+            self.segments_dropped += 1
+            self.impairment_drops += 1
+        for extra in delays:
             self.sim.schedule(delay + extra, self._deliver, seg)
+
+    def _schedule_delivery_burst(self, segs: List[Segment]) -> None:
+        if len(segs) == 1:
+            self._schedule_delivery(segs[0])
+            return
+        first = segs[0]
+        delay = self.latency(first.src_ip, first.dst_ip)
+        impairment = self.impairment_for(first.src_ip, first.dst_ip)
+        if impairment is None:
+            # Pristine path: one delivery event for the whole burst,
+            # weighted so the ``sim.events`` counter matches the
+            # per-segment datapath exactly.
+            self.sim.schedule(delay, self._deliver_burst, segs,
+                              weight=len(segs))
+            return
+        # Impaired path: fall back to one event per copy, drawing each
+        # segment's faults in burst (= emission) order — the identical
+        # RNG stream the per-segment datapath consumes, so seeded
+        # impaired runs stay reproducible under batching.
+        for seg in segs:
+            delays = self._impaired_delays(impairment, "net")
+            if not delays:
+                self.segments_dropped += 1
+                self.impairment_drops += 1
+            for extra in delays:
+                self.sim.schedule(delay + extra, self._deliver, seg)
 
     def _impaired_delays(self, impairment: Impairment, layer: str) -> List[float]:
         """Extra delivery delays under a fault profile ([] means dropped).
 
         One entry per copy to deliver; every random draw comes from the
         network's own RNG so impaired runs remain seed-reproducible.
+        The caller owns drop-counter attribution (TCP vs UDP); the bus
+        counters are emitted here under the caller's ``layer`` prefix.
         """
         bus = self.sim.bus
         if impairment.is_down(self.sim.now):
-            self.segments_dropped += 1
-            self.impairment_drops += 1
             bus.incr(f"{layer}.flap.drop")
             return []
         if impairment.loss and self.rng.random() < impairment.loss:
-            self.segments_dropped += 1
-            self.impairment_drops += 1
             bus.incr(f"{layer}.loss")
             return []
         extra = 0.0
@@ -242,6 +321,31 @@ class Network:
         self.segments_delivered += 1
         host.deliver(arrived)
 
+    def _deliver_burst(self, segs: List[Segment]) -> None:
+        first = segs[0]
+        host = self._hosts.get(first.dst_ip)
+        if host is None:
+            self.segments_dropped += len(segs)
+            if self.unreachable_policy == "refuse":
+                for seg in segs:
+                    if not seg.flags & 0x04:  # not RST
+                        self._refuse_unreachable(seg)
+            return
+        hops = self.hops(first.src_ip, first.dst_ip)
+        now = self.sim.now
+        arrived: List[Segment] = []
+        for seg in segs:
+            ttl = seg.ttl - hops
+            if ttl <= 0:
+                self.segments_dropped += 1
+                self.sim.bus.incr("net.ttl.expired")
+                continue
+            arrived.append(seg.copy(ttl=ttl, timestamp=now))
+        if not arrived:
+            return
+        self.segments_delivered += len(arrived)
+        host.deliver_burst(arrived)
+
     # ------------------------------------------------------------------ UDP
 
     def send_datagram(self, dgram) -> None:
@@ -250,10 +354,13 @@ class Network:
         for mbox in self.middleboxes:
             next_round = []
             for d in current:
-                next_round.extend(mbox.process_datagram(d, self))
+                forwarded = mbox.process_datagram(d, self)
+                if forwarded:
+                    next_round.extend(forwarded)
+                else:
+                    self.datagrams_dropped += 1
             current = next_round
             if not current:
-                self.segments_dropped += 1
                 return
         for d in current:
             delay = self.latency(d.src_ip, d.dst_ip)
@@ -261,24 +368,25 @@ class Network:
             if impairment is None:
                 self.sim.schedule(delay, self._deliver_datagram, d)
                 continue
-            for extra in self._impaired_delays(impairment, "net.udp"):
+            delays = self._impaired_delays(impairment, "net.udp")
+            if not delays:
+                self.datagrams_dropped += 1
+                self.impairment_drops += 1
+            for extra in delays:
                 self.sim.schedule(delay + extra, self._deliver_datagram, d)
 
     def _deliver_datagram(self, dgram) -> None:
         host = self._hosts.get(dgram.dst_ip)
         if host is None:
-            self.segments_dropped += 1
+            self.datagrams_dropped += 1
             return
         ttl = dgram.ttl - self.hops(dgram.src_ip, dgram.dst_ip)
         if ttl <= 0:
-            self.segments_dropped += 1
+            self.datagrams_dropped += 1
             self.sim.bus.incr("net.ttl.expired")
             return
-        import dataclasses
-
-        arrived = dataclasses.replace(dgram, ttl=ttl)
-        arrived.timestamp = self.sim.now
-        self.segments_delivered += 1
+        arrived = dgram.copy(ttl=ttl, timestamp=self.sim.now)
+        self.datagrams_delivered += 1
         host.deliver_datagram(arrived)
 
     def _refuse_unreachable(self, seg: Segment) -> None:

@@ -7,10 +7,10 @@ the TCP timestamp option (TSval/TSecr).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
 
-__all__ = ["Flags", "Segment"]
+__all__ = ["Flags", "Segment", "SegmentBurst"]
 
 
 class Flags:
@@ -70,7 +70,29 @@ class Segment:
         return len(self.payload) > 0
 
     def copy(self, **changes) -> "Segment":
-        return replace(self, **changes)
+        # Hand-rolled clone: ``dataclasses.replace`` re-enters the
+        # generated ``__init__`` through keyword plumbing and is one of
+        # the hottest calls on the datapath (one copy per delivery).
+        new = object.__new__(Segment)
+        new.src_ip = self.src_ip
+        new.dst_ip = self.dst_ip
+        new.src_port = self.src_port
+        new.dst_port = self.dst_port
+        new.flags = self.flags
+        new.seq = self.seq
+        new.ack = self.ack
+        new.payload = self.payload
+        new.window = self.window
+        new.ttl = self.ttl
+        new.ip_id = self.ip_id
+        new.tsval = self.tsval
+        new.tsecr = self.tsecr
+        new.timestamp = self.timestamp
+        for name, value in changes.items():
+            if name not in _SEGMENT_FIELDS:
+                raise TypeError(f"copy() got an unexpected field {name!r}")
+            setattr(new, name, value)
+        return new
 
     def flow(self):
         """4-tuple identifying the direction-sensitive flow."""
@@ -89,3 +111,69 @@ class Segment:
             f"[{Flags.render(self.flags)}] seq={self.seq} ack={self.ack} "
             f"len={len(self.payload)} win={self.window} ttl={self.ttl}>"
         )
+
+
+_SEGMENT_FIELDS = frozenset(Segment.__dataclass_fields__)
+
+
+class SegmentBurst:
+    """A burst of same-flow segments moved through the datapath as one unit.
+
+    Endpoints emit one burst per flow per event (e.g. every MSS chunk a
+    TCP pump produces in one callback); the network routes the burst
+    through the middlebox chain and schedules a single delivery event for
+    it.  The shared path scalars (the directional 4-tuple) live once on
+    the burst; ``seqs``/``lengths``/``flag_words``/``payloads`` are lazy
+    struct-of-arrays views over the member segments for vector-style
+    consumers (detector features, benchmarks).
+
+    Segments are stored in emission order, which the whole datapath
+    preserves — burst processing is byte-identical to per-segment
+    processing.
+    """
+
+    __slots__ = ("src_ip", "dst_ip", "src_port", "dst_port", "segments")
+
+    def __init__(self, segments: List[Segment]):
+        if not segments:
+            raise ValueError("a SegmentBurst needs at least one segment")
+        first = segments[0]
+        self.src_ip = first.src_ip
+        self.dst_ip = first.dst_ip
+        self.src_port = first.src_port
+        self.dst_port = first.dst_port
+        self.segments = segments
+
+    def append(self, seg: Segment) -> None:
+        self.segments.append(seg)
+
+    def flow(self):
+        """The shared direction-sensitive flow 4-tuple."""
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+
+    # ------------------------------------------------ struct-of-arrays views
+
+    def seqs(self) -> List[int]:
+        return [seg.seq for seg in self.segments]
+
+    def lengths(self) -> List[int]:
+        return [len(seg.payload) for seg in self.segments]
+
+    def flag_words(self) -> List[int]:
+        return [seg.flags for seg in self.segments]
+
+    def payloads(self) -> List[bytes]:
+        return [seg.payload for seg in self.segments]
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self.segments)
+
+    def __getitem__(self, index):
+        return self.segments[index]
+
+    def __repr__(self) -> str:
+        return (f"<burst {self.src_ip}:{self.src_port} > "
+                f"{self.dst_ip}:{self.dst_port} n={len(self.segments)}>")

@@ -4,6 +4,16 @@ All timing in the reproduction — TCP handshakes, server timeouts, the
 GFW's probe delays, multi-week experiment timelines — runs on this clock.
 Events at the same timestamp fire in scheduling order, so runs are
 bit-for-bit reproducible.
+
+Internally the queue is a *calendar queue* specialised for simulation
+workloads: a dict of exact-timestamp buckets (each bucket a FIFO list of
+events) plus a min-heap of the distinct timestamps.  Scheduling into an
+existing bucket — the overwhelmingly common case on the datapath, where
+a whole burst of deliveries lands on one ``now + latency`` instant — is
+a single dict lookup and list append, O(1) with no heap traffic and no
+``Event.__lt__`` comparisons.  Because the scheduling counter is
+monotonic, append order within a bucket *is* (time, seq) order, so the
+execution order is identical to the classic heapq implementation.
 """
 
 from __future__ import annotations
@@ -18,20 +28,33 @@ __all__ = ["Event", "Simulator"]
 
 
 class Event:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+    ``weight`` is the number of logical events this callback stands for:
+    a batched burst delivery carries ``weight=len(burst)`` so the
+    ``sim.events`` counter — part of deterministic run snapshots — stays
+    byte-identical with the per-segment datapath.
+    """
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "consumed",
+                 "weight", "_sim")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
+                 weight: int = 1):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Set once the callback has run: a late ``cancel()`` (e.g. a TCP
+        # endpoint tearing down a retransmission timer whose RTO already
+        # fired) must not decrement the live-event count a second time.
+        self.consumed = False
+        self.weight = weight
         self._sim = None
 
     def cancel(self) -> None:
-        if not self.cancelled:
+        if not self.cancelled and not self.consumed:
             self.cancelled = True
             if self._sim is not None:
                 self._sim._live -= 1
@@ -45,25 +68,42 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0, bus: Optional[EventBus] = None):
         self.now = start_time
-        self._queue: list = []
+        # Calendar queue: exact-timestamp buckets + a heap of the
+        # distinct bucket times.  ``_cursor`` is the consumed prefix of
+        # the earliest bucket (only the head bucket is ever partially
+        # consumed, so one cursor suffices).
+        self._buckets: dict = {}
+        self._times: list = []
+        self._cursor = 0
         self._counter = itertools.count()
         self._processed = 0
         # Live (scheduled, not-yet-cancelled, not-yet-run) event count,
         # maintained incrementally so ``pending`` is O(1) instead of a
-        # full heap scan per call.
+        # full queue scan per call.
         self._live = 0
         # The instrumentation bus: any component holding the simulator can
         # emit typed counters/samples without further plumbing.
         self.bus = bus if bus is not None else EventBus()
 
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+    def schedule(self, delay: float, fn: Callable, *args: Any,
+                 weight: int = 1) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``weight`` is the logical event count the callback represents
+        (see :class:`Event`); it only affects the ``sim.events`` counter.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self.now + delay, next(self._counter), fn, args)
+        time = self.now + delay
+        event = Event(time, next(self._counter), fn, args, weight)
         event._sim = self
         self._live += 1
-        heapq.heappush(self._queue, event)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
         return event
 
     def at(self, time: float, fn: Callable, *args: Any) -> Event:
@@ -73,29 +113,78 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Process events until the queue drains or ``until`` is reached.
 
-        Returns the number of events processed by *this* call (the
-        lifetime total stays available as :attr:`processed`).
+        Returns the number of callbacks processed by *this* call (the
+        lifetime total stays available as :attr:`processed`).  The
+        ``sim.events`` bus counter advances by the *weighted* total, so
+        batched and per-segment datapaths report identical event counts.
         """
         processed = 0
-        while self._queue:
-            event = self._queue[0]
-            if until is not None and event.time > until:
+        weighted = 0
+        times = self._times
+        buckets = self._buckets
+        stop = False
+        while times and not stop:
+            t = times[0]
+            if until is not None and t > until:
                 break
-            heapq.heappop(self._queue)
-            if event.cancelled:
+            bucket = buckets[t]
+            i = self._cursor
+            if i >= len(bucket):
+                # Head bucket exhausted: reclaim it and move on.  (New
+                # same-time events appended while it was current were
+                # already picked up by the inner loop below.)
+                heapq.heappop(times)
+                del buckets[t]
+                self._cursor = 0
                 continue
-            self._live -= 1
-            self.now = event.time
-            event.fn(*event.args)
-            processed += 1
-            self._processed += 1
-            if max_events is not None and processed >= max_events:
-                break
+            self.now = t
+            # The bucket may grow while we iterate — an executing event
+            # scheduling at delay 0 appends here, which is the O(1)
+            # same-time fast path — so re-check the length every pass.
+            while i < len(bucket):
+                event = bucket[i]
+                i += 1
+                self._cursor = i
+                if event.cancelled:
+                    continue
+                event.consumed = True
+                self._live -= 1
+                event.fn(*event.args)
+                processed += 1
+                weighted += event.weight
+                self._processed += 1
+                if max_events is not None and processed >= max_events:
+                    stop = True
+                    break
         if until is not None and self.now < until:
-            self.now = until
-        if processed:
-            self.bus.incr("sim.events", processed)
+            # Advance the clock to the horizon — but never past events
+            # still queued at or before it (we may have stopped early on
+            # ``max_events``): time must not jump over pending work.
+            next_time = self._next_event_time()
+            if next_time is None or next_time > until:
+                self.now = until
+        if weighted:
+            self.bus.incr("sim.events", weighted)
         return processed
+
+    def _next_event_time(self) -> Optional[float]:
+        """Time of the earliest live (not-run, not-cancelled) event.
+
+        Reclaims dead head buckets (all-consumed / all-cancelled) as a
+        side effect; returns ``None`` when nothing live is queued.
+        """
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            for i in range(self._cursor, len(bucket)):
+                if not bucket[i].cancelled:
+                    return t
+            heapq.heappop(times)
+            del buckets[t]
+            self._cursor = 0
+        return None
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:
         """Drain the event queue completely; return events processed.

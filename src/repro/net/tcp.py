@@ -195,20 +195,35 @@ class TcpConnection:
         self._snd_nxt += 1  # SYN consumes one sequence number
 
     def send(self, data: bytes) -> None:
-        """Queue application data; transmitted as the peer window allows."""
+        """Queue application data; transmitted as the peer window allows.
+
+        The pump runs inside a host transmit batch: every MSS chunk it
+        emits in this call leaves as one per-flow burst (a single
+        delivery event) instead of one network event per segment.
+        """
         if not data:
             return
         if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT, TcpState.SYN_SENT, TcpState.SYN_RCVD):
             raise RuntimeError(f"cannot send in state {self.state}")
         self._send_buffer.extend(data)
-        self._pump()
+        host = self.host
+        host.begin_tx_batch()
+        try:
+            self._pump()
+        finally:
+            host.end_tx_batch()
 
     def close(self) -> None:
         """Graceful close: FIN once the send buffer drains."""
         if self.state in (TcpState.CLOSED, TcpState.FIN_WAIT, TcpState.LAST_ACK):
             return
         self._fin_pending = True
-        self._pump()
+        host = self.host
+        host.begin_tx_batch()
+        try:
+            self._pump()
+        finally:
+            host.end_tx_batch()
 
     def abort(self) -> None:
         """Send RST and drop the connection."""

@@ -1,0 +1,23 @@
+"""Draw-for-draw faster equivalents of hot ``random.Random`` idioms.
+
+CPython's ``Random.randrange(stop)`` reduces to ``self._randbelow(stop)``
+for a positive integer stop — the wrapper only normalizes arguments.
+Calling the bound ``_randbelow`` directly consumes the *identical*
+underlying getrandbits stream, so seeded runs stay byte-identical (a
+regression test pins this), while the per-draw wrapper overhead — which
+dominates in per-byte loops like salt/nonce/padding generation — is
+gone.  This also holds for ``random.Random`` subclasses: ``randrange``
+itself dispatches through ``self._randbelow``.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import repeat
+
+__all__ = ["byte_draws"]
+
+
+def byte_draws(rng: random.Random, n: int) -> bytes:
+    """``bytes(rng.randrange(256) for _ in range(n))``, draw-for-draw."""
+    return bytes(map(rng._randbelow, repeat(256, n)))

@@ -136,7 +136,7 @@ class _ScaleWorld:
     def _feature_packet(self, key: FlowKey, flow: FlowState,
                         seg: Segment) -> None:
         ctx = DetectorContext(seg.payload, now=self.sim.now)
-        result = self.stage.evaluate(ctx)
+        result = self.stage.evaluate_batch([ctx])[0]
         if result.flagged:
             self.bus.incr("gfw.conn.flagged")
         if self.bus.wants_records:
@@ -155,10 +155,13 @@ class _ScaleWorld:
             self.config, flow_id)
         base = dict(src_ip=src_ip, dst_ip=dst_ip,
                     src_port=src_port, dst_port=dst_port)
-        self.table.track(Segment(flags=Flags.SYN, **base))
-        self.table.track(Segment(flags=Flags.ACK | Flags.PSH,
-                                 payload=payload, **base))
-        self.table.track(Segment(flags=Flags.FIN | Flags.ACK, **base))
+        # The whole flow lifetime is one same-connection burst: the
+        # table computes the connection key once for all three segments.
+        self.table.track_burst([
+            Segment(flags=Flags.SYN, **base),
+            Segment(flags=Flags.ACK | Flags.PSH, payload=payload, **base),
+            Segment(flags=Flags.FIN | Flags.ACK, **base),
+        ])
         self.bus.incr("scale.segments", 3)
 
     def _drive_block(self, block: int) -> None:

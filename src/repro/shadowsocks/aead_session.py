@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from ..crypto import AuthenticationError, derive_subkey, evp_bytes_to_key, get_spec, new_aead
 from ..crypto.registry import CipherKind
+from ..randutil import byte_draws
 
 __all__ = ["AeadEncryptor", "AeadDecryptor", "MAX_CHUNK", "aead_master_key"]
 
@@ -57,7 +58,7 @@ class AeadEncryptor:
             self.salt = salt
         else:
             rng = rng or random.Random()
-            self.salt = bytes(rng.randrange(256) for _ in range(spec.salt_len))
+            self.salt = byte_draws(rng, spec.salt_len)
         self._aead = new_aead(method, derive_subkey(master, self.salt))
         self._nonce = _NonceCounter()
         self._salt_sent = False

@@ -16,6 +16,7 @@ from typing import Optional
 
 from ..crypto import evp_bytes_to_key, get_spec, new_stream_cipher
 from ..crypto.registry import CipherKind
+from ..randutil import byte_draws
 
 __all__ = ["StreamEncryptor", "StreamDecryptor", "master_key"]
 
@@ -40,7 +41,7 @@ class StreamEncryptor:
             self.iv = iv
         else:
             rng = rng or random.Random()
-            self.iv = bytes(rng.randrange(256) for _ in range(spec.iv_len))
+            self.iv = byte_draws(rng, spec.iv_len)
         self._cipher = new_stream_cipher(method, key, self.iv, encrypt=True)
         self._iv_sent = False
 

@@ -24,6 +24,7 @@ from typing import Callable, Dict, Optional, Tuple
 from ..crypto import AuthenticationError, derive_subkey, evp_bytes_to_key, get_spec, new_aead
 from ..crypto.registry import CipherKind
 from ..crypto.stream import new_stream_cipher
+from ..randutil import byte_draws
 from .spec import ATYP_HOSTNAME, ATYP_IPV4, encode_target, parse_target
 
 __all__ = ["encode_udp_packet", "decode_udp_packet", "UdpShadowsocksServer",
@@ -38,7 +39,7 @@ def encode_udp_packet(method: str, master: bytes, spec_bytes: bytes,
     spec = get_spec(method)
     plaintext = spec_bytes + payload
     nonce_len = spec.iv_len
-    nonce = bytes(rng.randrange(256) for _ in range(nonce_len))
+    nonce = byte_draws(rng, nonce_len)
     if spec.kind == CipherKind.STREAM:
         cipher = new_stream_cipher(method, master, nonce, encrypt=True)
         return nonce + cipher.encrypt(plaintext)

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..crypto.modes import CFBMode
+from ..randutil import byte_draws
 
 __all__ = ["VMESS_MAGIC", "auth_for", "command_key", "command_iv",
            "fnv1a32", "VmessRequest", "build_request", "parse_command"]
@@ -105,8 +106,8 @@ def build_request(
         padding_len = rng.randint(0, 15)
     if not 0 <= padding_len <= 15:
         raise ValueError("padding_len must fit in a nibble")
-    response_key = bytes(rng.randrange(256) for _ in range(16))
-    response_iv = bytes(rng.randrange(256) for _ in range(16))
+    response_key = byte_draws(rng, 16)
+    response_iv = byte_draws(rng, 16)
     response_auth = rng.randrange(256)
 
     if _is_ipv4(host):
@@ -127,7 +128,7 @@ def build_request(
     section += struct.pack(">H", port)
     section.append(atyp)
     section += address
-    section += bytes(rng.randrange(256) for _ in range(padding_len))
+    section += byte_draws(rng, padding_len)
     section += struct.pack(">I", fnv1a32(bytes(section)))
 
     cipher = CFBMode(command_key(user_id), command_iv(timestamp), encrypt=True)

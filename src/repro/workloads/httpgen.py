@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from ..randutil import byte_draws
+
 __all__ = ["http_get_request", "tls_client_hello", "SITES", "site_request"]
 
 # A small stand-in for "a subset of the Alexa top 1M" (§3.1).
@@ -68,8 +70,8 @@ def tls_client_hello(host: str, rng: random.Random) -> bytes:
     header, handshake header, random, session id, cipher suites, and an
     SNI extension carrying the hostname, padded with extension bytes.
     """
-    client_random = bytes(rng.randrange(256) for _ in range(32))
-    session_id = bytes(rng.randrange(256) for _ in range(32))
+    client_random = byte_draws(rng, 32)
+    session_id = byte_draws(rng, 32)
     suites = b"".join(
         rng.choice([b"\x13\x01", b"\x13\x02", b"\x13\x03", b"\xc0\x2f", b"\xc0\x30",
                     b"\xcc\xa9", b"\xcc\xa8", b"\x00\x9e"])
@@ -84,9 +86,7 @@ def tls_client_hello(host: str, rng: random.Random) -> bytes:
         + len(sni_name).to_bytes(2, "big")
         + sni_name
     )
-    key_share = b"\x00\x33" + (38).to_bytes(2, "big") + b"\x00\x24\x00\x1d\x00\x20" + bytes(
-        rng.randrange(256) for _ in range(32)
-    )
+    key_share = b"\x00\x33" + (38).to_bytes(2, "big") + b"\x00\x24\x00\x1d\x00\x20" + byte_draws(rng, 32)
     padding_len = rng.randint(0, 180)
     padding = b"\x00\x15" + padding_len.to_bytes(2, "big") + bytes(padding_len)
     extensions = sni + key_share + padding

@@ -13,12 +13,14 @@ import math
 import random
 from typing import Optional
 
+from ..randutil import byte_draws
+
 __all__ = ["random_payload", "payload_with_entropy", "alphabet_size_for_entropy"]
 
 
 def random_payload(length: int, rng: random.Random) -> bytes:
     """Uniform random bytes (entropy -> 8 bits/byte)."""
-    return bytes(rng.randrange(256) for _ in range(length))
+    return byte_draws(rng, length)
 
 
 def alphabet_size_for_entropy(target_bits: float) -> int:

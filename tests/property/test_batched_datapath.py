@@ -1,0 +1,134 @@
+"""Batched datapath invariants: batched == per-segment, byte for byte.
+
+The burst datapath (host transmit batching, burst middlebox traversal,
+weighted burst delivery events) is a pure performance transform: with
+batching forced off the library reproduces the historical
+one-event-per-segment behaviour, and every observable — captures, bus
+counters, flag decisions, probe logs, delivery counts, canonical run
+payloads — must be identical between the two modes, pristine or
+impaired.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gfw import DetectorConfig
+from repro.net import Impairment
+from repro.net.host import Host
+from repro.runtime import run_scenario
+from repro.runtime.scenario import scenario_names
+from repro.runtime.topology import build_world
+from repro.shadowsocks import ShadowsocksClient, ShadowsocksServer
+from repro.workloads import CurlDriver
+
+# Small parameterizations per builtin scenario, tier-1 friendly.  A
+# registry test below keeps this table complete: every builtin must be
+# exercised in both datapath modes.
+SCENARIO_OVERRIDES = {
+    "shadowsocks": {"connections_per_pair": 40, "duration": 21600.0,
+                    "libev_pairs": 1, "outline_pairs": 1},
+    "sink": {"connections": 150, "duration": 7200.0},
+    "brdgrd": {"duration": 21600.0,
+               "brdgrd_windows": [[3600.0, 10800.0]]},
+    "blocking": {"connections_per_server": 30, "duration": 86400.0,
+                 "sensitive_periods": [[21600.0, 43200.0]]},
+    "probesim-grid": {"trials": 1, "profiles": ["ss-libev-3.1.3"],
+                      "methods": ["aes-128-gcm"], "lengths": [1, 2, 50]},
+    "probesim-replay": {"trials": 1,
+                        "pairs": [["ss-libev-3.1.3", "aes-256-ctr"]]},
+    "ablation-detector-features": {"samples": 50},
+    "impairment-matrix": {"loss_rates": [0.0, 0.01], "reorder_rates": [0.0],
+                          "connections": 5, "duration": 1800.0},
+    "ablation-defense-matrix": {"connections": 4, "duration": 1800.0},
+    "ablation-detector-ensemble": {
+        "connections": 4, "duration": 1800.0,
+        "cases": [["passive", {"kind": "passive", "base_rate": 1.0}],
+                  ["entropy", {"kind": "entropy", "threshold": 7.2}]]},
+    "scale-1m": {"flows": 2000, "block_size": 256},
+}
+
+
+def _run_canonical(name, batching, seed=0):
+    original = Host.tx_batching
+    Host.tx_batching = batching
+    try:
+        result = run_scenario(name, seed=seed,
+                              overrides=SCENARIO_OVERRIDES[name],
+                              use_cache=False)
+    finally:
+        Host.tx_batching = original
+    return result.canonical_bytes()
+
+
+def test_override_table_covers_every_builtin_scenario():
+    assert set(SCENARIO_OVERRIDES) == set(scenario_names())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_OVERRIDES))
+def test_batched_equals_per_segment(name):
+    # Zero-impairment runs of every builtin scenario must be
+    # byte-identical with and without the batched datapath.
+    assert _run_canonical(name, True) == _run_canonical(name, False)
+
+
+# ----------------------------------------------- impaired burst ordering
+
+
+def _trace(world):
+    """A byte-comparable rendition of everything observable in a world."""
+    segments = [
+        (rec.time, rec.sent, rec.segment.flags, rec.segment.seq,
+         rec.segment.ack, rec.segment.payload, rec.segment.ttl,
+         rec.segment.ip_id, rec.segment.tsval)
+        for host in world.hosts.values()
+        for rec in host.capture
+    ]
+    return (segments, world.bus.snapshot(), world.gfw.flagged_connections,
+            len(world.gfw.probe_log), world.net.segments_delivered,
+            world.net.segments_dropped)
+
+
+def _run_workload(impairment, batching):
+    original = Host.tx_batching
+    Host.tx_batching = batching
+    try:
+        world = build_world(seed=5,
+                            detector_config=DetectorConfig(base_rate=1.0),
+                            websites=["example.com"],
+                            impairment=impairment)
+        server_host = world.add_server("server", region="uk")
+        client_host = world.add_client("client")
+        ShadowsocksServer(server_host, 8388, "pw", "chacha20-ietf-poly1305",
+                          "ss-libev-3.3.1", rng=random.Random(6))
+        client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
+                                   "chacha20-ietf-poly1305",
+                                   rng=random.Random(7))
+        CurlDriver(client, rng=random.Random(8),
+                   sites=["example.com"]).run_schedule(5, 30.0)
+        world.sim.run(until=1800.0)
+        return _trace(world)
+    finally:
+        Host.tx_batching = original
+
+
+@given(loss=st.sampled_from([0.0, 0.02, 0.08]),
+       reorder=st.sampled_from([0.0, 0.05, 0.2]),
+       duplicate=st.sampled_from([0.0, 0.05]))
+@settings(max_examples=8, deadline=None)
+def test_impaired_burst_ordering_matches_per_segment(loss, reorder, duplicate):
+    # Under loss/reorder/duplication the burst path falls back to
+    # per-copy scheduling, drawing each segment's faults in burst order:
+    # the RNG stream — and hence every retransmission, reordering, and
+    # duplicate — must match the per-segment datapath exactly.
+    imp = Impairment(loss=loss, reorder=reorder, duplicate=duplicate,
+                     jitter=0.002)
+    assert _run_workload(imp, True) == _run_workload(imp, False)
+
+
+def test_zero_impairment_batched_equals_absent_impairment_per_segment():
+    # Cross-mode *and* cross-impairment: an all-zero profile under the
+    # batched path reproduces the pristine per-segment traces.
+    assert _run_workload(None, True) == _run_workload(Impairment(), False)
