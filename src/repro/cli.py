@@ -567,6 +567,7 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from .perf import (
+        append_history,
         bench_analysis,
         bench_crypto,
         bench_detector,
@@ -625,6 +626,15 @@ def _cmd_bench(args) -> int:
         all_entries.extend(entries)
     for entry in all_entries:
         print(f"  {entry.name:<40} {entry.value:>12.3f} {entry.unit}")
+    if all_entries:
+        # BENCH_*.json snapshots are overwritten per run; the history
+        # log accumulates one line per measurement, keeping the perf
+        # trajectory in-repo (anchored beside the snapshots, so the
+        # default out-dir from the repo root appends to
+        # benchmarks/history.jsonl).
+        history = out_dir / "benchmarks" / "history.jsonl"
+        count = append_history(history, all_entries)
+        print(f"appended {count} line(s) to {history}")
 
     if args.compare:
         comparison = compare_entries(all_entries, load_entries(args.compare),

@@ -64,8 +64,19 @@ class ChaCha20Poly1305:
         return ChaCha20(self._key, nonce, counter=1).decrypt(ciphertext)
 
 
+# (impl-class, name, key) -> instance.  Both AEAD classes are stateless
+# per call — seal/open are pure functions of (nonce, message, aad); the
+# only instance attributes beyond the key are lazily built lookup tables
+# — so sessions deriving the same subkey (HKDF is memoized, and seeded
+# repeats re-derive the same salts) can share one object and its tables.
+# Keyed on the impl class, so flipping REPRO_CRYPTO backends mid-process
+# can never hand back an instance from the other backend.
+_INSTANCE_CACHE: dict = {}
+_INSTANCE_CACHE_MAX = 1 << 12
+
+
 def new_aead(name: str, key: bytes):
-    """Construct an AEAD object by OpenSSL-style method name.
+    """Construct (or reuse) an AEAD object by OpenSSL-style method name.
 
     Honours the ``REPRO_CRYPTO`` backend switch (fast vs reference).
     """
@@ -73,7 +84,16 @@ def new_aead(name: str, key: bytes):
 
     aes_gcm, chacha_poly = aead_impls()
     if name in ("aes-128-gcm", "aes-192-gcm", "aes-256-gcm"):
-        return aes_gcm(key)
-    if name == "chacha20-ietf-poly1305":
-        return chacha_poly(key)
-    raise ValueError(f"unknown AEAD method: {name!r}")
+        impl = aes_gcm
+    elif name == "chacha20-ietf-poly1305":
+        impl = chacha_poly
+    else:
+        raise ValueError(f"unknown AEAD method: {name!r}")
+    cache_key = (impl, name, key)
+    box = _INSTANCE_CACHE.get(cache_key)
+    if box is None:
+        box = impl(key)
+        if len(_INSTANCE_CACHE) >= _INSTANCE_CACHE_MAX:
+            _INSTANCE_CACHE.clear()
+        _INSTANCE_CACHE[cache_key] = box
+    return box

@@ -11,15 +11,47 @@ from collections import Counter
 
 __all__ = ["shannon_entropy"]
 
+# Memoized -p*log2(p) terms keyed on (count, total).  Feature packets
+# cluster around a handful of lengths with small per-byte counts, so the
+# same terms recur across connections; caching them skips most log2
+# calls while leaving the result bit-identical (same count/total -> same
+# float, and the summation order below is unchanged).  Bounded: cleared
+# wholesale if pathological inputs ever grow it past the cap.
+_PLOGP_CACHE: dict = {}
+_PLOGP_CACHE_MAX = 1 << 16
+
+# Whole-payload memo.  Long-horizon and repeated seeded runs feed the
+# detector the *same* feature packets over and over (the AEAD record
+# memo means identical plaintext records reseal to identical ciphertext
+# within a process), so the byte string itself is the natural cache key;
+# a hit skips the O(n) histogram outright.  Same input -> same cached
+# float, so results are bit-identical by construction.
+_ENTROPY_CACHE: dict = {}
+_ENTROPY_CACHE_MAX = 1 << 12
+
 
 def shannon_entropy(data: bytes) -> float:
     """Per-byte Shannon entropy, in bits (0.0 for empty/uniform input)."""
     if not data:
         return 0.0
+    cached = _ENTROPY_CACHE.get(data)
+    if cached is not None:
+        return cached
     counts = Counter(data)
     total = len(data)
     entropy = 0.0
+    cache = _PLOGP_CACHE
+    cache_get = cache.get
     for count in counts.values():
-        p = count / total
-        entropy -= p * math.log2(p)
+        term = cache_get((count, total))
+        if term is None:
+            p = count / total
+            term = p * math.log2(p)
+            if len(cache) >= _PLOGP_CACHE_MAX:
+                cache.clear()
+            cache[(count, total)] = term
+        entropy -= term
+    if len(_ENTROPY_CACHE) >= _ENTROPY_CACHE_MAX:
+        _ENTROPY_CACHE.clear()
+    _ENTROPY_CACHE[data] = entropy
     return entropy

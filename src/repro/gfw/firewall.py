@@ -79,6 +79,11 @@ class GreatFirewall(Middlebox):
             mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
             self._inside_masks.append((base, mask))
         self._inside_cache: dict = {}
+        # Directional 4-tuple -> canonical connection key.  ``conn_key``
+        # builds two tuples and sorts them per segment; single-segment
+        # sensor entries hit this memo instead.  Bounded like the inside
+        # cache: dropping it costs recomputation, never correctness.
+        self._conn_key_cache: dict = {}
         self.rng = rng or random.Random(0x6F0)
 
         # Detector layer: the spec wins when given; otherwise the
@@ -112,6 +117,24 @@ class GreatFirewall(Middlebox):
             blocking_rng=random.Random(self.rng.randrange(1 << 30)),
             flag_hook=lambda flow, payload: self.on_flag(flow, payload),
         )
+
+        # Fused per-segment blocking probe: ReactionPolicy's drop check is
+        # two delegating frames around two dict-membership tests, so alias
+        # the blocking module's tables directly (they are stable dict
+        # attributes, mutated in place and never rebound).  A custom
+        # reaction policy without a ``blocking`` module falls back to the
+        # ``should_drop`` method call.
+        blocking = getattr(self.reactions, "blocking", None)
+        self._blocked_ips = getattr(blocking, "_blocked_ips", None)
+        self._blocked_ports = getattr(blocking, "_blocked_ports", None)
+        if self._blocked_ips is None or self._blocked_ports is None:
+            self._blocked_ips = self._blocked_ports = None
+
+        # (src_ip, dst_ip) -> "does the sensor care" (border-crossing and
+        # not fleet traffic).  Fleet IPs can grow (minting), so entries
+        # are validated against the fleet address-set size.
+        self._pair_cache: dict = {}
+        self._pair_cache_ver = -1
 
         # Sensor layer: the flow table owns connection state + hygiene.
         # ``shard`` makes this censor one of N disjoint sensors over the
@@ -165,17 +188,77 @@ class GreatFirewall(Middlebox):
             or seg.src_ip in fleet_ips or seg.dst_ip in fleet_ips
         )
 
+    def _conn_key(self, seg: Segment):
+        """Memoized :meth:`Segment.conn_key` keyed on the directional flow."""
+        flow = (seg.src_ip, seg.src_port, seg.dst_ip, seg.dst_port)
+        key = self._conn_key_cache.get(flow)
+        if key is None:
+            key = seg.conn_key()
+            if len(self._conn_key_cache) >= self.inside_cache_max:
+                self._conn_key_cache.clear()
+            self._conn_key_cache[flow] = key
+        return key
+
     # ------------------------------------------------------------ main path
 
+    def _interesting(self, src_ip: str, dst_ip: str) -> bool:
+        """Memoized "does the sensor care about this IP pair" predicate
+        (border-crossing and not the probing fleet's own traffic)."""
+        ver = len(self.fleet_host.extra_ips)
+        cache = self._pair_cache
+        if ver != self._pair_cache_ver:
+            cache.clear()
+            self._pair_cache_ver = ver
+        key = (src_ip, dst_ip)
+        interesting = cache.get(key)
+        if interesting is None:
+            inside = self._inside_cache
+            src = inside.get(src_ip)
+            if src is None:
+                src = self.is_inside(src_ip)
+            dst = inside.get(dst_ip)
+            if dst is None:
+                dst = self.is_inside(dst_ip)
+            fleet_ips = self.fleet_host.extra_ips
+            interesting = (src != dst
+                           and src_ip != FLEET_HOST_IP
+                           and dst_ip != FLEET_HOST_IP
+                           and src_ip not in fleet_ips
+                           and dst_ip not in fleet_ips)
+            if len(cache) >= self.inside_cache_max:
+                cache.clear()
+            cache[key] = interesting
+        return interesting
+
     def process(self, seg: Segment, network: Network) -> List[Segment]:
-        if self.reactions.should_drop(seg):
+        # Inlined blocking probe (see __init__): two dict membership
+        # tests in place of two delegating calls per segment.
+        bips = self._blocked_ips
+        if bips is None:
+            dropped = self.reactions.should_drop(seg)
+        else:
+            dropped = (seg.src_ip in bips
+                       or (seg.src_ip, seg.src_port) in self._blocked_ports)
+        if dropped:
             self.dropped_segments += 1
             self.sim.bus.incr("gfw.segment.dropped")
             return []
-        if not self.crosses_border(seg) or self._is_fleet_traffic(seg):
+        # Inlined warm probe of the ``_interesting`` pair memo.
+        if len(self.fleet_host.extra_ips) == self._pair_cache_ver:
+            interesting = self._pair_cache.get((seg.src_ip, seg.dst_ip))
+            if interesting is None:
+                interesting = self._interesting(seg.src_ip, seg.dst_ip)
+        else:
+            interesting = self._interesting(seg.src_ip, seg.dst_ip)
+        if not interesting:
             return [seg]
-        self.capture.record(seg, self.sim.now, sent=False)
-        self.flow_table.track(seg, reliable=self.network.reliable)
+        # The GFW capture is disabled by default; skip the call outright
+        # rather than paying ``record``'s own early-out per segment.
+        capture = self.capture
+        if capture.enabled:
+            capture.record(seg, self.sim.now, sent=False)
+        self.flow_table.track_keyed(seg, self._conn_key(seg),
+                                    reliable=self.network.reliable)
         return [seg]
 
     def process_burst(self, segs: List[Segment],
@@ -192,30 +275,37 @@ class GreatFirewall(Middlebox):
         exactly as in the sequential path.
         """
         first = segs[0]
-        interesting = (self.crosses_border(first)
-                       and not self._is_fleet_traffic(first))
-        reactions = self.reactions
+        interesting = self._interesting(first.src_ip, first.dst_ip)
+        bips = self._blocked_ips
+        bports = self._blocked_ports
+        should_drop = self.reactions.should_drop if bips is None else None
         bus = self.sim.bus
         forwarded: List[Segment] = []
         if not interesting:
             for seg in segs:
-                if reactions.should_drop(seg):
+                if (should_drop(seg) if should_drop is not None
+                        else (seg.src_ip in bips
+                              or (seg.src_ip, seg.src_port) in bports)):
                     self.dropped_segments += 1
                     bus.incr("gfw.segment.dropped")
                 else:
                     forwarded.append(seg)
             return forwarded
         track_keyed = self.flow_table.track_keyed
-        key = first.conn_key()
+        key = self._conn_key(first)
         reliable = self.network.reliable
         capture = self.capture
+        record = capture.record if capture.enabled else None
         now = self.sim.now
         for seg in segs:
-            if reactions.should_drop(seg):
+            if (should_drop(seg) if should_drop is not None
+                    else (seg.src_ip in bips
+                          or (seg.src_ip, seg.src_port) in bports)):
                 self.dropped_segments += 1
                 bus.incr("gfw.segment.dropped")
                 continue
-            capture.record(seg, now, sent=False)
+            if record is not None:
+                record(seg, now, sent=False)
             track_keyed(seg, key, reliable=reliable)
             forwarded.append(seg)
         return forwarded

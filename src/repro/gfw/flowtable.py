@@ -36,6 +36,10 @@ __all__ = ["FlowKey", "FlowState", "FlowTable"]
 
 FlowKey = Tuple[Any, ...]
 
+# Bit masks for the inlined flag tests on the tracking hot path.
+_SYN_ACK_MASK = Flags.SYN | Flags.ACK
+_FIN_RST_MASK = Flags.FIN | Flags.RST
+
 
 @dataclass
 class FlowState:
@@ -148,9 +152,13 @@ class FlowTable:
         self._track_calls += 1
         if self._track_calls % self.EVICTION_SWEEP_INTERVAL == 0:
             self.sweep(self.sim.now)
+        # Flag predicates are inlined as bit tests (rather than the
+        # Segment.is_syn/is_data properties): this method runs for every
+        # border-crossing segment.
+        flags = seg.flags
         flow = self.flows.get(key)
         if flow is None:
-            if seg.is_syn:
+            if flags & _SYN_ACK_MASK == Flags.SYN:
                 if (self.shard is not None
                         and shard_of(flow_key(*key), self.shard[1])
                         != self.shard[0]):
@@ -168,14 +176,14 @@ class FlowTable:
                 self.sim.bus.incr("gfw.flow.opened")
             return
         flow.last_seen = self.sim.now
-        if seg.is_syn:
+        if flags & _SYN_ACK_MASK == Flags.SYN:
             # A SYN on a live flow is not a new connection.  On a lossy
             # network it is a retransmission (counted); on a reliable one
             # it can only be ephemeral-port reuse against a stale entry.
             if not reliable:
                 self.sim.bus.incr("gfw.flow.syn.retransmit")
             return
-        if seg.is_data:
+        if seg.payload:
             from_initiator = (
                 (seg.src_ip, seg.src_port) == (flow.initiator_ip, flow.initiator_port)
             )
@@ -185,7 +193,7 @@ class FlowTable:
             elif not from_initiator and not flow.saw_responder_data:
                 flow.saw_responder_data = True
                 self.on_first_responder_data(flow)
-        if seg.has(Flags.RST) or seg.has(Flags.FIN):
+        if flags & _FIN_RST_MASK:
             # Connection teardown: the feature packet (if any) has been
             # seen by now, so the flow entry can be reclaimed.
             del self.flows[key]

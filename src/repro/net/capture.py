@@ -34,17 +34,50 @@ class Capture:
     """
 
     def __init__(self):
-        self.records: List[CaptureRecord] = []
+        # Raw ``(time, sent, segment)`` tuples; ``records`` materializes
+        # them into :class:`CaptureRecord` objects on first access.  The
+        # datapath only ever pays a tuple build + list append per segment;
+        # object construction is deferred to analysis time (outside any
+        # timed region).  ``_materialized`` is always a prefix cache of
+        # ``_raw`` — never mutated from outside this class.
+        self._raw: list = []
+        self._materialized: List[CaptureRecord] = []
         self.enabled = True
         self.buffering = True
         self.taps: List[Callable[[CaptureRecord], None]] = []
 
+    @property
+    def records(self) -> List[CaptureRecord]:
+        raw = self._raw
+        mat = self._materialized
+        if len(mat) != len(raw):
+            for i in range(len(mat), len(raw)):
+                time, sent, seg = raw[i]
+                rec = CaptureRecord.__new__(CaptureRecord)
+                rec.time = time
+                rec.sent = sent
+                rec.segment = seg
+                mat.append(rec)
+        return mat
+
     def record(self, seg: Segment, time: float, sent: bool) -> None:
-        if not self.enabled or (not self.buffering and not self.taps):
+        if not self.enabled:
             return
-        rec = CaptureRecord(time, sent, seg)
+        if not self.taps:
+            if self.buffering:
+                self._raw.append((time, sent, seg))
+            return
+        # Taps observe the stream live and need real record objects.
+        rec = CaptureRecord.__new__(CaptureRecord)
+        rec.time = time
+        rec.sent = sent
+        rec.segment = seg
         if self.buffering:
-            self.records.append(rec)
+            # Keep the prefix invariant: materialize anything pending
+            # before appending, so ``_materialized`` stays aligned.
+            mat = self.records
+            self._raw.append((time, sent, seg))
+            mat.append(rec)
         for tap in self.taps:
             tap(rec)
 
@@ -53,13 +86,14 @@ class Capture:
         self.taps.append(tap)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._raw)
 
     def __iter__(self) -> Iterator[CaptureRecord]:
         return iter(self.records)
 
     def clear(self) -> None:
-        self.records.clear()
+        self._raw.clear()
+        self._materialized.clear()
 
     # ------------------------------------------------------------- queries
 

@@ -21,6 +21,9 @@ __all__ = ["Host"]
 # paper observes ~90% of probes within it (Figure 5).
 LINUX_EPHEMERAL_RANGE = (32768, 60999)
 
+# Inlined pure-SYN test for the delivery fast path.
+_SYN_ACK_MASK = Flags.SYN | Flags.ACK
+
 
 class Host:
     """A network endpoint with its own clock, ports, and capture."""
@@ -30,6 +33,21 @@ class Host:
     # historical one-event-per-segment datapath; both paths produce
     # byte-identical runs (property-tested), batching is purely faster.
     tx_batching = os.environ.get("REPRO_NET_BATCH", "1") not in ("0", "false", "no")
+
+    # Burst the receive side (see ``deliver_burst``).  ``REPRO_NET_BATCH_RX=0``
+    # is the kill switch forcing per-segment delivery; both paths are
+    # byte-identical (property-tested).
+    rx_batching = os.environ.get("REPRO_NET_BATCH_RX", "1") not in ("0", "false", "no")
+
+    # Contract guard for the batched receive path.  ``deliver_burst``
+    # historically promised that subclass/test overrides of ``deliver``
+    # (or ``_deliver_one``) observe every arrival; the fast path hands a
+    # whole run to the connection in one call, which would silently
+    # bypass such hooks.  ``None`` means auto-detect in ``__init__``
+    # (fast path only when both methods are the stock ones); a subclass
+    # that overrides ``deliver`` but still wants batched receive can opt
+    # in explicitly with ``batched_rx_ok = True``.
+    batched_rx_ok: Optional[bool] = None
 
     def __init__(
         self,
@@ -53,6 +71,16 @@ class Host:
         # TCP timestamp clock: value = (boot_offset + rate * now) mod 2^32.
         self.tsval_rate = tsval_rate
         self._tsval_offset = self.rng.randrange(1 << 32)
+
+        # Stock-delivery detection: when neither ``deliver`` nor
+        # ``_deliver_one`` is overridden, the network may route arrivals
+        # through the fused fast path (``_deliver_fast``) and the batched
+        # receive path without bypassing any subclass/test hook.
+        cls = type(self)
+        self._stock_delivery = (cls.deliver is Host.deliver
+                                and cls._deliver_one is Host._deliver_one)
+        if self.batched_rx_ok is None:
+            self.batched_rx_ok = self._stock_delivery
 
         self._connections: Dict[Tuple, TcpConnection] = {}
         self._listeners: Dict[int, Callable[[TcpConnection], object]] = {}
@@ -132,7 +160,15 @@ class Host:
 
     def transmit(self, seg: Segment) -> None:
         """Hand a segment to the network (stamped by the sending capture)."""
-        self.capture.record(seg, self.sim.now, sent=True)
+        # Inlined Capture.record fast path (tap-free buffering capture
+        # appends one raw tuple); taps or disabled captures take the
+        # full method.
+        cap = self.capture
+        if cap.enabled:
+            if cap.taps:
+                cap.record(seg, self.sim.now, sent=True)
+            elif cap.buffering:
+                cap._raw.append((self.sim.now, True, seg))
         if self._tx_depth:
             self._tx_buffer.append(seg)
         else:
@@ -170,44 +206,125 @@ class Host:
             send(buffer[0])
             return
         send_burst = self.network.send_segment_burst
-        run: list = [buffer[0]]
-        run_flow = buffer[0].flow()
+        head = buffer[0]
+        run: list = [head]
         for seg in buffer[1:]:
-            flow = seg.flow()
-            if flow == run_flow:
+            # Inline 4-tuple flow comparison (ports first: the cheapest
+            # fields and the likeliest to differ between flows).
+            if (seg.src_port == head.src_port
+                    and seg.dst_port == head.dst_port
+                    and seg.dst_ip == head.dst_ip
+                    and seg.src_ip == head.src_ip):
                 run.append(seg)
                 continue
             if len(run) == 1:
                 send(run[0])
             else:
                 send_burst(SegmentBurst(run))
+            head = seg
             run = [seg]
-            run_flow = flow
         if len(run) == 1:
             send(run[0])
         else:
             send_burst(SegmentBurst(run))
 
     def deliver(self, seg: Segment) -> None:
-        """Receive a segment from the network."""
-        self.begin_tx_batch()
+        """Receive a segment from the network.
+
+        Inlines the begin/end transmit-batch bracket (identical
+        semantics): delivery is the hottest caller of the batch context
+        and the two extra method calls per segment showed up in
+        profiles.
+        """
+        if not self.tx_batching:
+            self._deliver_one(seg)
+            return
+        self._tx_depth += 1
         try:
             self._deliver_one(seg)
         finally:
-            self.end_tx_batch()
+            self._tx_depth -= 1
+            if self._tx_depth == 0 and self._tx_buffer:
+                self._flush_tx()
 
     def deliver_burst(self, segs) -> None:
         """Receive a same-flow burst (one delivery event) from the network.
 
-        Routes through :meth:`deliver` per segment (batch contexts nest),
-        so subclasses or tests overriding ``deliver`` see every arrival.
+        Fast path: when receive batching is on (``rx_batching``, kill
+        switch ``REPRO_NET_BATCH_RX=0``) and this host's delivery hooks
+        are stock (``batched_rx_ok``), the owning connection consumes a
+        qualifying in-order prefix in one :meth:`TcpConnection.handle_burst`
+        call — classification, ``rcv_nxt`` advance, and cumulative-ACK
+        emission amortized across the run, with the ACKs leaving as one
+        coalesced return burst when the transmit batch flushes.
+
+        Everything else — no matching connection, overridden delivery
+        hooks, or the unconsumed remainder of a burst (OOO data, FIN/RST
+        tails, handshake segments) — routes through :meth:`deliver` per
+        segment (batch contexts nest), so subclasses or tests overriding
+        ``deliver`` see every arrival.  Both paths are byte-identical;
+        batching is purely faster.
         """
-        self.begin_tx_batch()
+        batching = self.tx_batching
+        if batching:
+            self._tx_depth += 1
         try:
-            for seg in segs:
-                self.deliver(seg)
+            start = 0
+            count = len(segs)
+            # Instance-level monkeypatches of the delivery hooks (tests,
+            # taps) force the dynamic per-segment path, same as class
+            # overrides: every arrival must reach the patched hook.
+            d = self.__dict__
+            stock = ("deliver" not in d and "_deliver_one" not in d
+                     and self._stock_delivery)
+            if count > 1 and stock and self.rx_batching and self.batched_rx_ok:
+                first = segs[0]
+                conn = self._connections.get(
+                    (first.dst_ip, first.dst_port, first.src_ip, first.src_port))
+                if conn is not None:
+                    start = conn.handle_burst(segs)
+            if start < count:
+                deliver = self._deliver_fast if stock else self.deliver
+                for k in range(start, count):
+                    deliver(segs[k])
         finally:
-            self.end_tx_batch()
+            if batching:
+                self._tx_depth -= 1
+                if self._tx_depth == 0 and self._tx_buffer:
+                    self._flush_tx()
+
+    def _deliver_fast(self, seg: Segment) -> None:
+        """Fused ``deliver`` + ``_deliver_one`` for stock hosts.
+
+        The network routes single-segment arrivals here when this host's
+        delivery hooks are unoverridden (``_stock_delivery``), collapsing
+        the dispatch chain to one call.  Semantics are identical to
+        ``deliver``; hosts with overridden hooks always go through it.
+        """
+        batching = self.tx_batching
+        if batching:
+            self._tx_depth += 1
+        try:
+            cap = self.capture
+            if cap.enabled:
+                if cap.taps:
+                    cap.record(seg, self.sim.now, sent=False)
+                elif cap.buffering:
+                    cap._raw.append((self.sim.now, False, seg))
+            conn = self._connections.get(
+                (seg.dst_ip, seg.dst_port, seg.src_ip, seg.src_port))
+            if conn is not None:
+                conn.handle_segment(seg)
+            elif (seg.flags & _SYN_ACK_MASK == Flags.SYN
+                  and seg.dst_port in self._listeners):
+                self._accept(seg)
+            elif not seg.flags & Flags.RST:
+                self._refuse(seg)
+        finally:
+            if batching:
+                self._tx_depth -= 1
+                if self._tx_depth == 0 and self._tx_buffer:
+                    self._flush_tx()
 
     def _deliver_one(self, seg: Segment) -> None:
         self.capture.record(seg, self.sim.now, sent=False)

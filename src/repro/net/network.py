@@ -78,6 +78,11 @@ class Network:
         # skip retransmission machinery — is preserved exactly.
         self._impairment = impairment if impairment and impairment.active else None
         self._pair_impairments: Dict[Tuple[str, str], Impairment] = {}
+        # Per-(src, dst) datapath cache: (latency, hops, impairment, host)
+        # resolved in one dict probe on the delivery legs.  Purely derived
+        # state — every topology mutation (attach, set_latency, set_hops,
+        # set_impairment) clears it wholesale.
+        self._path_cache: Dict[Tuple[str, str], tuple] = {}
         self.rng = rng or random.Random(0x1A7E7)
         self.segments_delivered = 0
         self.segments_dropped = 0
@@ -108,6 +113,7 @@ class Network:
         if host.ip in self._hosts:
             raise ValueError(f"IP {host.ip} already attached")
         self._hosts[host.ip] = host
+        self._path_cache.clear()
 
     def register_extra_ip(self, host, ip: str) -> None:
         """Bind an additional address (e.g. one prober IP) to a host."""
@@ -115,6 +121,7 @@ class Network:
             raise ValueError(f"IP {ip} already attached")
         self._hosts[ip] = host
         host.extra_ips.add(ip)
+        self._path_cache.clear()
 
     def add_middlebox(self, mbox: Middlebox) -> None:
         self.middleboxes.append(mbox)
@@ -126,12 +133,14 @@ class Network:
         self._latency[(src_ip, dst_ip)] = seconds
         if symmetric:
             self._latency[(dst_ip, src_ip)] = seconds
+        self._path_cache.clear()
 
     def set_hops(self, src_ip: str, dst_ip: str, hops: int, symmetric: bool = True) -> None:
         """Set the hop count; ``dst_ip`` may be "*" for all destinations."""
         self._hops[(src_ip, dst_ip)] = hops
         if symmetric and dst_ip != "*":
             self._hops[(dst_ip, src_ip)] = hops
+        self._path_cache.clear()
 
     def set_impairment(self, src_ip: str, dst_ip: str,
                        impairment: Optional[Impairment],
@@ -143,12 +152,14 @@ class Network:
                 self._pair_impairments.pop(key, None)
             else:
                 self._pair_impairments[key] = impairment
+        self._path_cache.clear()
 
     def set_default_impairment(self, impairment: Optional[Impairment]) -> None:
         """Set the network-wide fault profile (``None`` clears it)."""
         self._impairment = (
             impairment if impairment and impairment.active else None
         )
+        self._path_cache.clear()
 
     def impairment_for(self, src_ip: str, dst_ip: str) -> Optional[Impairment]:
         exact = self._pair_impairments.get((src_ip, dst_ip))
@@ -175,12 +186,56 @@ class Network:
             return exact
         return self._hops.get((src_ip, "*"), self.DEFAULT_HOPS)
 
+    def _path(self, src_ip: str, dst_ip: str) -> tuple:
+        """Resolved ``(latency, hops, impairment, host)`` for one pair.
+
+        The datapath's per-delivery lookups collapse into a single dict
+        probe once a pair is warm.  Entries for unattached destinations
+        are not cached (a host attached later must be seen); every
+        topology mutation clears the cache outright.
+        """
+        key = (src_ip, dst_ip)
+        entry = self._path_cache.get(key)
+        if entry is None:
+            entry = (
+                self._latency.get(key, self.DEFAULT_LATENCY),
+                self.hops(src_ip, dst_ip),
+                self.impairment_for(src_ip, dst_ip),
+                self._hosts.get(dst_ip),
+            )
+            if entry[3] is not None:
+                self._path_cache[key] = entry
+        return entry
+
     # -------------------------------------------------------------- routing
 
     def send_segment(self, seg: Segment) -> None:
         """Route one segment from a host through the middlebox chain."""
         seg.timestamp = self.sim.now
-        self._through_middleboxes(seg, index=0)
+        # Specialized for the overwhelmingly common topologies — no
+        # middlebox, or exactly one that neither fans out nor drops —
+        # before falling back to the general fan-out walk.  The pristine
+        # scheduling leg (``_schedule_delivery``'s common branch) is
+        # inlined for both.
+        mboxes = self.middleboxes
+        if mboxes:
+            if len(mboxes) > 1:
+                self._through_middleboxes(seg, index=0)
+                return
+            forwarded = mboxes[0].process(seg, self)
+            if len(forwarded) != 1:
+                if not forwarded:
+                    self.segments_dropped += 1
+                else:
+                    for s in forwarded:
+                        self._schedule_delivery(s)
+                return
+            seg = forwarded[0]
+        delay, _, impairment, _ = self._path(seg.src_ip, seg.dst_ip)
+        if impairment is None:
+            self.sim.schedule_fire(delay, self._deliver_pristine, seg)
+        else:
+            self._schedule_impaired(seg, delay, impairment)
 
     def send_segment_burst(self, burst: SegmentBurst) -> None:
         """Route a same-flow burst through the middlebox chain as one unit.
@@ -205,15 +260,30 @@ class Network:
                 self.segments_dropped += before - len(current)
             if not current:
                 return
-        self._schedule_delivery_burst(current)
+        # Inlined _schedule_delivery_burst, pristine branch first.
+        if len(current) == 1:
+            self._schedule_delivery(current[0])
+            return
+        first = current[0]
+        delay, _, impairment, _ = self._path(first.src_ip, first.dst_ip)
+        if impairment is None:
+            self.sim.schedule_fire(delay, self._deliver_burst, current,
+                                   weight=len(current))
+            return
+        for seg in current:
+            self._schedule_impaired(seg, delay, impairment)
 
     def inject(self, seg: Segment, skip_middleboxes: bool = False) -> None:
         """Originate a segment from a middlebox (e.g. a GFW prober SYN)."""
-        seg.timestamp = self.sim.now
         if skip_middleboxes:
+            seg.timestamp = self.sim.now
             self._schedule_delivery(seg)
         else:
-            self._through_middleboxes(seg, index=0)
+            # Identical routing to a host transmission (timestamp, full
+            # middlebox walk, delivery scheduling), including its
+            # single-middlebox specialization — probe traffic is hot
+            # enough for the general fan-out walk to show up.
+            self.send_segment(seg)
 
     def _through_middleboxes(self, seg: Segment, index: int) -> None:
         current = [seg]
@@ -237,11 +307,17 @@ class Network:
             self._schedule_delivery(s)
 
     def _schedule_delivery(self, seg: Segment) -> None:
-        delay = self.latency(seg.src_ip, seg.dst_ip)
-        impairment = self.impairment_for(seg.src_ip, seg.dst_ip)
+        delay, _, impairment, _ = self._path(seg.src_ip, seg.dst_ip)
         if impairment is None:
-            self.sim.schedule(delay, self._deliver, seg)
+            # Pristine path: exactly one delivery of this object, so the
+            # arrival clone can be elided (see ``_deliver_pristine``) and
+            # the uncancellable fire-and-forget scheduling lane used.
+            self.sim.schedule_fire(delay, self._deliver_pristine, seg)
             return
+        self._schedule_impaired(seg, delay, impairment)
+
+    def _schedule_impaired(self, seg: Segment, delay: float,
+                           impairment: Impairment) -> None:
         delays = self._impaired_delays(impairment, "net")
         if not delays:
             self.segments_dropped += 1
@@ -254,14 +330,13 @@ class Network:
             self._schedule_delivery(segs[0])
             return
         first = segs[0]
-        delay = self.latency(first.src_ip, first.dst_ip)
-        impairment = self.impairment_for(first.src_ip, first.dst_ip)
+        delay, _, impairment, _ = self._path(first.src_ip, first.dst_ip)
         if impairment is None:
             # Pristine path: one delivery event for the whole burst,
             # weighted so the ``sim.events`` counter matches the
             # per-segment datapath exactly.
-            self.sim.schedule(delay, self._deliver_burst, segs,
-                              weight=len(segs))
+            self.sim.schedule_fire(delay, self._deliver_burst, segs,
+                                   weight=len(segs))
             return
         # Impaired path: fall back to one event per copy, drawing each
         # segment's faults in burst (= emission) order — the identical
@@ -303,13 +378,13 @@ class Network:
         return delays
 
     def _deliver(self, seg: Segment) -> None:
-        host = self._hosts.get(seg.dst_ip)
+        _, hops, _, host = self._path(seg.src_ip, seg.dst_ip)
         if host is None:
             self.segments_dropped += 1
             if self.unreachable_policy == "refuse" and not seg.flags & 0x04:  # not RST
                 self._refuse_unreachable(seg)
             return
-        ttl = seg.ttl - self.hops(seg.src_ip, seg.dst_ip)
+        ttl = seg.ttl - hops
         if ttl <= 0:
             # Hop count exhausted the TTL: real routers discard such
             # packets, so fail loudly instead of delivering an impossible
@@ -317,13 +392,54 @@ class Network:
             self.segments_dropped += 1
             self.sim.bus.incr("net.ttl.expired")
             return
-        arrived = seg.copy(ttl=ttl, timestamp=self.sim.now)
         self.segments_delivered += 1
-        host.deliver(arrived)
+        arrived = seg.arrived(ttl, self.sim.now)
+        # Stock hosts take the fused dispatch (one call instead of the
+        # deliver -> _deliver_one chain); overridden hooks — class-level
+        # (``_stock_delivery``) or instance-level monkeypatches (the
+        # ``__dict__`` probes) — keep the dynamic ``deliver`` dispatch.
+        d = host.__dict__
+        if host._stock_delivery and "deliver" not in d and "_deliver_one" not in d:
+            host._deliver_fast(arrived)
+        else:
+            host.deliver(arrived)
+
+    def _deliver_pristine(self, seg: Segment) -> None:
+        """:meth:`_deliver` for unimpaired paths: arrival without a clone.
+
+        On a pristine path a segment object is scheduled for delivery
+        exactly once (no duplicate copies, no retransmission reuse — TCP
+        rebuilds retransmits from its queue of payload tuples), so the
+        TTL decrement and arrival timestamp can be written in place
+        instead of paying the 14-slot arrival clone.  Capture records on
+        both ends alias the same object either way; the serialized
+        outputs are byte-identical (pinned by the scenario-identity
+        suite).  Impaired paths — where duplicates make the same object
+        deliverable twice — keep the cloning :meth:`_deliver`.
+        """
+        _, hops, _, host = self._path(seg.src_ip, seg.dst_ip)
+        if host is None:
+            self.segments_dropped += 1
+            if self.unreachable_policy == "refuse" and not seg.flags & 0x04:
+                self._refuse_unreachable(seg)
+            return
+        ttl = seg.ttl - hops
+        if ttl <= 0:
+            self.segments_dropped += 1
+            self.sim.bus.incr("net.ttl.expired")
+            return
+        self.segments_delivered += 1
+        seg.ttl = ttl
+        seg.timestamp = self.sim.now
+        d = host.__dict__
+        if host._stock_delivery and "deliver" not in d and "_deliver_one" not in d:
+            host._deliver_fast(seg)
+        else:
+            host.deliver(seg)
 
     def _deliver_burst(self, segs: List[Segment]) -> None:
         first = segs[0]
-        host = self._hosts.get(first.dst_ip)
+        _, hops, _, host = self._path(first.src_ip, first.dst_ip)
         if host is None:
             self.segments_dropped += len(segs)
             if self.unreachable_policy == "refuse":
@@ -331,8 +447,10 @@ class Network:
                     if not seg.flags & 0x04:  # not RST
                         self._refuse_unreachable(seg)
             return
-        hops = self.hops(first.src_ip, first.dst_ip)
         now = self.sim.now
+        # Bursts only ride pristine paths (impaired paths fall back to
+        # per-segment ``_deliver``), so arrival is in-place here too —
+        # same contract as ``_deliver_pristine``.
         arrived: List[Segment] = []
         for seg in segs:
             ttl = seg.ttl - hops
@@ -340,7 +458,9 @@ class Network:
                 self.segments_dropped += 1
                 self.sim.bus.incr("net.ttl.expired")
                 continue
-            arrived.append(seg.copy(ttl=ttl, timestamp=now))
+            seg.ttl = ttl
+            seg.timestamp = now
+            arrived.append(seg)
         if not arrived:
             return
         self.segments_delivered += len(arrived)

@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
-__all__ = ["Flags", "Segment", "SegmentBurst"]
+__all__ = ["Flags", "Segment", "SegmentBurst",
+           "flag_words", "seqs", "lengths", "payloads"]
 
 
 class Flags:
@@ -94,6 +95,30 @@ class Segment:
             setattr(new, name, value)
         return new
 
+    def arrived(self, ttl: int, timestamp: float) -> "Segment":
+        """Arrival clone: :meth:`copy` specialized for the delivery leg.
+
+        Every delivered segment is cloned exactly once with a new TTL and
+        timestamp; skipping ``copy``'s keyword-validation loop keeps that
+        per-delivery cost to plain slot stores.
+        """
+        new = object.__new__(Segment)
+        new.src_ip = self.src_ip
+        new.dst_ip = self.dst_ip
+        new.src_port = self.src_port
+        new.dst_port = self.dst_port
+        new.flags = self.flags
+        new.seq = self.seq
+        new.ack = self.ack
+        new.payload = self.payload
+        new.window = self.window
+        new.ttl = ttl
+        new.ip_id = self.ip_id
+        new.tsval = self.tsval
+        new.tsecr = self.tsecr
+        new.timestamp = timestamp
+        return new
+
     def flow(self):
         """4-tuple identifying the direction-sensitive flow."""
         return (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
@@ -114,6 +139,35 @@ class Segment:
 
 
 _SEGMENT_FIELDS = frozenset(Segment.__dataclass_fields__)
+
+
+# -------------------------------------------------- struct-of-arrays views
+#
+# Column views over any segment sequence.  The batched datapath classifies
+# a burst by scanning these flat lists (C-speed comprehensions) instead of
+# re-touching each Segment object per predicate; SegmentBurst's methods
+# delegate here so producers (transmit bursts) and consumers (the
+# receive-side classifier in Host.deliver_burst/TcpConnection.handle_burst)
+# share one definition.
+
+def flag_words(segs) -> List[int]:
+    """Flag words of a segment run, in order."""
+    return [seg.flags for seg in segs]
+
+
+def seqs(segs) -> List[int]:
+    """Sequence numbers of a segment run, in order."""
+    return [seg.seq for seg in segs]
+
+
+def lengths(segs) -> List[int]:
+    """Payload lengths of a segment run, in order."""
+    return [len(seg.payload) for seg in segs]
+
+
+def payloads(segs) -> List[bytes]:
+    """Payloads of a segment run, in order."""
+    return [seg.payload for seg in segs]
 
 
 class SegmentBurst:
@@ -154,16 +208,16 @@ class SegmentBurst:
     # ------------------------------------------------ struct-of-arrays views
 
     def seqs(self) -> List[int]:
-        return [seg.seq for seg in self.segments]
+        return seqs(self.segments)
 
     def lengths(self) -> List[int]:
-        return [len(seg.payload) for seg in self.segments]
+        return lengths(self.segments)
 
     def flag_words(self) -> List[int]:
-        return [seg.flags for seg in self.segments]
+        return flag_words(self.segments)
 
     def payloads(self) -> List[bytes]:
-        return [seg.payload for seg in self.segments]
+        return payloads(self.segments)
 
     def __len__(self) -> int:
         return len(self.segments)

@@ -95,7 +95,17 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         time = self.now + delay
-        event = Event(time, next(self._counter), fn, args, weight)
+        # Inline Event construction: ``schedule`` runs once per segment
+        # (or burst) on the datapath, and the slot stores beat a
+        # delegated ``__init__`` call there.
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = next(self._counter)
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event.consumed = False
+        event.weight = weight
         event._sim = self
         self._live += 1
         bucket = self._buckets.get(time)
@@ -105,6 +115,29 @@ class Simulator:
         else:
             bucket.append(event)
         return event
+
+    def schedule_fire(self, delay: float, fn: Callable, arg: Any,
+                      weight: int = 1) -> None:
+        """Fire-and-forget :meth:`schedule` for the datapath.
+
+        No :class:`Event` handle is built (the bucket entry is a plain
+        ``(weight, fn, arg)`` tuple), so the call cannot be cancelled —
+        exactly the contract of packet deliveries, which are never
+        withdrawn once scheduled.  Execution order relative to
+        :meth:`schedule` is unchanged: entries run in append order
+        within their timestamp bucket either way.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        time = self.now + delay
+        next(self._counter)
+        self._live += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(weight, fn, arg)]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append((weight, fn, arg))
 
     def at(self, time: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
@@ -145,13 +178,19 @@ class Simulator:
                 event = bucket[i]
                 i += 1
                 self._cursor = i
-                if event.cancelled:
-                    continue
-                event.consumed = True
-                self._live -= 1
-                event.fn(*event.args)
+                if type(event) is tuple:
+                    # Fire-and-forget entry from ``schedule_fire``.
+                    self._live -= 1
+                    event[1](event[2])
+                    weighted += event[0]
+                else:
+                    if event.cancelled:
+                        continue
+                    event.consumed = True
+                    self._live -= 1
+                    event.fn(*event.args)
+                    weighted += event.weight
                 processed += 1
-                weighted += event.weight
                 self._processed += 1
                 if max_events is not None and processed >= max_events:
                     stop = True
@@ -179,7 +218,8 @@ class Simulator:
             t = times[0]
             bucket = buckets[t]
             for i in range(self._cursor, len(bucket)):
-                if not bucket[i].cancelled:
+                e = bucket[i]
+                if type(e) is tuple or not e.cancelled:
                     return t
             heapq.heappop(times)
             del buckets[t]

@@ -34,18 +34,26 @@ Retransmission events are counted on the simulator's bus
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .packet import Flags, Segment
+from .packet import Flags, Segment, flag_words, lengths
 
 __all__ = ["TcpConnection", "TcpState"]
 
 _SEQ_MASK = 0xFFFFFFFF
+_HOST_TRANSMIT = None  # Host.transmit, resolved lazily (circular import)
+# Both handshake bits set: the SYN/ACK test on the per-segment hot path.
+_SYN_ACK_BOTH = Flags.SYN | Flags.ACK
 
 
 def _seq_delta(a: int, b: int) -> int:
     """Signed serial-number difference ``a - b`` (RFC 1982 style)."""
     return ((a - b + 0x80000000) & _SEQ_MASK) - 0x80000000
+
+
+def _noop(*_args) -> None:
+    """Shared default for application callbacks (any arity)."""
 
 
 class TcpState:
@@ -77,6 +85,7 @@ class TcpConnection:
         "fin_received", "fin_sent_first", "reset_received", "reset_sent",
         "timed_out", "bytes_received", "bytes_sent", "retransmits",
         "on_connected", "on_data", "on_remote_fin", "on_reset", "on_closed",
+        "on_data_run", "_grb", "_fast_tx",
     )
 
     MSS = 1400
@@ -116,8 +125,18 @@ class TcpConnection:
         # side's view of this by rewriting segments in flight.
         self.rcv_window = rcv_window
 
-        # Send-side state.
-        self._isn = host.rng.randrange(1 << 32)
+        # Send-side state.  The ISN draw inlines CPython's
+        # ``randrange(1 << 32)`` reduction (``_randbelow`` via 33-bit
+        # getrandbits with redraw) for stock RNGs — the identical seeded
+        # stream without two wrapper frames per connection.
+        rng = host.rng
+        if type(rng) is random.Random:
+            isn = rng.getrandbits(33)
+            while isn >= 4294967296:
+                isn = rng.getrandbits(33)
+            self._isn = isn
+        else:
+            self._isn = rng.randrange(1 << 32)
         self._snd_nxt = self._isn
         self._snd_una = self._isn
         self._peer_window = self.MSS  # updated from every ACK
@@ -147,12 +166,41 @@ class TcpConnection:
         self.bytes_sent = 0
         self.retransmits = 0
 
-        # Application callbacks.
-        self.on_connected: Callable[[], None] = lambda: None
-        self.on_data: Callable[[bytes], None] = lambda data: None
-        self.on_remote_fin: Callable[[], None] = lambda: None
-        self.on_reset: Callable[[], None] = lambda: None
-        self.on_closed: Callable[[], None] = lambda: None
+        # Application callbacks (shared no-ops: one closure per *class*,
+        # not five per connection — accepts on the probe-heavy paths
+        # construct thousands of connections per scenario).
+        self.on_connected: Callable[[], None] = _noop
+        self.on_data: Callable[[bytes], None] = _noop
+        self.on_remote_fin: Callable[[], None] = _noop
+        self.on_reset: Callable[[], None] = _noop
+        self.on_closed: Callable[[], None] = _noop
+        # IP-ID fast path: for a stock ``random.Random``,
+        # ``_randbelow(65536)`` is exactly ``getrandbits(17)`` redrawn
+        # while >= 65536 (CPython's ``_randbelow_with_getrandbits``), so
+        # the emit path can inline that loop against the bound C method —
+        # the identical draw stream without the Python-level call.
+        # Subclassed RNGs (which may override the reduction) keep the
+        # ``_randbelow`` delegation.
+        self._grb = (host.rng.getrandbits
+                     if type(host.rng) is random.Random else None)
+        # Transmit fast path: with a stock (class-level) ``transmit``,
+        # ``_emit`` inlines the capture stamp + buffer/send dispatch.
+        # Instance-level monkeypatches are re-checked per emission.
+        # (Lazy Host lookup: host.py imports this module at load time,
+        # so the reverse import must happen at runtime.)
+        global _HOST_TRANSMIT
+        if _HOST_TRANSMIT is None:
+            from .host import Host
+            _HOST_TRANSMIT = Host.transmit
+        self._fast_tx = type(host).transmit is _HOST_TRANSMIT
+        # Opt-in burst delivery: when set, the batched receive path hands
+        # an in-order data run to the app as ONE call with the list of
+        # payloads instead of one ``on_data`` per segment (the ACKs are
+        # still emitted per segment, so the wire trace is unchanged).
+        # Only safe for apps whose data handler makes no host RNG draws
+        # and emits nothing mid-run — e.g. a client draining replies into
+        # a buffer, or a record layer batch-opening ciphertext chunks.
+        self.on_data_run: Optional[Callable[[List[bytes]], None]] = None
 
     # ------------------------------------------------------------------ util
 
@@ -162,22 +210,58 @@ class TcpConnection:
         return self.host.tsval_now()
 
     def _emit(self, flags: int, payload: bytes = b"", seq: Optional[int] = None) -> None:
-        seg = Segment(
-            src_ip=self.local_ip,
-            dst_ip=self.remote_ip,
-            src_port=self.local_port,
-            dst_port=self.remote_port,
-            flags=flags,
-            seq=seq if seq is not None else self._snd_nxt,
-            ack=self._rcv_nxt if flags & Flags.ACK else 0,
-            payload=payload,
-            window=self.rcv_window,
-            ttl=self.ttl,
-            ip_id=self.host.next_ip_id(),
-            tsval=None if flags & Flags.RST else self._tsval(),
-            tsecr=self._last_tsval_seen if flags & Flags.ACK else None,
-        )
-        self.host.transmit(seg)
+        # Slot-store construction: one segment is emitted per ACK/data
+        # chunk/handshake step, and skipping the generated dataclass
+        # ``__init__`` (14 keyword slots) plus the ``_tsval``/
+        # ``next_ip_id`` delegations measurably trims the hot path.
+        # Field values are identical to the historical keyword form.
+        host = self.host
+        if flags & Flags.RST:
+            tsval = None
+        else:
+            source = self._tsval_source
+            tsval = (int(host._tsval_offset
+                         + host.tsval_rate * host.sim.now) & 0xFFFFFFFF
+                     if source is None
+                     else source(host.sim.now) & 0xFFFFFFFF)
+        grb = self._grb
+        if grb is not None:
+            ip_id = grb(17)
+            while ip_id >= 65536:
+                ip_id = grb(17)
+        else:
+            ip_id = host.rng._randbelow(65536)
+        acked = flags & Flags.ACK
+        seg = object.__new__(Segment)
+        seg.src_ip = self.local_ip
+        seg.dst_ip = self.remote_ip
+        seg.src_port = self.local_port
+        seg.dst_port = self.remote_port
+        seg.flags = flags
+        seg.seq = seq if seq is not None else self._snd_nxt
+        seg.ack = self._rcv_nxt if acked else 0
+        seg.payload = payload
+        seg.window = self.rcv_window
+        seg.ttl = self.ttl
+        seg.ip_id = ip_id
+        seg.tsval = tsval
+        seg.tsecr = self._last_tsval_seen if acked else None
+        seg.timestamp = 0.0
+        # Inlined Host.transmit for stock hosts (see _fast_tx): capture
+        # stamp, then buffer under an open tx batch or send immediately.
+        if self._fast_tx and "transmit" not in host.__dict__:
+            cap = host.capture
+            if cap.enabled:
+                if cap.taps:
+                    cap.record(seg, host.sim.now, sent=True)
+                elif cap.buffering:
+                    cap._raw.append((host.sim.now, True, seg))
+            if host._tx_depth:
+                host._tx_buffer.append(seg)
+            else:
+                host.network.send_segment(seg)
+        else:
+            host.transmit(seg)
 
     @property
     def is_open(self) -> bool:
@@ -306,6 +390,10 @@ class TcpConnection:
 
     def _pump(self) -> None:
         """Send as much buffered data as the peer's window allows."""
+        # Common case on the receive path: an ACK arrives with nothing
+        # buffered and no FIN to send — bail before the state tests.
+        if not self._send_buffer and (self._fin_sent or not self._fin_pending):
+            return
         if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
             return
         while self._send_buffer:
@@ -335,17 +423,20 @@ class TcpConnection:
 
     def handle_segment(self, seg: Segment) -> None:
         """Process one incoming segment (called by the host)."""
+        # Flag tests are inlined as bit ops on a local — this method runs
+        # for every delivered segment that misses the batched fast path.
+        flags = seg.flags
         if seg.tsval is not None:
             self._last_tsval_seen = seg.tsval
 
-        if seg.has(Flags.RST):
+        if flags & Flags.RST:
             self.reset_received = True
             self.on_reset()
             self._enter_closed()
             return
 
         if self.state == TcpState.SYN_SENT:
-            if seg.has(Flags.SYN) and seg.has(Flags.ACK):
+            if flags & _SYN_ACK_BOTH == _SYN_ACK_BOTH:
                 self._rcv_nxt = (seg.seq + 1) & 0xFFFFFFFF
                 self._ack_advance(seg.ack)
                 self._peer_window = seg.window
@@ -362,7 +453,7 @@ class TcpConnection:
                 self.host.sim.bus.incr("tcp.retransmit")
                 self._emit(Flags.SYN | Flags.ACK, seq=self._isn)
                 return
-            if seg.has(Flags.ACK):
+            if flags & Flags.ACK:
                 self._ack_advance(seg.ack)
                 self._peer_window = seg.window
                 self.state = TcpState.ESTABLISHED
@@ -373,22 +464,30 @@ class TcpConnection:
             if not seg.payload:
                 return
 
-        if not self.reliable and seg.has(Flags.SYN) and seg.has(Flags.ACK):
+        if not self.reliable and flags & _SYN_ACK_BOTH == _SYN_ACK_BOTH:
             # Duplicate SYN/ACK (our handshake ACK was lost): re-ACK so
             # the peer leaves SYN_RCVD.
             self._emit(Flags.ACK)
             return
 
-        if seg.has(Flags.ACK):
-            self._ack_advance(seg.ack)
+        if flags & Flags.ACK:
+            # Reliable-fabric ACK fold and the _pump early-out are inlined
+            # (identical semantics) — this is the hottest branch of the
+            # per-segment receive path.
+            if self.reliable:
+                if seg.ack > self._snd_una:
+                    self._snd_una = seg.ack
+            else:
+                self._ack_advance(seg.ack)
             self._peer_window = seg.window
             if self.state == TcpState.LAST_ACK and self._snd_una >= self._snd_nxt:
                 self._enter_closed()
                 return
-            self._pump()
+            if self._send_buffer or (self._fin_pending and not self._fin_sent):
+                self._pump()
 
         if not self.reliable:
-            if seg.payload or seg.has(Flags.FIN):
+            if seg.payload or flags & Flags.FIN:
                 self._receive_sequenced(seg)
             return
 
@@ -401,7 +500,7 @@ class TcpConnection:
             if self.state == TcpState.CLOSED:
                 return
 
-        if seg.has(Flags.FIN):
+        if flags & Flags.FIN:
             self.fin_received = True
             if self.fin_sent_first is None:
                 self.fin_sent_first = False
@@ -412,6 +511,213 @@ class TcpConnection:
                 self._enter_closed()
             elif self.state == TcpState.ESTABLISHED:
                 self.state = TcpState.CLOSE_WAIT
+
+    # ----------------------------------------------- batched receive path
+
+    # States in which the batched receive path may run: the handshake is
+    # done, and the only state transition an incoming non-flag segment
+    # can cause (LAST_ACK close) is excluded.
+    _BURST_STATES = (TcpState.ESTABLISHED, TcpState.FIN_WAIT,
+                     TcpState.CLOSE_WAIT)
+
+    def _burst_quiescent(self) -> bool:
+        """True while per-segment processing is provably branch-free.
+
+        With nothing buffered to send and no FIN waiting to go out,
+        ``_pump`` is a no-op for every segment of a run, so ACK handling
+        reduces to the cumulative fold ``handle_burst`` performs.
+        """
+        return (self.state in self._BURST_STATES
+                and not self._send_buffer
+                and not (self._fin_pending and not self._fin_sent))
+
+    def handle_burst(self, segs: List[Segment]) -> int:
+        """Consume a qualifying prefix of a same-flow burst in one call.
+
+        Byte-identical to calling :meth:`handle_segment` per segment —
+        the fast path only engages while that equivalence is provable:
+
+        * reliable fabric (impaired networks keep the sequence-checked
+          per-segment receive and its fault handling);
+        * stock timestamp source (a stateful ``tsval_source`` could
+          observe the per-emission call pattern);
+        * handshake complete, send buffer empty, no un-sent FIN pending
+          (so the per-ACK ``_pump`` is a no-op) — re-checked after every
+          app callback, since ``on_data`` may send, close, or abort;
+        * data runs must be exactly in-order (``seq == rcv_nxt``,
+          contiguous) with plain ACK/PSH flags; anything else — OOO,
+          retransmits, SYN/FIN/RST, unexpected flag combos — ends the
+          prefix and falls back to ``handle_segment``.
+
+        Per data segment the loop still records the arrival capture,
+        advances ``rcv_nxt``, and emits the cumulative ACK (same fields,
+        same ``ip_id`` RNG draw), so captures, analyzer taps, and every
+        downstream byte are unchanged.  Returns the number of segments
+        consumed; the host routes the remainder per segment.
+        """
+        if not self.reliable or self._tsval_source is not None:
+            return 0
+        n = len(segs)
+        fw = flag_words(segs)
+        ln = lengths(segs)
+        ack_bit = Flags.ACK
+        bad_bits = Flags.SYN | Flags.FIN | Flags.RST
+        i = 0
+        while i < n:
+            if not self._burst_quiescent():
+                break
+            f = fw[i]
+            if f == ack_bit and not ln[i]:
+                i = self._rx_ack_run(segs, fw, ln, i, n)
+            elif ln[i] and f & ack_bit and not f & bad_bits:
+                j = self._rx_data_run(segs, fw, ln, i, n)
+                if j == i:
+                    break
+                i = j
+            else:
+                break
+        return i
+
+    def _rx_ack_run(self, segs, fw, ln, i: int, n: int) -> int:
+        """Fold a run of pure ACKs (no payload, no other flags) at once.
+
+        Sequential per-segment handling would do: update the tsval echo,
+        fold the cumulative ACK (a running max on a reliable fabric),
+        take the peer window, and run a no-op ``_pump``.  Folding keeps
+        the last tsval/window and the max ACK — identical final state —
+        while each arrival is still captured in order.
+        """
+        ack_bit = Flags.ACK
+        j = i
+        while j < n and fw[j] == ack_bit and not ln[j]:
+            j += 1
+        host = self.host
+        cap = host.capture
+        # Inlined Capture.record fast path (see Host.transmit).
+        raw = (cap._raw if cap.enabled and not cap.taps and cap.buffering
+               else None)
+        record = cap.record if raw is None and cap.enabled else None
+        now = host.sim.now
+        best = self._snd_una
+        for k in range(i, j):
+            seg = segs[k]
+            if raw is not None:
+                raw.append((now, False, seg))
+            elif record is not None:
+                record(seg, now, False)
+            tsv = seg.tsval
+            if tsv is not None:
+                self._last_tsval_seen = tsv
+            a = seg.ack
+            if a > best:
+                best = a
+        self._snd_una = best
+        self._peer_window = segs[j - 1].window
+        return j
+
+    def _rx_data_run(self, segs, fw, ln, i: int, n: int) -> int:
+        """Process an exactly-in-order data run; returns the new index.
+
+        Emits one cumulative ACK per segment with the identical field
+        values and RNG draws the per-segment path produces (they leave
+        as one coalesced return burst when the host's transmit batch
+        flushes), then hands payloads to the app — per segment via
+        ``on_data``, or as one concatenated run via ``on_data_run`` when
+        the app opted in.
+        """
+        seq_mask = _SEQ_MASK
+        ack_bit = Flags.ACK
+        bad_bits = Flags.SYN | Flags.FIN | Flags.RST
+        # Classify: longest contiguous in-sequence data prefix.
+        expect = self._rcv_nxt
+        j = i
+        while j < n:
+            f = fw[j]
+            if not ln[j] or not f & ack_bit or f & bad_bits:
+                break
+            if segs[j].seq != expect:
+                break
+            expect = (expect + ln[j]) & seq_mask
+            j += 1
+        if j == i:
+            return i
+        host = self.host
+        cap = host.capture
+        # Inlined Capture.record fast path (see Host.transmit).
+        raw = (cap._raw if cap.enabled and not cap.taps and cap.buffering
+               else None)
+        record = cap.record if raw is None and cap.enabled else None
+        transmit = host.transmit
+        fast_tx = self._fast_tx and "transmit" not in host.__dict__
+        txbuf = host._tx_buffer
+        grb = self._grb
+        randbelow = host.rng._randbelow if grb is None else None
+        now = host.sim.now
+        tsval_now = int(host._tsval_offset
+                        + host.tsval_rate * now) & 0xFFFFFFFF
+        on_run = self.on_data_run
+        chunks: Optional[List[bytes]] = [] if on_run is not None else None
+        k = i
+        while k < j:
+            seg = segs[k]
+            if raw is not None:
+                raw.append((now, False, seg))
+            elif record is not None:
+                record(seg, now, False)
+            tsv = seg.tsval
+            if tsv is not None:
+                self._last_tsval_seen = tsv
+            a = seg.ack
+            if a > self._snd_una:
+                self._snd_una = a
+            self._peer_window = seg.window
+            nxt = (seg.seq + ln[k]) & seq_mask
+            self._rcv_nxt = nxt
+            self.bytes_received += ln[k]
+            ack = object.__new__(Segment)
+            ack.src_ip = self.local_ip
+            ack.dst_ip = self.remote_ip
+            ack.src_port = self.local_port
+            ack.dst_port = self.remote_port
+            ack.flags = ack_bit
+            ack.seq = self._snd_nxt
+            ack.ack = nxt
+            ack.payload = b""
+            ack.window = self.rcv_window
+            ack.ttl = self.ttl
+            if grb is not None:
+                ip_id = grb(17)
+                while ip_id >= 65536:
+                    ip_id = grb(17)
+            else:
+                ip_id = randbelow(65536)
+            ack.ip_id = ip_id
+            ack.tsval = tsval_now
+            ack.tsecr = self._last_tsval_seen
+            ack.timestamp = 0.0
+            # Inlined Host.transmit (same dispatch as ``_emit``): the TX
+            # capture stamp shares this capture's fast-path locals.
+            if fast_tx:
+                if raw is not None:
+                    raw.append((now, True, ack))
+                elif record is not None:
+                    record(ack, now, True)
+                if host._tx_depth:
+                    txbuf.append(ack)
+                else:
+                    host.network.send_segment(ack)
+            else:
+                transmit(ack)
+            k += 1
+            if chunks is not None:
+                chunks.append(seg.payload)
+            else:
+                self.on_data(seg.payload)
+                if not self._burst_quiescent():
+                    break
+        if chunks is not None:
+            on_run(chunks)
+        return k
 
     # ------------------------------------------ sequence-checked receive
 

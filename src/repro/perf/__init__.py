@@ -14,6 +14,7 @@ baseline and is what CI's bench-smoke job calls.
 
 from .bench import (
     BenchEntry,
+    append_history,
     bench_analysis,
     bench_crypto,
     bench_detector,
@@ -28,6 +29,7 @@ from .compare import compare_entries, format_comparison, load_entries
 
 __all__ = [
     "BenchEntry",
+    "append_history",
     "bench_analysis",
     "bench_crypto",
     "bench_detector",

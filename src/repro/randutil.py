@@ -15,9 +15,61 @@ from __future__ import annotations
 import random
 from itertools import repeat
 
-__all__ = ["byte_draws"]
+__all__ = ["byte_draws", "choice_draw", "randint_draw"]
 
 
 def byte_draws(rng: random.Random, n: int) -> bytes:
     """``bytes(rng.randrange(256) for _ in range(n))``, draw-for-draw."""
+    if type(rng) is random.Random:
+        # Inline CPython's ``_randbelow_with_getrandbits`` for n=256:
+        # draw 9 bits (256.bit_length()), redraw while >= 256.  The
+        # getrandbits call sequence — and therefore the seeded stream —
+        # is identical to ``_randbelow(256)``; only the per-byte Python
+        # wrapper call disappears.  Subclassed RNGs (which may replace
+        # the reduction) keep the ``_randbelow`` dispatch below.
+        grb = rng.getrandbits
+        out = bytearray(n)
+        for i in range(n):
+            r = grb(9)
+            while r >= 256:
+                r = grb(9)
+            out[i] = r
+        return bytes(out)
     return bytes(map(rng._randbelow, repeat(256, n)))
+
+
+def choice_draw(rng: random.Random, seq):
+    """``rng.choice(seq)``, draw-for-draw.
+
+    CPython's ``choice`` is ``seq[self._randbelow(len(seq))]``; for a
+    stock ``random.Random`` the ``_randbelow`` reduction is inlined
+    against the bound ``getrandbits`` (draw ``len.bit_length()`` bits,
+    redraw while out of range) — the identical seeded stream without two
+    Python wrapper frames per pick.
+    """
+    n = len(seq)
+    if type(rng) is random.Random:
+        k = n.bit_length()
+        grb = rng.getrandbits
+        r = grb(k)
+        while r >= n:
+            r = grb(k)
+        return seq[r]
+    return seq[rng._randbelow(n)]
+
+
+def randint_draw(rng: random.Random, a: int, b: int) -> int:
+    """``rng.randint(a, b)`` (inclusive bounds), draw-for-draw.
+
+    ``randint`` normalizes to ``randrange(a, b + 1)`` which reduces to
+    ``a + self._randbelow(b - a + 1)``; same inlining as above.
+    """
+    width = b - a + 1
+    if type(rng) is random.Random:
+        k = width.bit_length()
+        grb = rng.getrandbits
+        r = grb(k)
+        while r >= width:
+            r = grb(k)
+        return a + r
+    return a + rng._randbelow(width)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from ..randutil import choice_draw
 from ..shadowsocks.client import ShadowsocksClient
 from .httpgen import SITES, site_request
 
@@ -30,7 +31,7 @@ class CurlDriver:
         self.sessions = []
 
     def fetch_once(self) -> None:
-        site = self.rng.choice(self.sites)
+        site = choice_draw(self.rng, self.sites)
         payload = site_request(site, self.rng)
         self.client.host.sim.bus.incr("workload.fetch")
         self.sessions.append(self.client.open(site, self.target_port, payload))

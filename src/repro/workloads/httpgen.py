@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
-from ..randutil import byte_draws
+from ..randutil import byte_draws, choice_draw, randint_draw
 
 __all__ = ["http_get_request", "tls_client_hello", "SITES", "site_request"]
 
@@ -39,20 +39,24 @@ _USER_AGENTS = [
     "curl/7.64.0",
 ]
 
+_SUITES = [b"\x13\x01", b"\x13\x02", b"\x13\x03", b"\xc0\x2f", b"\xc0\x30",
+           b"\xcc\xa9", b"\xcc\xa8", b"\x00\x9e"]
+
 
 def http_get_request(host: str, rng: random.Random, path: Optional[str] = None) -> bytes:
     """A plausible plaintext HTTP/1.1 GET (entropy ~4.5-5.5 bits/byte)."""
     if path is None:
-        depth = rng.randint(0, 3)
+        depth = randint_draw(rng, 0, 3)
         segments = [
-            "".join(rng.choice("abcdefghijklmnopqrstuvwxyz-") for _ in range(rng.randint(3, 12)))
+            "".join(choice_draw(rng, "abcdefghijklmnopqrstuvwxyz-")
+                    for _ in range(randint_draw(rng, 3, 12)))
             for _ in range(depth)
         ]
         path = "/" + "/".join(segments)
     headers = [
         f"GET {path} HTTP/1.1",
         f"Host: {host}",
-        f"User-Agent: {rng.choice(_USER_AGENTS)}",
+        f"User-Agent: {choice_draw(rng, _USER_AGENTS)}",
         "Accept: text/html,application/xhtml+xml,*/*;q=0.8",
         "Accept-Language: en-US,en;q=0.5",
         "Accept-Encoding: gzip, deflate",
@@ -73,9 +77,7 @@ def tls_client_hello(host: str, rng: random.Random) -> bytes:
     client_random = byte_draws(rng, 32)
     session_id = byte_draws(rng, 32)
     suites = b"".join(
-        rng.choice([b"\x13\x01", b"\x13\x02", b"\x13\x03", b"\xc0\x2f", b"\xc0\x30",
-                    b"\xcc\xa9", b"\xcc\xa8", b"\x00\x9e"])
-        for _ in range(rng.randint(12, 18))
+        choice_draw(rng, _SUITES) for _ in range(randint_draw(rng, 12, 18))
     )
     sni_name = host.encode("ascii")
     sni = (
@@ -87,7 +89,7 @@ def tls_client_hello(host: str, rng: random.Random) -> bytes:
         + sni_name
     )
     key_share = b"\x00\x33" + (38).to_bytes(2, "big") + b"\x00\x24\x00\x1d\x00\x20" + byte_draws(rng, 32)
-    padding_len = rng.randint(0, 180)
+    padding_len = randint_draw(rng, 0, 180)
     padding = b"\x00\x15" + padding_len.to_bytes(2, "big") + bytes(padding_len)
     extensions = sni + key_share + padding
     body = (

@@ -1,0 +1,131 @@
+"""Receive-side batching invariants: batched RX == per-segment, byte for byte.
+
+The batched receive path (``Host.deliver_burst`` → ``TcpConnection.
+handle_burst`` → coalesced cumulative ACKs riding the return transmit
+batch) is a pure performance transform, the receive-side twin of the
+transmit batching pinned by ``test_batched_datapath``.  With
+``Host.rx_batching`` forced off every arrival takes the historical
+``handle_segment`` path, and all observables — captures, bus counters,
+analyzer states, flag decisions, probe logs, canonical run payloads —
+must be identical between the two modes, pristine or impaired.
+``REPRO_NET_BATCH_RX=0`` is the user-facing kill switch.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gfw import DetectorConfig
+from repro.net import Impairment
+from repro.net.host import Host
+from repro.runtime import run_scenario
+from repro.runtime.scenario import scenario_names
+from repro.runtime.topology import build_world
+from repro.shadowsocks import ShadowsocksClient, ShadowsocksServer
+from repro.workloads import CurlDriver
+
+from .test_batched_datapath import SCENARIO_OVERRIDES, _trace
+
+
+def _run_canonical(name, rx_batching, seed=0):
+    original = Host.rx_batching
+    Host.rx_batching = rx_batching
+    try:
+        result = run_scenario(name, seed=seed,
+                              overrides=SCENARIO_OVERRIDES[name],
+                              use_cache=False)
+    finally:
+        Host.rx_batching = original
+    return result.canonical_bytes()
+
+
+def test_override_table_covers_every_builtin_scenario():
+    # The transmit-side suite owns the table; re-assert completeness here
+    # so a new builtin scenario cannot silently skip the RX equivalence.
+    assert set(SCENARIO_OVERRIDES) == set(scenario_names())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_OVERRIDES))
+def test_batched_rx_equals_per_segment(name):
+    # Zero-impairment runs of every builtin scenario must be
+    # byte-identical with and without the batched receive path.
+    assert _run_canonical(name, True) == _run_canonical(name, False)
+
+
+# ----------------------------------------------- impaired burst ordering
+
+
+def _run_workload(impairment, rx_batching):
+    original = Host.rx_batching
+    Host.rx_batching = rx_batching
+    try:
+        world = build_world(seed=5,
+                            detector_config=DetectorConfig(base_rate=1.0),
+                            websites=["example.com"],
+                            impairment=impairment)
+        server_host = world.add_server("server", region="uk")
+        client_host = world.add_client("client")
+        ShadowsocksServer(server_host, 8388, "pw", "chacha20-ietf-poly1305",
+                          "ss-libev-3.3.1", rng=random.Random(6))
+        client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
+                                   "chacha20-ietf-poly1305",
+                                   rng=random.Random(7))
+        CurlDriver(client, rng=random.Random(8),
+                   sites=["example.com"]).run_schedule(5, 30.0)
+        world.sim.run(until=1800.0)
+        return _trace(world)
+    finally:
+        Host.rx_batching = original
+
+
+@given(loss=st.sampled_from([0.0, 0.02, 0.08]),
+       reorder=st.sampled_from([0.0, 0.05, 0.2]),
+       duplicate=st.sampled_from([0.0, 0.05]))
+@settings(max_examples=8, deadline=None)
+def test_impaired_rx_matches_per_segment(loss, reorder, duplicate):
+    # Impaired fabrics keep the sequence-checked per-segment receive
+    # (handle_burst gates on conn.reliable), so the batched mode must
+    # reproduce every retransmission, reordering, and duplicate exactly.
+    imp = Impairment(loss=loss, reorder=reorder, duplicate=duplicate,
+                     jitter=0.002)
+    assert _run_workload(imp, True) == _run_workload(imp, False)
+
+
+def test_zero_impairment_batched_rx_equals_absent_impairment():
+    # Cross-mode *and* cross-impairment: an all-zero profile under
+    # batched RX reproduces the pristine per-segment traces.
+    assert _run_workload(None, True) == _run_workload(Impairment(), False)
+
+
+# ------------------------------------------------------- kill switch
+
+
+def test_rx_kill_switch_env_var():
+    # REPRO_NET_BATCH_RX=0 must force the class flag off at import time.
+    code = ("from repro.net.host import Host; "
+            "import sys; sys.exit(0 if not Host.rx_batching else 1)")
+    env = dict(os.environ, REPRO_NET_BATCH_RX="0")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p)
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          cwd=os.path.dirname(os.path.dirname(
+                              os.path.dirname(os.path.abspath(__file__)))))
+    assert proc.returncode == 0
+
+
+def test_rx_kill_switch_default_on():
+    code = ("from repro.net.host import Host; "
+            "import sys; sys.exit(0 if Host.rx_batching else 1)")
+    env = dict(os.environ)
+    env.pop("REPRO_NET_BATCH_RX", None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p)
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          cwd=os.path.dirname(os.path.dirname(
+                              os.path.dirname(os.path.abspath(__file__)))))
+    assert proc.returncode == 0

@@ -228,3 +228,23 @@ def test_bench_detector_suite(tmp_path, capsys):
             "detector.ensemble", "detector.passive_batch"} <= names
     assert all(entry["unit"] == "flags/s" for entry in doc)
     assert all(entry["value"] > 0 for entry in doc)
+
+
+def test_bench_appends_history_lines(tmp_path, capsys):
+    import json
+
+    # Every bench run appends one JSONL line per entry under the chosen
+    # out-dir; a second run appends (never truncates).
+    assert main(["bench", "--suite", "sim", "--quick",
+                 "--out-dir", str(tmp_path)]) == 0
+    history = tmp_path / "benchmarks" / "history.jsonl"
+    lines = history.read_text().splitlines()
+    assert len(lines) == 1
+    rec = json.loads(lines[0])
+    assert set(rec) == {"name", "value", "git_rev", "timestamp"}
+    assert rec["name"] == "sim.event_loop"
+    assert rec["value"] > 0
+    assert isinstance(rec["timestamp"], int)
+    assert main(["bench", "--suite", "sim", "--quick",
+                 "--out-dir", str(tmp_path)]) == 0
+    assert len(history.read_text().splitlines()) == 2

@@ -234,3 +234,92 @@ def test_tx_batching_can_be_disabled(monkeypatch):
     a.end_tx_batch()
     sim.run()
     assert net.segments_delivered == 2
+
+
+# ------------------------- regression: deliver_burst override contract
+#
+# deliver_burst promises that overridden delivery hooks observe every
+# arrival; the batched receive fast path may only engage when the hooks
+# are stock (batched_rx_ok auto-detection) or the subclass explicitly
+# opts in.
+
+
+def _burst(n=4):
+    return SegmentBurst([seg(seq=i, flags=Flags.RST) for i in range(n)])
+
+
+def test_instance_deliver_override_sees_every_burst_member():
+    # An instance-level monkeypatch (test double, capture tap) must
+    # force the dynamic per-segment path even though the *class* hooks
+    # are stock.
+    sim, net = make_net()
+    b = Host(sim, net, "10.0.0.2", "b")
+    assert b.batched_rx_ok            # stock host auto-detects True
+    received = []
+    b.deliver = received.append
+    b.deliver_burst(_burst())
+    assert [s.seq for s in received] == [0, 1, 2, 3]
+
+
+def test_instance_deliver_one_override_sees_every_burst_member():
+    sim, net = make_net()
+    b = Host(sim, net, "10.0.0.2", "b")
+    received = []
+    b._deliver_one = received.append
+    b.deliver_burst(_burst())
+    assert [s.seq for s in received] == [0, 1, 2, 3]
+
+
+def test_subclass_deliver_override_disables_batched_rx():
+    sim, net = make_net()
+    received = []
+
+    class Tap(Host):
+        def deliver(self, s):
+            received.append(s.seq)
+            super().deliver(s)
+
+    b = Tap(sim, net, "10.0.0.2", "b")
+    # Auto-detection: overridden hooks mean no batched receive.
+    assert b.batched_rx_ok is False
+    b.deliver_burst(_burst())
+    assert received == [0, 1, 2, 3]
+
+
+def test_subclass_can_opt_back_into_batched_rx():
+    sim, net = make_net()
+    received = []
+
+    class CountingHost(Host):
+        batched_rx_ok = True          # explicit opt-in despite override
+
+        def deliver(self, s):
+            received.append(s.seq)
+            super().deliver(s)
+
+    b = CountingHost(sim, net, "10.0.0.2", "b")
+    assert b.batched_rx_ok is True
+    # No matching connection here, so the fast path consumes nothing and
+    # the remainder still routes through the override — the opt-in only
+    # licenses handle_burst to bypass the hook for in-order TCP runs.
+    b.deliver_burst(_burst())
+    assert received == [0, 1, 2, 3]
+
+
+def test_rx_batching_kill_switch_forces_per_segment(monkeypatch):
+    monkeypatch.setattr(Host, "rx_batching", False)
+    sim, net = make_net()
+    b = Host(sim, net, "10.0.0.2", "b")
+    calls = []
+    original = Host._deliver_fast
+
+    def spy(self, s):
+        calls.append(s.seq)
+        original(self, s)
+
+    monkeypatch.setattr(Host, "_deliver_fast", spy)
+    b.deliver_burst(_burst(3))
+    # Every member individually delivered (the fast path would have
+    # consumed a TCP run in one handle_burst call; with no connection
+    # they all fall through either way — the point is the count).
+    assert calls == [0, 1, 2]
