@@ -171,6 +171,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true", dest="cprofile",
                    help="profile the benchmarks with cProfile; top functions "
                         "to stderr")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP control plane (submit jobs, stream records)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8388,
+                   help="bind port (default 8388; 0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="worker processes executing jobs (default 2)")
+    p.add_argument("--queue-size", type=int, default=64, metavar="N",
+                   help="max queued jobs before POST /jobs returns 429 "
+                        "(default 64)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache root shared by all jobs "
+                        "(default $REPRO_RUNS_DIR or runs/)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="run every job without the shared result cache")
+    p.add_argument("--keep-jobs", type=int, default=256, metavar="N",
+                   help="finished jobs retained for GET /jobs/{id} "
+                        "(default 256)")
     return parser
 
 
@@ -238,16 +260,13 @@ def _parse_shards(text: Optional[str]) -> Optional[int]:
 
 
 def _cmd_run(args) -> int:
-    import time
-
     from .runtime import (
+        JobSpec,
         ResultCache,
         ShardingError,
-        SweepResult,
         all_scenarios,
         default_cache_root,
-        run_sharded,
-        run_sweep,
+        execute_job,
     )
 
     if args.list_scenarios or args.scenario is None:
@@ -274,33 +293,19 @@ def _cmd_run(args) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_root())
-    seeds = range(args.seed_start, args.seed_start + max(args.seeds, 1))
-
-    def sharded_sweep() -> SweepResult:
-        # One sharded execution per seed; the merged per-seed results
-        # slot into the ordinary sweep machinery (printing, --json).
-        started = time.perf_counter()
-        jobs = args.jobs if args.jobs > 1 else None  # None = auto fan-out
-        results = []
-        for seed in seeds:
-            sharded = run_sharded(args.scenario, seed=seed,
-                                  overrides=overrides, shards=shards,
-                                  jobs=jobs, cache=cache,
-                                  use_cache=not args.no_cache)
-            results.append(sharded.merged)
-        return SweepResult(
-            scenario=results[0].scenario,
-            results=results,
-            wall_time=time.perf_counter() - started,
-            jobs=args.jobs,
-        )
+    spec = JobSpec(
+        scenario=args.scenario,
+        seeds=tuple(range(args.seed_start,
+                          args.seed_start + max(args.seeds, 1))),
+        overrides=overrides,
+        shards=shards,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
 
     try:
-        sweep = _run_profiled(
-            args.cprofile,
-            sharded_sweep if shards is not None else
-            lambda: run_sweep(args.scenario, seeds, overrides, jobs=args.jobs,
-                              cache=cache, use_cache=not args.no_cache))
+        job = _run_profiled(args.cprofile,
+                            lambda: execute_job(spec, cache=cache))
     except ShardingError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -309,14 +314,14 @@ def _cmd_run(args) -> int:
         return 2
 
     if args.as_json:
-        print(sweep.canonical_bytes().decode("utf-8"))
+        print(job.canonical_bytes().decode("utf-8"))
         return 0
 
-    merged = sweep.merged()
+    merged = job.merged
     shard_note = f"shards={shards}, " if shards is not None else ""
-    print(f"{args.scenario}: {len(sweep.results)} seed(s), "
-          f"{shard_note}jobs={sweep.jobs}, wall={sweep.wall_time:.2f}s, "
-          f"cache {sweep.cache_hits} hit / {sweep.cache_misses} miss")
+    print(f"{args.scenario}: {len(merged['seeds'])} seed(s), "
+          f"{shard_note}jobs={job.jobs}, wall={job.wall_time:.2f}s, "
+          f"cache {job.cache_hits} hit / {job.cache_misses} miss")
     for name, stats in merged["metrics"].items():
         print(f"  {name:<30} mean={stats['mean']:<12.6g} "
               f"min={stats['min']:<12.6g} max={stats['max']:.6g}")
@@ -326,6 +331,30 @@ def _cmd_run(args) -> int:
             print(f"  {name:<30} {count}")
     if cache is not None:
         print(f"results cached under {cache.root}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .runtime import default_cache_root
+    from .service import ControlPlaneConfig, serve_forever
+
+    cache_root = None
+    if not args.no_cache:
+        cache_root = str(args.cache_dir or default_cache_root())
+    config = ControlPlaneConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_root=cache_root,
+        keep_jobs=args.keep_jobs,
+    )
+    try:
+        asyncio.run(serve_forever(config))
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

@@ -21,10 +21,21 @@ Quick use::
 """
 
 from .cache import ResultCache, code_fingerprint, default_cache_root
-from .events import EventBus, merge_counters
+from .events import (
+    EventBus,
+    RecordForwarder,
+    install_record_tap,
+    merge_counters,
+    remove_record_tap,
+    sanitize_record,
+)
 from .runner import (
+    JobResult,
+    JobSpec,
+    JobSpecError,
     ShardedResult,
     SweepResult,
+    execute_job,
     merge_results,
     run_artifact,
     run_scenario,
@@ -52,6 +63,10 @@ from .sharding import (
 
 __all__ = [
     "EventBus",
+    "JobSpec",
+    "JobSpecError",
+    "JobResult",
+    "RecordForwarder",
     "ResultCache",
     "RunResult",
     "Scenario",
@@ -65,16 +80,20 @@ __all__ = [
     "code_fingerprint",
     "default_cache_root",
     "derive_seed",
+    "execute_job",
     "flow_key",
     "get_scenario",
+    "install_record_tap",
     "merge_counters",
     "merge_results",
     "partition",
     "register",
+    "remove_record_tap",
     "run_artifact",
     "run_scenario",
     "run_sharded",
     "run_sweep",
+    "sanitize_record",
     "scenario_names",
     "shard_of",
 ]

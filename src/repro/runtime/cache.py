@@ -14,16 +14,37 @@ a stale cache can never masquerade as a reproduction.
 The manifest records params, seed, wall time, and the instrumentation
 bus's event counts, so a directory of runs is auditable without
 unpickling or re-running anything.
+
+Concurrency: the cache is shared server-side by the :mod:`repro.service`
+control plane, where several worker processes can finish the same
+``(scenario, params, seed)`` job at once.  Two guarantees make that
+safe:
+
+* every file lands via write-to-temp + :func:`os.replace`, so a reader
+  can never observe a torn ``result.json``/``manifest.json``; and
+* :meth:`ResultCache.store` serializes same-key writers behind a
+  per-key ``fcntl`` file lock (``.lock`` inside the job directory), so
+  the result and its manifest are always written by the *same* process
+  — the pair can never interleave two writers' halves.
+
+Reads take no lock: the atomic replace already guarantees each file is
+either absent or complete.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pathlib
 import time
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
+
+try:  # POSIX; on platforms without fcntl the atomic replaces still hold
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from .scenario import RunResult, canonical_json
 
@@ -98,8 +119,18 @@ class ResultCache:
         self.hits += 1
         return result
 
+    def stats(self) -> Dict[str, int]:
+        """This process's hit/miss tallies (feeds the service metrics)."""
+        return {"hits": self.hits, "misses": self.misses}
+
     def store(self, result: RunResult) -> pathlib.Path:
-        """Persist a result and its manifest; returns the job directory."""
+        """Persist a result and its manifest; returns the job directory.
+
+        Safe under concurrent same-key writers: the per-key lock makes
+        the (result, manifest) pair a single critical section, and both
+        files are replaced atomically, so late writers simply overwrite
+        the earlier identical content.
+        """
         key = self.key_for(result.scenario, result.params, result.seed,
                            result.fingerprint)
         directory = self.dir_for(result.scenario, key)
@@ -119,11 +150,37 @@ class ResultCache:
                          for name, spec in result.analysis.items()},
             "created": time.time(),
         }
-        self._write_atomic(directory / self.RESULT_FILE,
-                           canonical_json(result.to_json_dict()))
-        self._write_atomic(directory / self.MANIFEST_FILE,
-                           json.dumps(manifest, sort_keys=True, indent=2))
+        with self._key_lock(directory):
+            self._write_atomic(directory / self.RESULT_FILE,
+                               canonical_json(result.to_json_dict()))
+            self._write_atomic(directory / self.MANIFEST_FILE,
+                               json.dumps(manifest, sort_keys=True, indent=2))
         return directory
+
+    LOCK_FILE = ".lock"
+
+    @staticmethod
+    @contextlib.contextmanager
+    def _key_lock(directory: pathlib.Path) -> Iterator[None]:
+        """Exclusive advisory lock scoped to one cache-key directory.
+
+        Held only around the two writes — cheap enough that writers
+        simply queue.  Without ``fcntl`` (non-POSIX) this degrades to
+        the atomic-replace-only guarantee, which still prevents torn
+        files, just not interleaved (result from A, manifest from B)
+        pairs.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        fd = os.open(directory / ResultCache.LOCK_FILE,
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
     @staticmethod
     def _write_atomic(path: pathlib.Path, text: str) -> None:

@@ -65,13 +65,71 @@ Canonical record kinds (see the pipeline module for the consumers):
 ``capture``         a tapped host capture saw a segment (pipeline-local)
 ``scale.flow``      the scale harness finished one synthetic flow
 ==================  =====================================================
+
+For consumers living *outside* the worker process (the
+:mod:`repro.service` control plane streams records to HTTP clients
+while a job runs), the module adds two pieces:
+
+* **global record taps** (:func:`install_record_tap`) — subscribers
+  attached automatically to every :class:`EventBus` constructed after
+  installation.  Scenario builders create their buses deep inside
+  ``build()``, so an external harness has no object to subscribe to;
+  a tap catches every bus the job creates without touching scenario
+  code.  Taps only observe: they never alter counters, RNG draws, or
+  snapshots, so tapped and untapped runs stay byte-identical.
+* :func:`sanitize_record` / :class:`RecordForwarder` — records may
+  carry rich in-memory values (payload bytes, segment objects) that
+  must not cross a process boundary; the forwarder projects each
+  record onto a JSON- and pickle-safe shape (bytes become
+  ``{"__bytes__": len, "prefix": hex}``, unknown objects become their
+  type name) before handing it to a sink callable.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping
+from typing import Any, Callable, Dict, List, Mapping, Tuple
 
-__all__ = ["EventBus", "merge_counters"]
+__all__ = [
+    "EventBus",
+    "RecordForwarder",
+    "install_record_tap",
+    "merge_counters",
+    "remove_record_tap",
+    "sanitize_record",
+]
+
+# Globally-installed record taps, auto-subscribed by every EventBus
+# constructed while installed.  Copy-on-write tuple for the same reason
+# the per-bus subscriber list is: installs/removes must never mutate a
+# sequence a constructor is reading.
+_RECORD_TAPS: Tuple[Callable[[Dict[str, Any]], None], ...] = ()
+
+
+def install_record_tap(fn: Callable[[Dict[str, Any]], None]) -> None:
+    """Subscribe ``fn`` to every :class:`EventBus` created from now on.
+
+    Buses that already exist are unaffected.  The service job worker
+    installs its :class:`RecordForwarder` here before building a
+    scenario, so whatever buses the build creates stream their records
+    out without the scenario knowing.
+    """
+    global _RECORD_TAPS
+    _RECORD_TAPS = _RECORD_TAPS + (fn,)
+
+
+def remove_record_tap(fn: Callable[[Dict[str, Any]], None]) -> None:
+    """Stop subscribing ``fn`` to new buses (existing buses keep it).
+
+    Equality-based, like :meth:`EventBus.unsubscribe_records`, so a
+    re-created bound method removes the originally-installed one.
+    """
+    global _RECORD_TAPS
+    taps = list(_RECORD_TAPS)
+    try:
+        taps.remove(fn)
+    except ValueError:
+        return
+    _RECORD_TAPS = tuple(taps)
 
 
 class EventBus:
@@ -90,7 +148,12 @@ class EventBus:
         # name -> [count, total, minimum, maximum]
         self.scalars: Dict[str, List[float]] = {}
         self._subscribers: List[Callable[[str, float], None]] = []
-        self._record_subscribers: List[Callable[[Dict[str, Any]], None]] = []
+        # Copy-on-write: emit() iterates whatever list object is bound
+        # at dispatch time, and (un)subscribe bind a *new* list, so a
+        # subscriber detaching itself mid-emit can never skip or repeat
+        # a peer (see unsubscribe_records).
+        self._record_subscribers: List[Callable[[Dict[str, Any]], None]] = (
+            list(_RECORD_TAPS))
 
     # ------------------------------------------------------------- emitting
 
@@ -137,21 +200,38 @@ class EventBus:
         values (bytes, segments) — they are consumed live, never stored
         on the bus, and never serialized into a snapshot.
         """
-        if not self._record_subscribers:
+        subscribers = self._record_subscribers
+        if not subscribers:
             return
         record = dict(event)
         record["kind"] = kind
-        for fn in self._record_subscribers:
+        # Iterate the snapshot bound above: a subscriber calling
+        # (un)subscribe_records from inside its callback rebinds the
+        # attribute without touching this list, so dispatch of the
+        # current record always covers exactly the set that was
+        # subscribed when emit() started.
+        for fn in subscribers:
             fn(record)
 
     def subscribe_records(self, fn: Callable[[Dict[str, Any]], None]) -> None:
-        self._record_subscribers.append(fn)
+        self._record_subscribers = self._record_subscribers + [fn]
 
     def unsubscribe_records(self, fn: Callable[[Dict[str, Any]], None]) -> None:
+        """Detach ``fn``; safe to call from inside an active emit().
+
+        Rebinds a fresh list instead of mutating in place — removing an
+        element from the list emit() is iterating would shift its
+        neighbours under the loop and silently skip the next
+        subscriber (the bug that broke clean SSE client disconnects).
+        Equality-based (like ``list.remove``) so callers may pass a
+        re-created bound method, as the analysis pipeline does.
+        """
+        subscribers = list(self._record_subscribers)
         try:
-            self._record_subscribers.remove(fn)
+            subscribers.remove(fn)
         except ValueError:
-            pass
+            return
+        self._record_subscribers = subscribers
 
     # ------------------------------------------------------------ consuming
 
@@ -186,6 +266,83 @@ class EventBus:
                 mine[1] += agg[1]
                 mine[2] = min(mine[2], agg[2])
                 mine[3] = max(mine[3], agg[3])
+
+
+# ------------------------------------------------------ record forwarding
+
+
+_BYTES_PREFIX = 8  # hex-preview length for sanitized byte payloads
+
+
+def sanitize_record(record: Mapping[str, Any], _depth: int = 0) -> Dict[str, Any]:
+    """Project a structured record onto a JSON- and pickle-safe shape.
+
+    Records may carry rich in-memory values (payload bytes, Segment
+    objects, nested tuples); anything leaving the worker process — over
+    the service's record pipe, into an SSE stream — goes through this
+    first.  Scalars pass through, containers recurse (depth-capped),
+    ``bytes`` become ``{"__bytes__": length, "prefix": hex-of-first-8}``
+    so consumers see sizes without shipping ciphertext, and any other
+    object collapses to ``{"__type__": class name}``.  Deterministic:
+    the same record always sanitizes to the same document.
+    """
+    return {str(key): _sanitize_value(value, _depth)
+            for key, value in record.items()}
+
+
+def _sanitize_value(value: Any, depth: int) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        return {"__bytes__": len(raw), "prefix": raw[:_BYTES_PREFIX].hex()}
+    if depth >= 4:
+        return {"__type__": type(value).__name__}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize_value(v, depth + 1) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _sanitize_value(v, depth + 1)
+                for k, v in value.items()}
+    return {"__type__": type(value).__name__}
+
+
+class RecordForwarder:
+    """A record subscriber that sanitizes and hands records to a sink.
+
+    Install one as a global tap (:func:`install_record_tap`) to stream
+    every record a job emits out of the process::
+
+        forwarder = RecordForwarder(sink.send)
+        install_record_tap(forwarder)
+        try:
+            ...  # build/run scenarios
+        finally:
+            remove_record_tap(forwarder)
+
+    The sink receives plain dicts (see :func:`sanitize_record`).  A sink
+    raising ``OSError`` (consumer went away mid-run) permanently
+    disables the forwarder instead of failing the job; ``forwarded`` and
+    ``dropped`` keep the accounting either way.
+    """
+
+    __slots__ = ("sink", "forwarded", "dropped", "dead")
+
+    def __init__(self, sink: Callable[[Dict[str, Any]], None]) -> None:
+        self.sink = sink
+        self.forwarded = 0
+        self.dropped = 0
+        self.dead = False
+
+    def __call__(self, record: Dict[str, Any]) -> None:
+        if self.dead:
+            self.dropped += 1
+            return
+        try:
+            self.sink(sanitize_record(record))
+            self.forwarded += 1
+        except OSError:
+            self.dead = True
+            self.dropped += 1
 
 
 def merge_counters(snapshots: List[Dict[str, object]]) -> Dict[str, int]:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import concurrent.futures
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .cache import ResultCache, code_fingerprint
@@ -34,8 +34,12 @@ from .scenario import RunResult, Scenario, canonical_json, canonical_params, get
 from .sharding import Sharder, ShardingError, fold_snapshots, partition
 
 __all__ = [
+    "JobResult",
+    "JobSpec",
+    "JobSpecError",
     "ShardedResult",
     "SweepResult",
+    "execute_job",
     "merge_results",
     "run_artifact",
     "run_scenario",
@@ -520,3 +524,198 @@ def run_sharded(name: str, seed: int = 0,
         wall_time=wall,
         jobs=jobs,
     )
+
+
+# ------------------------------------------------------------ job layer
+
+
+class JobSpecError(ValueError):
+    """A job specification that cannot be executed as requested."""
+
+
+@dataclass
+class JobSpec:
+    """One executable job description, shared by the CLI and the service.
+
+    This is the serialization boundary of the runtime: a spec is plain
+    JSON-able data (it travels in ``POST /jobs`` bodies and across the
+    service's worker pool), and :func:`execute_job` turns it into a
+    :class:`JobResult` with exactly the semantics of the equivalent
+    ``python -m repro run`` invocation — ``shards=None`` is a plain
+    multi-seed sweep, ``shards=N`` runs one sharded execution per seed
+    and folds the merged per-seed results into the same sweep shape.
+    """
+
+    scenario: str
+    seeds: Tuple[int, ...] = (0,)
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    shards: Optional[int] = None
+    jobs: int = 1
+    use_cache: bool = True
+
+    KEYS = ("scenario", "seeds", "overrides", "shards", "jobs", "use_cache")
+
+    def __post_init__(self) -> None:
+        self.seeds = tuple(int(s) for s in self.seeds)
+        self.overrides = dict(self.overrides)
+        if not self.scenario:
+            raise JobSpecError("job spec needs a scenario name")
+        if not self.seeds:
+            raise JobSpecError("job spec needs at least one seed")
+        if self.shards is not None and int(self.shards) < 1:
+            raise JobSpecError(f"shards must be >= 1, got {self.shards}")
+        if int(self.jobs) < 1:
+            raise JobSpecError(f"jobs must be >= 1, got {self.jobs}")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        """Build a spec from untrusted JSON (the service's POST body).
+
+        Accepts either an explicit ``seeds`` list or the CLI-shaped
+        ``{"seeds": N, "seed_start": S}`` count form; rejects unknown
+        keys so typos fail loudly instead of silently running the
+        default sweep.
+        """
+        if not isinstance(data, Mapping):
+            raise JobSpecError(f"job spec must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - set(cls.KEYS) - {"seed_start"})
+        if unknown:
+            raise JobSpecError(
+                f"unknown job spec keys {unknown}; valid: {sorted(cls.KEYS)}")
+        scenario = data.get("scenario")
+        if not isinstance(scenario, str) or not scenario:
+            raise JobSpecError("'scenario' must be a non-empty string")
+        seeds = data.get("seeds", 1)
+        start = data.get("seed_start", 0)
+        if isinstance(seeds, bool):
+            raise JobSpecError("'seeds' must be an int count or a list of ints")
+        if isinstance(seeds, int):
+            if seeds < 1:
+                raise JobSpecError(f"'seeds' count must be >= 1, got {seeds}")
+            seed_list = tuple(range(int(start), int(start) + seeds))
+        elif isinstance(seeds, (list, tuple)):
+            try:
+                seed_list = tuple(int(s) for s in seeds)
+            except (TypeError, ValueError):
+                raise JobSpecError(f"'seeds' list must contain ints, got {seeds!r}")
+        else:
+            raise JobSpecError("'seeds' must be an int count or a list of ints")
+        overrides = data.get("overrides") or {}
+        if not isinstance(overrides, Mapping):
+            raise JobSpecError("'overrides' must be an object")
+        shards = data.get("shards")
+        if shards is not None and (isinstance(shards, bool)
+                                   or not isinstance(shards, int)):
+            raise JobSpecError(f"'shards' must be an int or null, got {shards!r}")
+        jobs = data.get("jobs", 1)
+        if isinstance(jobs, bool) or not isinstance(jobs, int):
+            raise JobSpecError(f"'jobs' must be an int, got {jobs!r}")
+        return cls(
+            scenario=scenario,
+            seeds=seed_list,
+            overrides=dict(overrides),
+            shards=shards,
+            jobs=jobs,
+            use_cache=bool(data.get("use_cache", True)),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seeds": list(self.seeds),
+            "overrides": json.loads(canonical_json(self.overrides)),
+            "shards": self.shards,
+            "jobs": self.jobs,
+            "use_cache": self.use_cache,
+        }
+
+
+@dataclass
+class JobResult:
+    """The JSON-able outcome of one executed :class:`JobSpec`.
+
+    ``merged`` is the deterministic merged-sweep document —
+    byte-identical (via :meth:`canonical_bytes`) to what
+    ``python -m repro run ... --json`` prints for the same spec; the
+    rest is accounting the control plane reports and meters.
+    """
+
+    spec: Dict[str, Any]
+    merged: Dict[str, Any]
+    wall_time: float
+    jobs: int
+    cache_hits: int
+    cache_misses: int
+
+    @classmethod
+    def from_sweep(cls, spec: JobSpec, sweep: SweepResult) -> "JobResult":
+        return cls(
+            spec=spec.to_dict(),
+            merged=sweep.merged(),
+            wall_time=sweep.wall_time,
+            jobs=sweep.jobs,
+            cache_hits=sweep.cache_hits,
+            cache_misses=sweep.cache_misses,
+        )
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic bytes of the merged document (timing excluded)."""
+        return canonical_json(self.merged).encode("utf-8")
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "merged": self.merged,
+            "wall_time": self.wall_time,
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "JobResult":
+        return cls(
+            spec=dict(data["spec"]),
+            merged=dict(data["merged"]),
+            wall_time=float(data["wall_time"]),
+            jobs=int(data["jobs"]),
+            cache_hits=int(data["cache_hits"]),
+            cache_misses=int(data["cache_misses"]),
+        )
+
+
+def execute_job(spec: JobSpec, *,
+                cache: Optional[ResultCache] = None) -> JobResult:
+    """Run one :class:`JobSpec` to completion and return its result.
+
+    This is the single execution path beneath both front-ends: the CLI
+    builds a spec from its flags, the service deserializes one from a
+    POST body, and both get the same bytes for the same spec.  With
+    ``shards`` set, ``jobs=1`` means auto fan-out (one process per
+    non-empty shard, capped at the CPU count) — matching the CLI's
+    ``--shards`` semantics, where ``--jobs`` only pins the pool size
+    when it is greater than one.
+    """
+    started = time.perf_counter()
+    if spec.shards is None:
+        sweep = run_sweep(spec.scenario, spec.seeds, spec.overrides,
+                          jobs=spec.jobs, cache=cache,
+                          use_cache=spec.use_cache)
+    else:
+        # One sharded execution per seed; the merged per-seed results
+        # slot into the ordinary sweep shape (merging, canonical bytes).
+        shard_jobs = spec.jobs if spec.jobs > 1 else None  # None = auto
+        results = []
+        for seed in spec.seeds:
+            sharded = run_sharded(spec.scenario, seed=seed,
+                                  overrides=spec.overrides,
+                                  shards=spec.shards, jobs=shard_jobs,
+                                  cache=cache, use_cache=spec.use_cache)
+            results.append(sharded.merged)
+        sweep = SweepResult(
+            scenario=results[0].scenario,
+            results=results,
+            wall_time=time.perf_counter() - started,
+            jobs=spec.jobs,
+        )
+    return JobResult.from_sweep(spec, sweep)

@@ -7,8 +7,7 @@ on the path.  The inside address space covers the Table 3 prober ASes,
 the fleet anchor, and the experiment's own client subnets, so the GFW
 sees exactly the border-crossing traffic it should.
 
-This module used to live at :mod:`repro.experiments.common`; that module
-remains as a re-export shim.  It is deliberately *not* imported from
+This module is deliberately *not* imported from
 ``repro.runtime.__init__`` — it pulls in :mod:`repro.net` and
 :mod:`repro.gfw`, which themselves import :mod:`repro.runtime.events`,
 and eagerly importing it from the package root would create a cycle.

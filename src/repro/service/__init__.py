@@ -1,0 +1,57 @@
+"""The censor-as-a-service control plane.
+
+``repro.service`` turns the batch runtime into a long-lived asyncio
+server: scenarios are submitted as :class:`~repro.runtime.runner.JobSpec`
+documents over HTTP, execute on a process pool through the exact same
+:func:`~repro.runtime.runner.execute_job` path the CLI uses (so a job's
+result is byte-identical to the equivalent ``python -m repro run``),
+stream their structured analyzer records live over Server-Sent Events
+while they run, share the on-disk result cache across submissions, and
+report Prometheus-style metrics.
+
+Layers (each its own module, stdlib only):
+
+* :mod:`~repro.service.metrics` — counter/gauge registry + text format;
+* :mod:`~repro.service.streams` — the record bridge: worker processes
+  forward sanitized EventBus records over a Unix socket into per-job
+  asyncio fan-out queues with slow-consumer drop accounting;
+* :mod:`~repro.service.jobs`    — the JobManager: bounded queue,
+  ProcessPoolExecutor workers, job states, graceful drain;
+* :mod:`~repro.service.server`  — the asyncio-streams HTTP/1.1 front
+  end (``POST /jobs``, ``GET /jobs/{id}``, ``DELETE /jobs/{id}``,
+  ``GET /jobs/{id}/records`` SSE, ``GET /metrics``);
+* :mod:`~repro.service.client`  — a thin blocking client for tests,
+  examples, and CI.
+
+Start one with ``python -m repro serve --host 127.0.0.1 --port 8388``
+or programmatically::
+
+    from repro.service import ControlPlaneConfig, serve_forever
+    import asyncio
+
+    asyncio.run(serve_forever(ControlPlaneConfig(port=8400, workers=2)))
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobManager, JobQueueFull, JobState
+from .metrics import Counter, Gauge, MetricsRegistry
+from .server import ControlPlane, ControlPlaneConfig, serve_forever
+from .streams import JobStream, RecordBridge, WorkerRecordSink
+
+__all__ = [
+    "ControlPlane",
+    "ControlPlaneConfig",
+    "Counter",
+    "Gauge",
+    "Job",
+    "JobManager",
+    "JobQueueFull",
+    "JobState",
+    "JobStream",
+    "MetricsRegistry",
+    "RecordBridge",
+    "ServiceClient",
+    "ServiceError",
+    "WorkerRecordSink",
+    "serve_forever",
+]

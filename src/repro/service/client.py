@@ -1,0 +1,190 @@
+"""A thin blocking client for the control plane (tests, examples, CI).
+
+Stdlib ``http.client`` only.  Every call opens one connection (the
+server closes after each response anyway); :meth:`ServiceClient.records`
+holds its connection open and yields SSE events as they arrive.
+
+Quick use::
+
+    client = ServiceClient("127.0.0.1", 8400)
+    job = client.submit({"scenario": "quickstart",
+                         "overrides": {"connections": 10}})
+    for event, data in client.records(job["id"]):
+        print(event, data.get("kind"))
+    done = client.wait(job["id"])
+    print(done["result"]["metrics"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response, or a job that finished failed/cancelled."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 body: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+
+class ServiceClient:
+    """Blocking HTTP client bound to one control plane."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8388, *,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Mapping[str, Any]] = None,
+                 ) -> Tuple[int, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                decoded: Any = json.loads(raw) if raw else {}
+            else:
+                decoded = raw.decode("utf-8")
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        status, decoded = self._request(method, path, body)
+        if status >= 400:
+            error = decoded.get("error") if isinstance(decoded, dict) else decoded
+            raise ServiceError(f"{method} {path} -> {status}: {error}",
+                               status=status,
+                               body=decoded if isinstance(decoded, dict) else None)
+        assert isinstance(decoded, dict)
+        return decoded
+
+    # ------------------------------------------------------------ the API
+
+    def info(self) -> Dict[str, Any]:
+        return self._json("GET", "/")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        status, text = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"GET /metrics -> {status}", status=status)
+        assert isinstance(text, str)
+        return text
+
+    def submit(self, spec: Mapping[str, Any]) -> Dict[str, Any]:
+        """POST a JobSpec document; returns the accepted job document."""
+        return self._json("POST", "/jobs", dict(spec))
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return list(self._json("GET", "/jobs")["jobs"])
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll: float = 0.05, raise_on_failure: bool = True,
+             ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                if raise_on_failure and doc["state"] != "done":
+                    raise ServiceError(
+                        f"job {job_id} finished {doc['state']}: "
+                        f"{doc.get('error')}", body=doc)
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {doc['state']} after {timeout}s")
+            time.sleep(poll)
+
+    def run(self, spec: Mapping[str, Any], *,
+            timeout: float = 300.0) -> Dict[str, Any]:
+        """Submit + wait; returns the merged result document."""
+        job = self.submit(spec)
+        done = self.wait(job["id"], timeout=timeout)
+        return done["result"]
+
+    def records(self, job_id: str, *, max_events: Optional[int] = None,
+                ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield ``(event, data)`` SSE pairs until the ``end`` event.
+
+        ``max_events`` stops the iteration early (the connection is
+        dropped; the server unsubscribes the slot on disconnect).
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/records")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    error = json.loads(raw).get("error")
+                except ValueError:
+                    error = raw.decode("utf-8", "replace")
+                raise ServiceError(
+                    f"GET /jobs/{job_id}/records -> {response.status}: "
+                    f"{error}", status=response.status)
+            yielded = 0
+            event: Optional[str] = None
+            data_lines: List[bytes] = []
+            while True:
+                line = response.readline()
+                if not line:
+                    return  # server closed without an end event
+                line = line.rstrip(b"\n")
+                if line.startswith(b":"):
+                    continue  # keepalive comment
+                if line.startswith(b"event:"):
+                    event = line[len(b"event:"):].strip().decode("utf-8")
+                    continue
+                if line.startswith(b"data:"):
+                    data_lines.append(line[len(b"data:"):].strip())
+                    continue
+                if line == b"" and (event or data_lines):
+                    # blank line = dispatch the accumulated event
+                    name = event or "message"
+                    try:
+                        data = json.loads(b"\n".join(data_lines) or b"{}")
+                    except ValueError:
+                        data = {}
+                    event, data_lines = None, []
+                    if not isinstance(data, dict):
+                        data = {"value": data}
+                    yield name, data
+                    yielded += 1
+                    if name == "end":
+                        return
+                    if max_events is not None and yielded >= max_events:
+                        return
+        finally:
+            conn.close()

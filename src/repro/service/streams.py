@@ -1,0 +1,246 @@
+"""The record bridge: EventBus records out of workers, into SSE fan-out.
+
+Jobs execute in pool worker processes; the analyzer records their
+EventBuses emit must reach HTTP clients subscribed to
+``GET /jobs/{id}/records`` in the server process, live.  The path:
+
+.. code-block:: text
+
+    worker process                      server process (event loop)
+    --------------                      ---------------------------
+    EventBus.emit(kind, event)
+      -> RecordForwarder (global tap)
+        -> sanitize_record(...)
+          -> WorkerRecordSink  == unix socket ==>  RecordBridge reader
+             (one JSON line                          -> JobStream.publish
+              per record)                               -> per-subscriber
+                                                           asyncio queues
+
+The worker side is synchronous (it runs inside the simulation's hot
+loop); the server side is a per-connection asyncio reader task.  The
+first line a worker sends is a handshake naming its job id; every
+subsequent line is one sanitized record.
+
+Flow control: the worker socket is *blocking*, so a stalled server
+process back-pressures the worker rather than ballooning memory.  On
+the server side each subscriber gets a bounded :class:`asyncio.Queue`;
+a subscriber that cannot keep up has records *dropped* (counted
+per-subscriber and in the ``repro_records_dropped_total`` metric)
+rather than stalling the bridge or its peers.  Each job also keeps a
+bounded replay buffer of its most recent records so a client that
+subscribes moments after the job finished still sees the tail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import json
+import socket
+from typing import Any, AsyncIterator, Deque, Dict, Optional, Set
+
+from .metrics import MetricsRegistry
+
+__all__ = ["JobStream", "RecordBridge", "WorkerRecordSink"]
+
+# Per-subscriber queue depth: beyond this, new records are dropped for
+# that subscriber only (slow-consumer policy).
+SUBSCRIBER_QUEUE_DEPTH = 1024
+# Most-recent records replayed to late subscribers.
+REPLAY_BUFFER_DEPTH = 512
+
+
+class JobStream:
+    """One job's record channel: replay buffer plus live subscribers."""
+
+    def __init__(self, job_id: str,
+                 replay_depth: int = REPLAY_BUFFER_DEPTH) -> None:
+        self.job_id = job_id
+        self.buffer: Deque[Dict[str, Any]] = collections.deque(
+            maxlen=replay_depth)
+        self.received = 0          # records the bridge routed to this job
+        self.dropped = 0           # records dropped across all subscribers
+        self.truncated = 0         # records evicted from the replay buffer
+        self.closed = False
+        self._subscribers: Set["asyncio.Queue[Optional[Dict[str, Any]]]"] = set()
+
+    def publish(self, record: Dict[str, Any]) -> int:
+        """Route one record; returns how many subscribers dropped it."""
+        self.received += 1
+        if self.buffer.maxlen and len(self.buffer) == self.buffer.maxlen:
+            self.truncated += 1
+        self.buffer.append(record)
+        dropped = 0
+        for queue in self._subscribers:
+            try:
+                queue.put_nowait(record)
+            except asyncio.QueueFull:
+                dropped += 1
+        self.dropped += dropped
+        return dropped
+
+    def close(self) -> None:
+        """No more records will arrive; wake every subscriber with EOF."""
+        if self.closed:
+            return
+        self.closed = True
+        for queue in self._subscribers:
+            try:
+                queue.put_nowait(None)
+            except asyncio.QueueFull:
+                pass  # the sentinel also comes from subscribe()'s refill
+
+    def subscribe(self) -> "asyncio.Queue[Optional[Dict[str, Any]]]":
+        """Attach a consumer: replay the buffer, then live records.
+
+        The queue yields record dicts and a ``None`` sentinel once the
+        job is finished and the stream drained.
+        """
+        queue: "asyncio.Queue[Optional[Dict[str, Any]]]" = asyncio.Queue(
+            maxsize=SUBSCRIBER_QUEUE_DEPTH)
+        for record in self.buffer:
+            try:
+                queue.put_nowait(record)
+            except asyncio.QueueFull:
+                self.dropped += 1
+        if self.closed:
+            try:
+                queue.put_nowait(None)
+            except asyncio.QueueFull:
+                pass
+        else:
+            self._subscribers.add(queue)
+        return queue
+
+    def unsubscribe(self,
+                    queue: "asyncio.Queue[Optional[Dict[str, Any]]]") -> None:
+        self._subscribers.discard(queue)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+
+class RecordBridge:
+    """The server half: a Unix-socket ingest routing records to streams."""
+
+    def __init__(self, path: str,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.path = path
+        self._streams: Dict[str, JobStream] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        registry = metrics or MetricsRegistry()
+        self.records_total = registry.counter(
+            "repro_records_streamed_total",
+            "Structured records received from job workers")
+        self.drops_total = registry.counter(
+            "repro_records_dropped_total",
+            "Records dropped on slow subscriber queues",
+            ("reason",))
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_unix_server(
+            self._handle_worker, path=self.path)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for stream in self._streams.values():
+            stream.close()
+
+    # ------------------------------------------------------------- streams
+
+    def stream_for(self, job_id: str) -> JobStream:
+        """The (created-on-first-use) record stream of one job."""
+        stream = self._streams.get(job_id)
+        if stream is None:
+            stream = self._streams[job_id] = JobStream(job_id)
+        return stream
+
+    def close_stream(self, job_id: str) -> None:
+        stream = self._streams.get(job_id)
+        if stream is not None:
+            stream.close()
+
+    def forget_stream(self, job_id: str) -> None:
+        stream = self._streams.pop(job_id, None)
+        if stream is not None:
+            stream.close()
+
+    # -------------------------------------------------------------- ingest
+
+    async def _handle_worker(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """One worker connection: handshake line, then record lines."""
+        stream: Optional[JobStream] = None
+        try:
+            handshake = await reader.readline()
+            if not handshake:
+                return
+            try:
+                hello = json.loads(handshake)
+                job_id = str(hello["job"])
+            except (ValueError, KeyError, TypeError):
+                return  # not a worker of ours; drop the connection
+            stream = self.stream_for(job_id)
+            async for line in _lines(reader):
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn line at worker crash; skip
+                if not isinstance(record, dict):
+                    continue
+                self.records_total.inc()
+                dropped = stream.publish(record)
+                if dropped:
+                    self.drops_total.inc(dropped, reason="slow_consumer")
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass  # worker died mid-line; the job result reports the error
+        finally:
+            writer.close()
+            # The stream stays open: the job may keep running (e.g. the
+            # worker reconnects per seed is not a thing today, but the
+            # manager owns the close when the job reaches a terminal
+            # state, not the socket lifetime).
+
+
+async def _lines(reader: asyncio.StreamReader) -> AsyncIterator[bytes]:
+    while True:
+        line = await reader.readline()
+        if not line:
+            return
+        yield line
+
+
+class WorkerRecordSink:
+    """The worker half: JSON-lines over the bridge's Unix socket.
+
+    Synchronous and blocking by design (see the module docstring).
+    Construction performs the connect + handshake; ``send`` writes one
+    record line.  Any socket failure raises ``OSError``, which the
+    :class:`~repro.runtime.events.RecordForwarder` treats as "consumer
+    went away": it stops forwarding but the job keeps running.
+    """
+
+    def __init__(self, path: str, job_id: str) -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            self._sock.connect(path)
+            self._sock.sendall(
+                json.dumps({"job": job_id}).encode("utf-8") + b"\n")
+        except OSError:
+            self._sock.close()
+            raise
+
+    def send(self, record: Dict[str, Any]) -> None:
+        payload = json.dumps(record, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        self._sock.sendall(payload + b"\n")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close never fails on Linux
+            pass

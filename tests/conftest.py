@@ -1,0 +1,60 @@
+"""Shared fixtures: an in-process control plane on a background loop."""
+
+import asyncio
+import threading
+
+import pytest
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Start throwaway control planes on ephemeral ports.
+
+    Yields ``factory(**config_overrides) -> (plane, client)``; every
+    plane started through it is drained and its loop torn down after
+    the test, so job workers never outlive the test process.
+    """
+    from repro.service import ControlPlane, ControlPlaneConfig, ServiceClient
+
+    started = []
+
+    def factory(**overrides):
+        config_kwargs = {
+            "host": "127.0.0.1",
+            "port": 0,
+            "workers": 2,
+            "queue_size": 8,
+            "cache_root": str(tmp_path / "service-cache"),
+            "drain_timeout": 10.0,
+        }
+        config_kwargs.update(overrides)
+        plane = ControlPlane(ControlPlaneConfig(**config_kwargs))
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(plane.start())
+            ready.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True,
+                                  name="control-plane-loop")
+        thread.start()
+        assert ready.wait(30), "control plane failed to start"
+        started.append((plane, loop, thread))
+        return plane, ServiceClient("127.0.0.1", plane.port, timeout=60)
+
+    yield factory
+
+    for plane, loop, thread in started:
+        asyncio.run_coroutine_threadsafe(plane.stop(), loop).result(60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=15)
+        loop.close()
+
+
+@pytest.fixture
+def service(service_factory):
+    """One default control plane: ``(plane, client)``."""
+    return service_factory()

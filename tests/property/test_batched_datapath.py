@@ -48,6 +48,7 @@ SCENARIO_OVERRIDES = {
         "cases": [["passive", {"kind": "passive", "base_rate": 1.0}],
                   ["entropy", {"kind": "entropy", "threshold": 7.2}]]},
     "scale-1m": {"flows": 2000, "block_size": 256},
+    "quickstart": {"connections": 6},
 }
 
 

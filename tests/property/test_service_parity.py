@@ -1,0 +1,69 @@
+"""Service/CLI parity: POST /jobs returns the CLI's exact bytes.
+
+The acceptance property of the control plane: for any JobSpec, the
+merged document a job returns over HTTP is byte-identical (canonical
+JSON) to what ``python -m repro run`` prints for the equivalent
+invocation — serial and sharded, across several builtin scenarios.
+Caching is disabled on both sides so both paths genuinely execute.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.scenario import canonical_json
+
+# (scenario, overrides, also test --shards 2?).  Parameterizations are
+# deliberately tiny so each case stays around a second.
+PARITY_CASES = [
+    ("quickstart", {"connections": 8}, False),
+    ("impairment-matrix", {"loss_rates": [0.0, 0.01],
+                           "reorder_rates": [0.0],
+                           "connections": 5, "duration": 1800.0}, True),
+    ("probesim-grid", {"trials": 1, "profiles": ["ss-libev-3.1.3"],
+                       "methods": ["aes-128-gcm", "aes-256-ctr"],
+                       "lengths": [1, 2, 50]}, True),
+    ("scale-1m", {"flows": 2000, "block_size": 256}, True),
+]
+
+
+def _cli_bytes(scenario, overrides, shards):
+    argv = [sys.executable, "-m", "repro", "run", scenario,
+            "--json", "--no-cache", "--seeds", "2"]
+    if shards is not None:
+        argv += ["--shards", str(shards), "--jobs", "2"]
+    for key, value in overrides.items():
+        argv += ["--set", f"{key}={canonical_json(value)}"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    proc = subprocess.run(argv, capture_output=True, text=True, env=env,
+                          cwd=os.path.dirname(os.path.dirname(
+                              os.path.dirname(os.path.abspath(__file__)))))
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+def _service_bytes(client, scenario, overrides, shards):
+    spec = {"scenario": scenario, "seeds": 2, "overrides": overrides,
+            "use_cache": False}
+    if shards is not None:
+        spec["shards"] = shards
+        spec["jobs"] = 2
+    job = client.submit(spec)
+    done = client.wait(job["id"], timeout=600)
+    return canonical_json(done["result"]).strip()
+
+
+@pytest.mark.parametrize(
+    "scenario,overrides,shards",
+    [pytest.param(s, o, None, id=f"{s}-serial")
+     for s, o, _ in PARITY_CASES]
+    + [pytest.param(s, o, 2, id=f"{s}-shards2")
+       for s, o, shardable in PARITY_CASES if shardable])
+def test_service_result_is_byte_identical_with_cli(service, scenario,
+                                                   overrides, shards):
+    _, client = service
+    assert _service_bytes(client, scenario, overrides, shards) \
+        == _cli_bytes(scenario, overrides, shards)

@@ -114,3 +114,67 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path, toy_scenario):
     again = run_scenario(toy_scenario, seed=0, cache=cache)
     assert not again.cache_hit
     assert _BUILD_CALLS == [0, 0]
+
+
+# ---------------------------------------------------------- concurrency
+
+
+def _store_repeatedly(root, scenario, wall_time, start, iterations):
+    # Child-process body (forked): hammer the same cache key.
+    from repro.runtime import ResultCache, run_scenario
+
+    cache = ResultCache(root)
+    result = run_scenario(scenario, seed=0)
+    result.wall_time = wall_time
+    start.wait()
+    for _ in range(iterations):
+        cache.store(result)
+
+
+def test_concurrent_same_key_stores_never_tear(tmp_path, toy_scenario):
+    """Two processes storing the same key concurrently: a lockless
+    reader must never see a torn/partial JSON file, and the final
+    (result, manifest) pair must come from a single writer."""
+    import multiprocessing
+    import time as time_mod
+
+    ctx = multiprocessing.get_context("fork")
+    start = ctx.Event()
+    writers = [
+        ctx.Process(target=_store_repeatedly,
+                    args=(str(tmp_path), toy_scenario, float(i + 1),
+                          start, 40))
+        for i in range(2)
+    ]
+    for writer in writers:
+        writer.start()
+
+    cache = ResultCache(tmp_path)
+    probe = run_scenario(toy_scenario, seed=0)
+    key = cache.key_for(probe.scenario, probe.params, probe.seed,
+                        probe.fingerprint)
+    directory = cache.dir_for(toy_scenario, key)
+
+    start.set()
+    deadline = time_mod.monotonic() + 60
+    clean_reads = 0
+    while any(writer.is_alive() for writer in writers):
+        assert time_mod.monotonic() < deadline, "writers stuck"
+        for name in (ResultCache.RESULT_FILE, ResultCache.MANIFEST_FILE):
+            try:
+                text = (directory / name).read_text()
+            except OSError:
+                continue  # not written yet
+            json.loads(text)  # a torn file would raise ValueError
+            clean_reads += 1
+    for writer in writers:
+        writer.join()
+        assert writer.exitcode == 0
+
+    stored = json.loads((directory / ResultCache.RESULT_FILE).read_text())
+    manifest = json.loads((directory / ResultCache.MANIFEST_FILE).read_text())
+    assert clean_reads > 0
+    assert manifest["key"] == key
+    assert manifest["wall_time"] in (1.0, 2.0)
+    # The pair was written under one lock, by one process.
+    assert manifest["wall_time"] == stored["wall_time"]

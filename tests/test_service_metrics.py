@@ -1,0 +1,79 @@
+"""The service metrics registry and its Prometheus text rendering."""
+
+import pytest
+
+from repro.service import MetricsRegistry
+
+
+def test_counter_increments_and_reads_back():
+    registry = MetricsRegistry()
+    jobs = registry.counter("jobs_total", "Jobs.", labelnames=("state",))
+    jobs.inc(state="done")
+    jobs.inc(2, state="done")
+    jobs.inc(state="failed")
+    assert jobs.value(state="done") == 3
+    assert jobs.value(state="failed") == 1
+    assert jobs.value(state="cancelled") == 0
+
+
+def test_counter_rejects_decrease_and_bad_labels():
+    registry = MetricsRegistry()
+    hits = registry.counter("hits_total", "Hits.")
+    with pytest.raises(ValueError):
+        hits.inc(-1)
+    labelled = registry.counter("by_route", "Routes.", labelnames=("route",))
+    with pytest.raises(ValueError):
+        labelled.inc(verb="GET")  # wrong label name
+    with pytest.raises(ValueError):
+        labelled.inc()  # missing label
+
+
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry()
+    active = registry.gauge("active", "Active.")
+    active.set(5)
+    active.inc()
+    active.dec(2)
+    assert active.value() == 4
+
+
+def test_reregistration_is_idempotent_for_identical_shape():
+    registry = MetricsRegistry()
+    first = registry.counter("records_total", "Records.")
+    again = registry.counter("records_total", "Records.")
+    assert again is first
+    with pytest.raises(ValueError):
+        registry.gauge("records_total", "Records.")  # type change
+    with pytest.raises(ValueError):
+        registry.counter("records_total", "Records.",
+                         labelnames=("job",))  # label change
+
+
+def test_render_is_sorted_escaped_prometheus_text():
+    registry = MetricsRegistry()
+    zz = registry.counter("zz_total", "Last.")
+    aa = registry.counter("aa_total", "First.", labelnames=("label",))
+    gauge = registry.gauge("mid_gauge", "Middle.")
+    zz.inc(7)
+    aa.inc(label='with "quote" and \\slash')
+    gauge.set(0.25)
+    text = registry.render()
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    assert lines[0] == "# HELP aa_total First."
+    assert lines[1] == "# TYPE aa_total counter"
+    assert lines[2] == ('aa_total{label="with \\"quote\\" and '
+                        '\\\\slash"} 1')
+    assert "# TYPE mid_gauge gauge" in lines
+    assert "mid_gauge 0.25" in lines
+    assert "zz_total 7" in lines
+    # Metric families render in name order.
+    assert lines.index("# HELP aa_total First.") \
+        < lines.index("# HELP mid_gauge Middle.") \
+        < lines.index("# HELP zz_total Last.")
+
+
+def test_unlabelled_counter_renders_zero_before_first_increment():
+    registry = MetricsRegistry()
+    registry.counter("cold_total", "Never incremented.")
+    assert "cold_total 0" in registry.render().splitlines()

@@ -1,0 +1,86 @@
+"""JobStream fan-out semantics: replay, slow consumers, EOF."""
+
+import asyncio
+
+from repro.service.streams import JobStream
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_publish_reaches_every_subscriber():
+    async def scenario():
+        stream = JobStream("j1")
+        a, b = stream.subscribe(), stream.subscribe()
+        stream.publish({"kind": "probe"})
+        stream.close()
+        assert [await a.get(), await a.get()] == [{"kind": "probe"}, None]
+        assert [await b.get(), await b.get()] == [{"kind": "probe"}, None]
+        assert stream.received == 1 and stream.dropped == 0
+
+    _run(scenario())
+
+
+def test_late_subscriber_replays_buffer_then_eof():
+    async def scenario():
+        stream = JobStream("j1")
+        for i in range(3):
+            stream.publish({"n": i})
+        stream.close()
+        queue = stream.subscribe()  # after close: replay + sentinel
+        got = [await queue.get() for _ in range(4)]
+        assert got == [{"n": 0}, {"n": 1}, {"n": 2}, None]
+        assert stream.subscriber_count == 0  # never attached live
+
+    _run(scenario())
+
+
+def test_replay_buffer_is_bounded_and_counts_truncation():
+    async def scenario():
+        stream = JobStream("j1", replay_depth=2)
+        for i in range(5):
+            stream.publish({"n": i})
+        assert list(stream.buffer) == [{"n": 3}, {"n": 4}]
+        assert stream.truncated == 3
+        stream.close()
+        queue = stream.subscribe()
+        assert [await queue.get() for _ in range(3)] \
+            == [{"n": 3}, {"n": 4}, None]
+
+    _run(scenario())
+
+
+def test_slow_consumer_drops_are_counted_not_blocking():
+    async def scenario():
+        stream = JobStream("j1")
+        slow = stream.subscribe()
+        depth = slow.maxsize
+        for i in range(depth + 5):
+            stream.publish({"n": i})
+        # The overflow is dropped for the stalled subscriber and
+        # counted; the stream itself keeps accepting records.
+        assert stream.dropped == 5
+        assert slow.qsize() == depth
+        assert stream.received == depth + 5
+        # A consumer that keeps draining misses nothing.
+        fast = stream.subscribe()  # replays the buffered tail
+        replayed = fast.qsize()
+        stream.publish({"n": "live"})
+        assert fast.qsize() == replayed + 1
+
+    _run(scenario())
+
+
+def test_unsubscribe_detaches_and_close_is_idempotent():
+    async def scenario():
+        stream = JobStream("j1")
+        queue = stream.subscribe()
+        stream.unsubscribe(queue)
+        stream.publish({"n": 1})
+        assert queue.empty()
+        stream.close()
+        stream.close()  # second close must be a no-op
+        assert stream.closed
+
+    _run(scenario())
