@@ -14,7 +14,7 @@ lint:                ## static checks (requires ruff)
 	ruff check src tests benchmarks examples
 
 typecheck:           ## mypy over the typed layers (requires mypy)
-	mypy --ignore-missing-imports src/repro/analysis src/repro/runtime src/repro/gfw
+	mypy --ignore-missing-imports src/repro/analysis src/repro/runtime src/repro/gfw src/repro/service src/repro/protocols
 
 bench:               ## every paper table/figure benchmark + ablations
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -73,6 +73,7 @@ __all__ = [
     "FlaggedConnections",
     "FlowCensus",
     "OverlapAnalyzer",
+    "ProbeBlockDelays",
     "ProbeSynTimes",
     "ProbeTally",
     "ProberFingerprint",
@@ -455,6 +456,91 @@ class BlockEvents(Analyzer):
 
     def load_state(self, state: Mapping[str, Any]) -> None:
         self.events = [dict(e) for e in state.get("events") or []]
+
+
+@register_analyzer
+class ProbeBlockDelays(Analyzer):
+    """Detection-to-blocking timelines per endpoint (Fifield & Tsai).
+
+    Tracks, keyed on the responder/server IP, the first time a flow to
+    the endpoint was flagged, the first active probe it received, and
+    the time its block rule landed — then reports the three derived
+    delay series (flag→probe, probe→block, flag→block).  State is one
+    float per endpoint per table and merging is min-combination, so
+    shard order never changes the result.
+    """
+
+    kind = "probe_block_delays"
+
+    def __init__(self) -> None:
+        self.first_flagged: Dict[str, float] = {}
+        self.first_probe: Dict[str, float] = {}
+        self.blocked_at: Dict[str, float] = {}
+
+    @staticmethod
+    def _note(table: Dict[str, float], ip: str, time: Any) -> None:
+        t = float(time)
+        prev = table.get(ip)
+        if prev is None or t < prev:
+            table[ip] = t
+
+    def observe(self, event: Mapping[str, Any]) -> None:
+        kind = event.get("kind")
+        if kind == "flow.flagged":
+            self._note(self.first_flagged, event["responder_ip"], event["time"])
+        elif kind == "probe":
+            self._note(self.first_probe, event["server_ip"], event["time"])
+        elif kind == "block":
+            self._note(self.blocked_at, event["ip"], event["time"])
+
+    def merge(self, other: Analyzer) -> None:
+        self._check_mergeable(other)
+        assert isinstance(other, ProbeBlockDelays)
+        for mine, theirs in ((self.first_flagged, other.first_flagged),
+                             (self.first_probe, other.first_probe),
+                             (self.blocked_at, other.blocked_at)):
+            for ip, t in theirs.items():
+                self._note(mine, ip, t)
+
+    def finalize(self) -> Dict[str, Any]:
+        endpoints = {
+            ip: {
+                "flagged_at": self.first_flagged.get(ip),
+                "first_probe_at": self.first_probe.get(ip),
+                "blocked_at": self.blocked_at.get(ip),
+            }
+            for ip in sorted(set(self.first_flagged)
+                             | set(self.first_probe) | set(self.blocked_at))
+        }
+        flag_to_probe = [self.first_probe[ip] - self.first_flagged[ip]
+                         for ip in sorted(self.first_probe)
+                         if ip in self.first_flagged]
+        probe_to_block = [self.blocked_at[ip] - self.first_probe[ip]
+                          for ip in sorted(self.blocked_at)
+                          if ip in self.first_probe]
+        flag_to_block = [self.blocked_at[ip] - self.first_flagged[ip]
+                         for ip in sorted(self.blocked_at)
+                         if ip in self.first_flagged]
+        return {
+            "endpoints": endpoints,
+            "blocked": len(self.blocked_at),
+            "flag_to_probe": series(flag_to_probe),
+            "probe_to_block": series(probe_to_block),
+            "flag_to_block": series(flag_to_block),
+        }
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"first_flagged": dict(self.first_flagged),
+                "first_probe": dict(self.first_probe),
+                "blocked_at": dict(self.blocked_at)}
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        self.first_flagged = {str(k): float(v) for k, v
+                              in (state.get("first_flagged") or {}).items()}
+        self.first_probe = {str(k): float(v) for k, v
+                            in (state.get("first_probe") or {}).items()}
+        self.blocked_at = {str(k): float(v) for k, v
+                           in (state.get("blocked_at") or {}).items()}
 
 
 @register_analyzer

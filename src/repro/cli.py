@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "[\"entropy\", \"vmess\"]}' — for scenarios with a "
                         "`detectors` parameter (shorthand for "
                         "--set detectors=SPEC)")
+    p.add_argument("--protocol", default=None, metavar="SPEC",
+                   help="proxy-protocol spec — a bare kind like 'obfs' or "
+                        "JSON like '{\"kind\": \"obfs\", \"profile\": "
+                        "\"obfs3\"}' — for scenarios with a `protocol` "
+                        "parameter (shorthand for --set protocol=SPEC)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="print the merged sweep as canonical JSON")
     p.add_argument("--no-cache", action="store_true",
@@ -283,6 +288,8 @@ def _cmd_run(args) -> int:
         return 2
     if args.detectors is not None:
         overrides["detectors"] = args.detectors
+    if args.protocol is not None:
+        overrides["protocol"] = args.protocol
     try:
         shards = _parse_shards(args.shards)
     except ValueError as exc:

@@ -30,7 +30,7 @@ from ..analysis import (
 )
 from ..gfw import BlockEvent, BlockingPolicy, DetectorConfig
 from ..runtime.topology import World, build_world, settle
-from ..shadowsocks import ShadowsocksClient, ShadowsocksServer
+from ..protocols import build_protocol
 from ..workloads import CurlDriver
 
 __all__ = ["BlockingExperimentConfig", "BlockingExperimentResult",
@@ -122,11 +122,12 @@ def run_blocking_experiment(config: Optional[BlockingExperimentConfig] = None,
     for index, (profile, method) in enumerate(config.fleet):
         server_host = world.add_server(f"vp{index}-server", region="uk")
         client_host = world.add_client(f"vp{index}-client")
-        ShadowsocksServer(server_host, config.server_port, f"pw{index}",
-                          method, profile,
+        proto = build_protocol({"kind": "shadowsocks", "password": f"pw{index}",
+                                "method": method, "profile": profile})
+        proto.make_server(server_host, config.server_port,
                           rng=random.Random(rng.randrange(1 << 30)))
-        client = ShadowsocksClient(client_host, server_host.ip,
-                                   config.server_port, f"pw{index}", method,
+        client = proto.make_client(client_host, server_host.ip,
+                                   config.server_port,
                                    rng=random.Random(rng.randrange(1 << 30)))
         driver = CurlDriver(client, rng=random.Random(rng.randrange(1 << 30)))
         driver.run_schedule(config.connections_per_server, interval,

@@ -18,7 +18,7 @@ from ..analysis import AnalysisPipeline, Analyzer, ProbeSynTimes
 from ..defense import Brdgrd
 from ..gfw import DetectorConfig
 from ..runtime.topology import World, build_world, settle
-from ..shadowsocks import ShadowsocksClient, ShadowsocksServer
+from ..protocols import build_protocol
 from ..workloads import CurlDriver
 
 __all__ = ["BrdgrdExperimentConfig", "BrdgrdExperimentResult",
@@ -118,12 +118,14 @@ def run_brdgrd_experiment(config: Optional[BrdgrdExperimentConfig] = None,
     def deploy(name: str, residential: bool) -> CurlDriver:
         server_host = world.add_server(f"{name}-server", region="uk")
         client_host = world.add_client(f"{name}-client", residential=residential)
-        ShadowsocksServer(server_host, config.server_port, f"pw-{name}",
-                          config.method, config.profile,
+        proto = build_protocol({"kind": "shadowsocks",
+                                "password": f"pw-{name}",
+                                "method": config.method,
+                                "profile": config.profile})
+        proto.make_server(server_host, config.server_port,
                           rng=random.Random(rng.randrange(1 << 30)))
-        client = ShadowsocksClient(client_host, server_host.ip,
-                                   config.server_port, f"pw-{name}",
-                                   config.method,
+        client = proto.make_client(client_host, server_host.ip,
+                                   config.server_port,
                                    rng=random.Random(rng.randrange(1 << 30)))
         return CurlDriver(client, rng=random.Random(rng.randrange(1 << 30)))
 

@@ -27,7 +27,8 @@ from ..analysis import (
 )
 from ..gfw import DetectorConfig, ProbeRecord, SchedulerConfig
 from ..runtime.topology import World, build_world, settle
-from ..shadowsocks import ShadowsocksClient, ShadowsocksServer
+from ..protocols import build_protocol
+from ..shadowsocks import ShadowsocksServer
 from ..workloads import SITES, CurlDriver
 
 __all__ = ["ShadowsocksExperimentConfig", "ShadowsocksExperimentResult",
@@ -136,11 +137,13 @@ def run_shadowsocks_experiment(
                  sites: List[str], residential: bool) -> None:
         server_host = world.add_server(f"{name}-server", region=region)
         client_host = world.add_client(f"{name}-client", residential=residential)
-        server = ShadowsocksServer(server_host, config.server_port,
-                                   f"pw-{name}", method, profile,
+        proto = build_protocol({"kind": "shadowsocks",
+                                "password": f"pw-{name}",
+                                "method": method, "profile": profile})
+        server = proto.make_server(server_host, config.server_port,
                                    rng=random.Random(rng.randrange(1 << 30)))
-        client = ShadowsocksClient(client_host, server_host.ip,
-                                   config.server_port, f"pw-{name}", method,
+        client = proto.make_client(client_host, server_host.ip,
+                                   config.server_port,
                                    rng=random.Random(rng.randrange(1 << 30)))
         driver = CurlDriver(client, sites=sites,
                             rng=random.Random(rng.randrange(1 << 30)))

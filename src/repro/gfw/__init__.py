@@ -13,6 +13,14 @@ from .entropy import shannon_entropy
 from .firewall import FLEET_HOST_IP, FlowState, GreatFirewall
 from .fleet import FleetConfig, ProberFleet, TsvalProcess
 from .flowtable import FlowTable
+from .probing import (
+    ProbeBehavior,
+    ShadowsocksProbeBehavior,
+    TorProbeBehavior,
+    behavior_kinds,
+    build_behavior,
+    register_behavior,
+)
 from .reaction import ReactionPolicy, Verdict
 from .stages import (
     DetectorContext,
@@ -21,6 +29,7 @@ from .stages import (
     LengthDistStage,
     PassiveStage,
     StageResult,
+    TorStage,
     VmessStage,
     build_stage,
     register_stage,
@@ -65,6 +74,7 @@ __all__ = [
     "PassiveDetector",
     "PassiveStage",
     "Probe",
+    "ProbeBehavior",
     "ProbeForge",
     "ProbeRecord",
     "ProbeScheduler",
@@ -79,12 +89,18 @@ __all__ = [
     "SENSITIVE_PERIODS_2019",
     "SchedulerConfig",
     "ServerProbeState",
+    "ShadowsocksProbeBehavior",
     "StageResult",
+    "TorProbeBehavior",
+    "TorStage",
     "TsvalProcess",
     "Verdict",
     "VmessStage",
+    "behavior_kinds",
+    "build_behavior",
     "build_stage",
     "evaluate_detector",
+    "register_behavior",
     "register_stage",
     "shannon_entropy",
     "stage_kinds",

@@ -64,6 +64,7 @@ class GreatFirewall(Middlebox):
         scheduler_config: Optional[SchedulerConfig] = None,
         fleet_config: Optional[FleetConfig] = None,
         blocking_policy: Optional[BlockingPolicy] = None,
+        probe_behaviors: Optional[Mapping[str, Any]] = None,
         flow_idle_timeout: Optional[float] = None,
         max_flows: int = 1 << 18,
         inside_cache_max: int = 1 << 16,
@@ -115,6 +116,7 @@ class GreatFirewall(Middlebox):
             scheduler_config=scheduler_config,
             blocking_policy=blocking_policy,
             blocking_rng=random.Random(self.rng.randrange(1 << 30)),
+            probe_behaviors=probe_behaviors,
             flag_hook=lambda flow, payload: self.on_flag(flow, payload),
         )
 
@@ -346,6 +348,7 @@ class GreatFirewall(Middlebox):
                 flagged=True,
                 score=result.score,
                 stage=result.stage,
+                protocol=result.protocol,
             ),
             flow,
             seg.payload,

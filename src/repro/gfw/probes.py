@@ -47,11 +47,15 @@ class ProbeType:
     NR1 = "NR1"
     NR2 = "NR2"
     NR3 = "NR3"
+    # Tor active-probing battery (Winter & Lindskog): uniformly random
+    # "garbage binary" probes and a forged Tor VERSIONS handshake.
+    GARBAGE = "GARBAGE"
+    TORH = "TORH"
 
 
 REPLAY_TYPES = (ProbeType.R1, ProbeType.R2, ProbeType.R3, ProbeType.R4,
                 ProbeType.R5, ProbeType.R6)
-RANDOM_TYPES = (ProbeType.NR1, ProbeType.NR2, ProbeType.NR3)
+RANDOM_TYPES = (ProbeType.NR1, ProbeType.NR2, ProbeType.NR3, ProbeType.GARBAGE)
 
 # Byte offsets each byte-changed replay type mutates.
 _MUTATIONS = {
@@ -129,6 +133,25 @@ class ProbeForge:
         elif length not in NR3_LENGTHS:
             raise ValueError(f"{length} is not an NR3 length")
         return Probe(ProbeType.NR3, self.random_payload(length))
+
+    # --------------------------------------------- Tor active-probing forge
+
+    def garbage(self, length: Optional[int] = None) -> Probe:
+        """A garbage binary probe: uniformly random bytes, random length.
+
+        Winter & Lindskog observed the GFW opening connections to
+        suspected bridges and sending short bursts of random binary data
+        before (or instead of) speaking the Tor protocol.
+        """
+        if length is None:
+            length = self.rng.randint(64, 256)
+        return Probe(ProbeType.GARBAGE, self.random_payload(length))
+
+    def tor_handshake(self) -> Probe:
+        """A forged Tor VERSIONS cell, the GFW's bridge-confirmation probe."""
+        from ..obfs.wire import tor_versions_cell
+
+        return Probe(ProbeType.TORH, tor_versions_cell())
 
     def random_probe_battery(self) -> List[Probe]:
         """One full sweep of NR1 lengths plus an NR2 (as in Figure 2)."""

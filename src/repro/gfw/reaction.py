@@ -43,6 +43,9 @@ class Verdict:
     flagged: bool
     score: float         # probability / likelihood behind the decision
     stage: str           # kind of the deciding detector stage
+    # Protocol classification from the deciding stage; selects the probing
+    # playbook (None -> the scheduler's default, i.e. "shadowsocks").
+    protocol: Optional[str] = None
 
 
 class ReactionPolicy:
@@ -90,10 +93,14 @@ class ReactionPolicy:
                 "length": verdict.length,
                 "score": verdict.score,
                 "stage": verdict.stage,
+                # Only non-default classifications widen the record: default
+                # runs keep their byte-identical "verdict" payloads.
+                **({"protocol": verdict.protocol} if verdict.protocol else {}),
             })
         self.flag_hook(flow, payload)
         self.scheduler.on_flagged_connection(
-            verdict.responder_ip, verdict.responder_port, payload
+            verdict.responder_ip, verdict.responder_port, payload,
+            protocol=verdict.protocol,
         )
 
     def on_server_data(self, ip: str, port: int) -> None:
@@ -103,7 +110,11 @@ class ReactionPolicy:
     # --------------------------------------------------------------- probes
 
     def _on_probe_result(self, state: ServerProbeState, record: ProbeRecord) -> None:
-        self.blocking.consider(state, record)
+        # The endpoint's protocol playbook picks the escalation timeline
+        # (the default delegates to BlockingModule.consider, the paper's
+        # Shadowsocks evidence model).
+        behavior = self.scheduler.behavior_for(state.protocol)
+        behavior.consider_blocking(state, record, self.blocking)
 
     # ------------------------------------------------------------- blocking
 
@@ -117,9 +128,11 @@ class ReactionPolicy:
                 scheduler_config=None,
                 blocking_policy: Optional[BlockingPolicy] = None,
                 blocking_rng: Optional[random.Random] = None,
+                probe_behaviors=None,
                 flag_hook=None) -> "ReactionPolicy":
         """The paper's reaction chain: staged prober + gated blocking."""
         scheduler = ProbeScheduler(runner, forge=forge, delay_model=delay_model,
-                                   rng=rng, config=scheduler_config)
+                                   rng=rng, config=scheduler_config,
+                                   behaviors=probe_behaviors)
         blocking = BlockingModule(sim, rng=blocking_rng, policy=blocking_policy)
         return cls(sim, scheduler, blocking, flag_hook=flag_hook)

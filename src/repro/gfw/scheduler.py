@@ -1,6 +1,14 @@
-"""Staged probing logic per suspected server (§4.2, §5).
+"""Staged probing driver: generic scheduling + per-protocol playbooks.
 
-Stage model inferred by the paper:
+The *mechanics* of probing live here — per-server state, probe budget,
+delayed firing through the prober fleet, result plumbing.  The
+*playbook* (which probes a flagged connection draws, and how the
+endpoint escalates through stages) is per-protocol: each flagged flow
+carries a protocol classification from the detector, and the scheduler
+dispatches to the matching :class:`~repro.gfw.probing.ProbeBehavior`
+from the behaviour registry.
+
+The default behaviour is the source paper's Shadowsocks stage model:
 
 * **Stage 1** — a flagged connection draws replay probes: an identical
   replay (R1), often a byte-0-changed replay (R2), sometimes repeated
@@ -24,11 +32,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from .delays import ReplayDelayModel
-from .probes import Probe, ProbeForge, ProbeType
-from .prober import ProbeRecord, ProberRunner, Reaction
+from .probes import Probe, ProbeForge
+from .prober import ProbeRecord, ProberRunner
 
 __all__ = ["SchedulerConfig", "ServerProbeState", "ProbeScheduler"]
 
@@ -73,6 +81,9 @@ class ServerProbeState:
     replay_responses: int = 0     # replay probes the server answered with data
     recorded_payloads: List[Tuple[float, bytes]] = field(default_factory=list)
     reactions: Dict[str, int] = field(default_factory=dict)
+    # Protocol classification from the first verdict that flagged this
+    # endpoint (sticky); None until flagged, then e.g. "shadowsocks"/"tor".
+    protocol: Optional[str] = None
 
     def note_reaction(self, record: ProbeRecord) -> None:
         self.reactions[record.reaction] = self.reactions.get(record.reaction, 0) + 1
@@ -90,6 +101,8 @@ class ProbeScheduler:
         delay_model: Optional[ReplayDelayModel] = None,
         rng: Optional[random.Random] = None,
         config: Optional[SchedulerConfig] = None,
+        behaviors: Optional[Mapping[str, Union[str, Mapping[str, Any]]]] = None,
+        default_protocol: str = "shadowsocks",
     ):
         self.runner = runner
         self.rng = rng or random.Random(0x5CED)
@@ -97,6 +110,14 @@ class ProbeScheduler:
         self.delay_model = delay_model or ReplayDelayModel()
         self.config = config or SchedulerConfig()
         self.servers: Dict[Tuple[str, int], ServerProbeState] = {}
+        # Per-protocol playbook overrides: protocol name -> behaviour spec.
+        # Unlisted protocols resolve to the behaviour registered under their
+        # own name (so {"tor": {...params...}} tweaks tor; plain "tor"
+        # protocol classifications work with no spec at all).
+        self.behavior_specs: Dict[str, Union[str, Mapping[str, Any]]] = dict(
+            behaviors or {})
+        self.default_protocol = default_protocol
+        self._behaviors: Dict[str, Any] = {}
         # Hook for the blocking module: called on every probe result.
         self.on_probe_result: Callable[[ServerProbeState, ProbeRecord], None] = (
             lambda state, record: None
@@ -106,6 +127,19 @@ class ProbeScheduler:
     def sim(self):
         return self.runner.sim
 
+    def behavior_for(self, protocol: Optional[str]):
+        """The probing playbook for a protocol classification (cached)."""
+        name = protocol or self.default_protocol
+        behavior = self._behaviors.get(name)
+        if behavior is None:
+            # Lazy import: probing.py imports our dataclasses at module load.
+            from .probing import build_behavior
+
+            spec = self.behavior_specs.get(name, name)
+            behavior = build_behavior(spec, self)
+            self._behaviors[name] = behavior
+        return behavior
+
     def state_for(self, ip: str, port: int) -> ServerProbeState:
         key = (ip, port)
         if key not in self.servers:
@@ -114,56 +148,23 @@ class ProbeScheduler:
 
     # ------------------------------------------------------------- triggers
 
-    def on_flagged_connection(self, ip: str, port: int, payload: bytes) -> None:
+    def on_flagged_connection(self, ip: str, port: int, payload: bytes,
+                              protocol: Optional[str] = None) -> None:
         """A passively flagged first data packet: start stage-1 probing."""
         state = self.state_for(ip, port)
         state.flag_count += 1
+        if state.protocol is None:
+            state.protocol = protocol or self.default_protocol
         now = self.sim.now
         if len(state.recorded_payloads) < self.MAX_RECORDED_PAYLOADS:
             state.recorded_payloads.append((now, payload))
-
-        cfg = self.config
-        self._schedule_replays(state, payload, now, ProbeType.R1)
-        if self.rng.random() < cfg.r2_probability:
-            self._schedule_replays(state, payload, now, ProbeType.R2)
-        if self.rng.random() < cfg.nr2_probability:
-            nr2 = self.forge.nr2()
-            self._schedule(nr2, state, self.delay_model.sample(self.rng))
-            if self.rng.random() < cfg.nr2_duplicate_probability:
-                # Re-send the *same* payload later: the duplicate-probe
-                # replay-filter check of §5.3.
-                self._schedule(nr2, state, self.delay_model.sample(self.rng))
-        if self.rng.random() < cfg.nr3_probability:
-            self._schedule(self.forge.nr3(), state, self.delay_model.sample(self.rng))
-        if (
-            state.serves_data
-            and state.flag_count >= cfg.nr1_flag_threshold
-            and self.rng.random() < cfg.nr1_probability
-        ):
-            # Drip a small NR1 batch over the next hour or so.
-            for _ in range(self.rng.randint(1, 3)):
-                spread = self.rng.uniform(0, cfg.nr1_spread_hours * 3600)
-                self._schedule(self.forge.nr1(), state, spread)
+        self.behavior_for(state.protocol).on_flagged(state, payload, now)
 
     def note_server_data(self, ip: str, port: int) -> None:
         """Passively observed server->client data (it serves *something*)."""
         self.state_for(ip, port).serves_data = True
 
     # ----------------------------------------------------------- scheduling
-
-    def _schedule_replays(self, state: ServerProbeState, payload: bytes,
-                          trigger_time: float, probe_type: str) -> None:
-        cfg = self.config
-        repeats = 1
-        while (
-            repeats < cfg.max_replays_per_payload
-            and self.rng.random() < cfg.repeat_geometric_p
-        ):
-            repeats += 1
-        for _ in range(repeats):
-            delay = self.delay_model.sample(self.rng)
-            probe = self.forge.replay(payload, probe_type)
-            self._schedule(probe, state, delay, trigger_time=trigger_time)
 
     def _schedule(self, probe: Probe, state: ServerProbeState, delay: float,
                   trigger_time: Optional[float] = None) -> None:
@@ -184,31 +185,11 @@ class ProbeScheduler:
 
     def _handle_result(self, state: ServerProbeState, record: ProbeRecord) -> None:
         state.note_reaction(record)
-        if record.probe.is_replay and record.reaction == Reaction.DATA:
-            state.replay_responses += 1
-            if state.stage == 1:
-                state.stage = 2
-                self.sim.bus.incr("scheduler.stage2")
-                self._enter_stage2(state)
+        self.behavior_for(state.protocol).on_result(state, record)
         self.on_probe_result(state, record)
 
+    # -------------------------------------------- back-compat escape hatches
+
     def _enter_stage2(self, state: ServerProbeState) -> None:
-        """The server answered a replay: unleash R3/R4 (and rarely R5/R6)."""
-        cfg = self.config
-        if not state.recorded_payloads:
-            return
-        burst = self.rng.randint(cfg.stage2_burst_low, cfg.stage2_burst_high)
-        for _ in range(burst):
-            recorded_at, payload = self.rng.choice(state.recorded_payloads)
-            roll = self.rng.random()
-            if roll < cfg.r5_probability:
-                probe_type = ProbeType.R5
-            elif roll < cfg.r5_probability + cfg.r6_probability:
-                probe_type = ProbeType.R6
-            elif roll < 0.5:
-                probe_type = ProbeType.R3
-            else:
-                probe_type = ProbeType.R4
-            delay = self.rng.uniform(0, cfg.stage2_spread_hours * 3600)
-            self._schedule(self.forge.replay(payload, probe_type), state, delay,
-                           trigger_time=recorded_at)
+        """Fire the Shadowsocks stage-2 burst directly (ablation hook)."""
+        self.behavior_for(state.protocol)._enter_stage2(state)

@@ -34,6 +34,7 @@ Spec grammar (JSON-able, canonicalizable into scenario params)::
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
@@ -50,6 +51,7 @@ __all__ = [
     "LengthDistStage",
     "PassiveStage",
     "StageResult",
+    "TorStage",
     "VmessStage",
     "build_stage",
     "register_stage",
@@ -67,6 +69,11 @@ class StageResult:
     flagged: bool
     score: float        # the probability / likelihood behind the decision
     stage: str          # kind of the deciding stage ("passive", "any", ...)
+    # Protocol classification of the flagged traffic, selecting the
+    # censor's probing playbook downstream (None -> default, i.e. the
+    # paper's Shadowsocks model).  Stages that recognize a specific
+    # protocol (vmess, tor) set it; generic stages leave it None.
+    protocol: Optional[str] = None
 
 
 class DetectorContext:
@@ -306,6 +313,59 @@ class VmessStage(DetectorStage):
                            self.kind)
 
 
+# Tor cell wire constants (see repro.obfs.wire): a VERSIONS cell is
+# CIRCID(2) | CMD(1)=7 | LEN(2) | LEN/2 u16 versions.
+TOR_VERSIONS_PREFIX = b"\x00\x00\x07"
+
+
+@register_stage
+class TorStage(DetectorStage):
+    """Tor/obfs bridge detector (Winter & Lindskog's DPI trigger).
+
+    Two triggers, both deterministic:
+
+    * **Vanilla Tor** — the first packet parses as a Tor VERSIONS cell
+      (the DPI fingerprint the GFW was observed to match);
+    * **obfs-style fully encrypted** — the first packet is
+      near-maximum-entropy for its length with no printable structure,
+      in a handshake-sized band.  Entropy is compared as a *ratio* of
+      the per-length maximum (``log2(n)`` caps the observable entropy of
+      an ``n``-byte packet), so short obfs handshakes are not missed the
+      way an absolute 7-bit threshold would.
+
+    Flagged packets carry ``protocol="tor"``, routing the endpoint to
+    the Tor probing playbook instead of the Shadowsocks replay model.
+    """
+
+    kind = "tor"
+
+    def __init__(self, min_length: int = 32, max_length: int = 16384,
+                 entropy_efficiency: float = 0.9):
+        self.min_length = min_length
+        self.max_length = max_length
+        self.entropy_efficiency = entropy_efficiency
+
+    def spec(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "min_length": self.min_length,
+                "max_length": self.max_length,
+                "entropy_efficiency": self.entropy_efficiency}
+
+    def evaluate(self, ctx: DetectorContext) -> StageResult:
+        payload = ctx.payload
+        length = len(payload)
+        if length >= 5 and payload.startswith(TOR_VERSIONS_PREFIX):
+            body_len = int.from_bytes(payload[3:5], "big")
+            if body_len % 2 == 0 and length >= 5 + body_len:
+                return StageResult(True, 1.0, self.kind, protocol="tor")
+        if length < self.min_length or length > self.max_length:
+            return StageResult(False, 0.0, self.kind)
+        cap = min(8.0, math.log2(length))
+        efficiency = ctx.entropy / cap if cap > 0 else 0.0
+        flagged = efficiency >= self.entropy_efficiency
+        return StageResult(flagged, efficiency, self.kind,
+                           protocol="tor" if flagged else None)
+
+
 # ---------------------------------------------------------------- ensembles
 
 
@@ -326,6 +386,14 @@ class EnsembleStage(DetectorStage):
         # depend on earlier members' outcomes (see module doc).
         return [member.evaluate(ctx) for member in self.members]
 
+    @staticmethod
+    def _protocol_of(results: Sequence[StageResult]) -> Optional[str]:
+        """Propagate the first flagged member's protocol classification."""
+        for r in results:
+            if r.flagged and r.protocol is not None:
+                return r.protocol
+        return None
+
 
 @register_stage
 class AnyStage(EnsembleStage):
@@ -336,7 +404,8 @@ class AnyStage(EnsembleStage):
     def evaluate(self, ctx: DetectorContext) -> StageResult:
         results = self._evaluate_members(ctx)
         return StageResult(any(r.flagged for r in results),
-                           max(r.score for r in results), self.kind)
+                           max(r.score for r in results), self.kind,
+                           protocol=self._protocol_of(results))
 
 
 @register_stage
@@ -348,7 +417,8 @@ class AllStage(EnsembleStage):
     def evaluate(self, ctx: DetectorContext) -> StageResult:
         results = self._evaluate_members(ctx)
         return StageResult(all(r.flagged for r in results),
-                           min(r.score for r in results), self.kind)
+                           min(r.score for r in results), self.kind,
+                           protocol=self._protocol_of(results))
 
 
 @register_stage
@@ -379,7 +449,8 @@ class WeightedStage(EnsembleStage):
     def evaluate(self, ctx: DetectorContext) -> StageResult:
         results = self._evaluate_members(ctx)
         score = sum(w * r.score for w, r in zip(self.weights, results))
-        return StageResult(score >= self.threshold, score, self.kind)
+        return StageResult(score >= self.threshold, score, self.kind,
+                           protocol=self._protocol_of(results))
 
 
 # ---------------------------------------------------------- training corpus

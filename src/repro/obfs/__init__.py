@@ -1,0 +1,32 @@
+"""Tor bridge transports (vanilla Tor, obfs3, obfs4) and their wire model.
+
+The protocol plane's proof case: the GFW's Tor active probing (Winter &
+Lindskog) against bridges of graded probe resistance, with
+probe-to-block delay dynamics per Fifield & Tsai.  See
+:mod:`repro.gfw.probing` for the censor side.
+"""
+
+from .client import ObfsClient, ObfsSession
+from .server import OBFS_PROFILES, ObfsServer, ObfsServerSession
+from .wire import (
+    OBFS3_HANDSHAKE_LEN,
+    FrameCodec,
+    node_key,
+    obfs4_handshake,
+    parse_versions_cell,
+    tor_versions_cell,
+)
+
+__all__ = [
+    "FrameCodec",
+    "OBFS3_HANDSHAKE_LEN",
+    "OBFS_PROFILES",
+    "ObfsClient",
+    "ObfsServer",
+    "ObfsServerSession",
+    "ObfsSession",
+    "node_key",
+    "obfs4_handshake",
+    "parse_versions_cell",
+    "tor_versions_cell",
+]

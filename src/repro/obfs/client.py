@@ -1,0 +1,158 @@
+"""Tor bridge client: opens tunnelled connections through a bridge.
+
+Mirrors the Shadowsocks/VMess client API — ``open(target_host,
+target_port, payload, on_reply)`` — so workload drivers
+(:class:`~repro.workloads.CurlDriver`) work unchanged.  The handshake
+and the first frames are pipelined in one write, so the censor's
+feature packet (first initiator data) is the handshake itself:
+
+* **tor-vanilla** — a plaintext VERSIONS cell (the DPI fingerprint);
+* **obfs3 / obfs4** — a uniformly random block (the fully-encrypted
+  look that entropy detectors key on).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .server import OBFS_PROFILES
+from .wire import (
+    OBFS3_HANDSHAKE_LEN,
+    OBFS4_MAC_LEN,
+    FrameCodec,
+    byte_draws,
+    node_key,
+    obfs4_decode_pad_len,
+    obfs4_handshake,
+    tor_versions_cell,
+)
+
+__all__ = ["ObfsClient", "ObfsSession"]
+
+
+class ObfsClient:
+    """Factory for tunnelled connections to one bridge."""
+
+    def __init__(
+        self,
+        host,
+        server_ip: str,
+        server_port: int,
+        node_id: str = "bridge",
+        *,
+        profile: str = "obfs4",
+        rng: Optional[random.Random] = None,
+    ):
+        if profile not in OBFS_PROFILES:
+            raise ValueError(
+                f"unknown obfs profile {profile!r}; known: {OBFS_PROFILES}")
+        self.host = host
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self.node_id = node_id
+        self.profile = profile
+        self.key = node_key(node_id)
+        self.rng = rng or random.Random(0x0BF5)
+
+    def open(
+        self,
+        target_host: str,
+        target_port: int,
+        payload: bytes = b"",
+        on_reply: Optional[Callable[[bytes], None]] = None,
+    ) -> "ObfsSession":
+        """Connect through the bridge and send ``payload`` to the target."""
+        return ObfsSession(self, target_host, target_port, payload, on_reply)
+
+    def handshake_bytes(self) -> bytes:
+        """The transport handshake this client opens with (draws RNG)."""
+        if self.profile == "tor-vanilla":
+            return tor_versions_cell()
+        if self.profile == "obfs3":
+            return byte_draws(self.rng, OBFS3_HANDSHAKE_LEN)
+        return obfs4_handshake(self.key, "c2s", self.rng)
+
+
+class ObfsSession:
+    """One tunnelled connection (client side)."""
+
+    def __init__(self, client: ObfsClient, target_host: str, target_port: int,
+                 payload: bytes, on_reply: Optional[Callable[[bytes], None]]):
+        self.client = client
+        self.target = (target_host, target_port)
+        self.on_reply = on_reply or (lambda data: None)
+        self.reply = bytearray()
+        self.closed = False
+        self.reset = False
+        self._tx = FrameCodec(client.key, "c2s")
+        self._rx = FrameCodec(client.key, "s2c")
+        self._server_handshake_done = False
+        self._hs_buffer = bytearray()
+
+        self.conn = client.host.connect(client.server_ip, client.server_port)
+        self.conn.on_connected = lambda: self._send_handshake(payload)
+        self.conn.on_data = self._on_data
+        self.conn.on_remote_fin = self._on_fin
+        self.conn.on_reset = self._on_reset
+
+    def _send_handshake(self, payload: bytes) -> None:
+        host, port = self.target
+        encoded = host.encode("utf-8")
+        target = len(encoded).to_bytes(2, "big") + encoded + port.to_bytes(2, "big")
+        first = self.client.handshake_bytes() + self._tx.encode(target)
+        if payload:
+            first += self._tx.encode(payload)
+        self.conn.send(first)
+
+    def send(self, data: bytes) -> None:
+        """Send more application data through the tunnel."""
+        if data:
+            self.conn.send(self._tx.encode(data))
+
+    def close(self) -> None:
+        self.conn.close()
+
+    # ---------------------------------------------------------- reply path
+
+    def _server_handshake_len(self) -> Optional[int]:
+        profile = self.client.profile
+        if profile == "tor-vanilla":
+            if len(self._hs_buffer) < 5:
+                return None
+            return 5 + int.from_bytes(self._hs_buffer[3:5], "big")
+        if profile == "obfs3":
+            return OBFS3_HANDSHAKE_LEN
+        # obfs4: the server's reply mirrors the client construction; its
+        # length is the masked header + pad + MAC.  The client shares the
+        # key, so it can decode the pad length directly.
+        if len(self._hs_buffer) < 2:
+            return None
+        pad_len = obfs4_decode_pad_len(bytes(self._hs_buffer[:2]),
+                                       self.client.key, "s2c")
+        return 2 + pad_len + OBFS4_MAC_LEN
+
+    def _on_data(self, data: bytes) -> None:
+        if not self._server_handshake_done:
+            self._hs_buffer.extend(data)
+            needed = self._server_handshake_len()
+            if needed is None or len(self._hs_buffer) < needed:
+                return
+            rest = bytes(self._hs_buffer[needed:])
+            self._hs_buffer.clear()
+            self._server_handshake_done = True
+            if not rest:
+                return
+            data = rest
+        for frame in self._rx.feed(data):
+            if frame:
+                self.reply.extend(frame)
+                self.on_reply(frame)
+
+    def _on_fin(self) -> None:
+        self.closed = True
+        self.conn.close()
+
+    def _on_reset(self) -> None:
+        self.closed = True
+        self.reset = True

@@ -1,0 +1,333 @@
+"""Tor bridge server: three transports, three probe reactions.
+
+The bridge relays framed application data exactly like the Shadowsocks
+server relays decrypted data; what differs is the handshake, and
+therefore what the GFW's active probes observe:
+
+==============  =======================  ==========================
+profile         forged VERSIONS probe    garbage binary probe
+==============  =======================  ==========================
+tor-vanilla     VERSIONS reply (DATA)    parse failure -> FIN/ACK
+obfs3           too short -> TIMEOUT     >= 192 bytes -> DATA reply
+obfs4           silent drain (TIMEOUT)   silent drain (TIMEOUT)
+==============  =======================  ==========================
+
+obfs3 answers *any* correctly-sized block because UniformDH gives the
+responder nothing to authenticate — the property the GFW exploited to
+confirm obfs2/obfs3 bridges.  obfs4's handshake MAC is keyed on the
+out-of-band node id, so probes decode to garbage and the server reads
+forever (Winter & Lindskog's probe-resistance design).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .wire import (
+    OBFS3_HANDSHAKE_LEN,
+    OBFS4_MAC_LEN,
+    FrameCodec,
+    byte_draws,
+    node_key,
+    obfs4_decode_pad_len,
+    obfs4_handshake,
+    obfs4_mac,
+    parse_versions_cell,
+    tor_versions_cell,
+)
+
+__all__ = ["ObfsServer", "ObfsServerSession", "OBFS_PROFILES"]
+
+OBFS_PROFILES = ("tor-vanilla", "obfs3", "obfs4")
+
+
+class ObfsServer:
+    """A Tor bridge bound to one host:port, speaking one transport."""
+
+    def __init__(
+        self,
+        host,
+        port: int,
+        node_id: str = "bridge",
+        profile: str = "obfs4",
+        *,
+        rng: Optional[random.Random] = None,
+        connect_timeout: float = 6.0,
+        dns_delay: float = 0.05,
+        idle_timeout: float = 120.0,
+    ):
+        if profile not in OBFS_PROFILES:
+            raise ValueError(
+                f"unknown obfs profile {profile!r}; known: {OBFS_PROFILES}")
+        self.host = host
+        self.port = port
+        self.node_id = node_id
+        self.profile = profile
+        self.key = node_key(node_id)
+        self.rng = rng or random.Random(0x0BF4)
+        self.connect_timeout = connect_timeout
+        self.dns_delay = dns_delay
+        self.idle_timeout = idle_timeout
+        self.sessions: List[ObfsServerSession] = []
+        host.listen(port, self._accept)
+
+    def _accept(self, conn) -> None:
+        self.host.sim.bus.incr("obfs.session.accepted")
+        self.sessions.append(ObfsServerSession(self, conn))
+
+    def stop(self) -> None:
+        self.host.unlisten(self.port)
+
+
+class ObfsServerSession:
+    """One accepted connection to the bridge."""
+
+    HANDSHAKE = "handshake"
+    RELAY_TARGET = "relay-target"   # handshake done, awaiting target frame
+    CONNECTING = "connecting"
+    PROXY = "proxy"
+    DRAIN = "drain"                 # probe-resistant silent read-forever
+    DONE = "done"
+
+    def __init__(self, server: ObfsServer, conn):
+        self.server = server
+        self.conn = conn
+        self.state = self.HANDSHAKE
+        self._buffer = bytearray()
+        self._pending = bytearray()   # frame bytes queued behind the dial
+        self.remote = None
+        self._idle_event = None
+        self._connect_event = None
+        # Frame codecs are armed only after a successful handshake: the
+        # keystream must not advance on probe garbage.
+        self._rx: Optional[FrameCodec] = None
+        self._tx: Optional[FrameCodec] = None
+        conn.on_data = self._on_data
+        conn.on_remote_fin = self._on_client_fin
+        conn.on_reset = self._teardown
+        self._arm_idle()
+
+    @property
+    def sim(self):
+        return self.server.host.sim
+
+    # ------------------------------------------------------------- plumbing
+
+    def _arm_idle(self) -> None:
+        if self._idle_event is not None:
+            self._idle_event.cancel()
+        self._idle_event = self.sim.schedule(self.server.idle_timeout,
+                                             self._idle_timeout)
+
+    def _idle_timeout(self) -> None:
+        if self.state != self.DONE:
+            self.state = self.DONE
+            self.conn.close()
+            if self.remote is not None:
+                self.remote.close()
+
+    def _teardown(self) -> None:
+        self.state = self.DONE
+        if self._idle_event is not None:
+            self._idle_event.cancel()
+        if self._connect_event is not None:
+            self._connect_event.cancel()
+        if self.remote is not None and self.remote.state != "CLOSED":
+            self.remote.abort()
+            self.remote = None
+
+    def _on_client_fin(self) -> None:
+        if self.remote is not None and self.remote.is_open:
+            self.remote.close()
+        if self.state != self.DONE:
+            self.state = self.DONE
+            self.conn.close()
+        if self._idle_event is not None:
+            self._idle_event.cancel()
+
+    def _close_gracefully(self) -> None:
+        """Parse failure on a parsing transport: FIN/ACK, like a real relay."""
+        self.sim.bus.incr("obfs.session.rejected")
+        self.state = self.DONE
+        if self._idle_event is not None:
+            self._idle_event.cancel()
+        self.conn.close()
+
+    def _drain(self) -> None:
+        """Probe resistance: swallow everything, answer nothing."""
+        self.sim.bus.incr("obfs.session.drained")
+        self.state = self.DRAIN
+
+    # ------------------------------------------------------------ data path
+
+    def _on_data(self, data: bytes) -> None:
+        self._arm_idle()
+        if self.state in (self.DRAIN, self.DONE):
+            return
+        if self.state == self.HANDSHAKE:
+            self._buffer.extend(data)
+            self._try_handshake()
+            return
+        self._feed_frames(data)
+
+    # ---------------------------------------------------------- handshakes
+
+    def _try_handshake(self) -> None:
+        profile = self.server.profile
+        if profile == "tor-vanilla":
+            self._handshake_vanilla()
+        elif profile == "obfs3":
+            self._handshake_obfs3()
+        else:
+            self._handshake_obfs4()
+
+    def _finish_handshake(self, consumed: int, reply: bytes) -> None:
+        self.conn.send(reply)
+        self._rx = FrameCodec(self.server.key, "c2s")
+        self._tx = FrameCodec(self.server.key, "s2c")
+        self.state = self.RELAY_TARGET
+        self.sim.bus.incr("obfs.session.handshake")
+        rest = bytes(self._buffer[consumed:])
+        self._buffer.clear()
+        if rest:
+            self._feed_frames(rest)
+
+    def _handshake_vanilla(self) -> None:
+        data = bytes(self._buffer)
+        if len(data) < 5:
+            return  # not even a cell header yet
+        versions = parse_versions_cell(data)
+        if versions is None:
+            header_ok = (data[0] == 0 and data[1] == 0 and data[2] == 7)
+            body_len = int.from_bytes(data[3:5], "big")
+            if header_ok and body_len % 2 == 0 and len(data) < 5 + body_len:
+                return  # plausible cell, still arriving
+            # Not a Tor link handshake: a relay closes the connection.
+            self._close_gracefully()
+            return
+        body_len = int.from_bytes(data[3:5], "big")
+        self._finish_handshake(5 + body_len, tor_versions_cell())
+
+    def _handshake_obfs3(self) -> None:
+        if len(self._buffer) < OBFS3_HANDSHAKE_LEN:
+            return  # UniformDH block still arriving (or a too-short probe)
+        # Nothing to authenticate: any 192-byte block draws the reply.
+        reply = byte_draws(self.server.rng, OBFS3_HANDSHAKE_LEN)
+        self._finish_handshake(OBFS3_HANDSHAKE_LEN, reply)
+
+    def _handshake_obfs4(self) -> None:
+        if len(self._buffer) < 2:
+            return
+        key = self.server.key
+        pad_len = obfs4_decode_pad_len(bytes(self._buffer[:2]), key, "c2s")
+        total = 2 + pad_len + OBFS4_MAC_LEN
+        if len(self._buffer) < total:
+            return
+        body = bytes(self._buffer[:total])
+        if obfs4_mac(key, body[:-OBFS4_MAC_LEN]) != body[-OBFS4_MAC_LEN:]:
+            # No node secret, no service: read forever, answer nothing.
+            self._drain()
+            return
+        self._finish_handshake(total,
+                               obfs4_handshake(key, "s2c", self.server.rng))
+
+    # -------------------------------------------------------------- framing
+
+    def _feed_frames(self, data: bytes) -> None:
+        assert self._rx is not None
+        for frame in self._rx.feed(data):
+            self._handle_frame(frame)
+
+    def _handle_frame(self, frame: bytes) -> None:
+        if self.state == self.RELAY_TARGET:
+            self._open_target(frame)
+        elif self.state == self.CONNECTING:
+            self._pending.extend(frame)
+        elif self.state == self.PROXY and self.remote is not None:
+            self.remote.send(frame)
+
+    # --------------------------------------------------------------- target
+
+    def _open_target(self, frame: bytes) -> None:
+        if len(frame) < 4:
+            self._close_gracefully()
+            return
+        host_len = int.from_bytes(frame[:2], "big")
+        if len(frame) < 2 + host_len + 2:
+            self._close_gracefully()
+            return
+        try:
+            hostname = frame[2:2 + host_len].decode("utf-8")
+        except UnicodeDecodeError:
+            self._close_gracefully()
+            return
+        port = int.from_bytes(frame[2 + host_len:4 + host_len], "big")
+        self.state = self.CONNECTING
+        ip = self.server.host.network.resolve(hostname)
+        if ip is None:
+            self._connect_event = self.sim.schedule(self.server.dns_delay,
+                                                    self._connect_failed)
+            return
+        self._dial(ip, port)
+
+    def _dial(self, ip: str, port: int) -> None:
+        try:
+            self.remote = self.server.host.connect(ip, port)
+        except ValueError:
+            self._connect_event = self.sim.schedule(0.0, self._connect_failed)
+            return
+        self.remote.on_connected = self._connect_succeeded
+        self.remote.on_reset = self._connect_failed
+        self._connect_event = self.sim.schedule(self.server.connect_timeout,
+                                                self._connect_failed)
+
+    def _connect_failed(self) -> None:
+        if self.state != self.CONNECTING:
+            return
+        if self._connect_event is not None:
+            self._connect_event.cancel()
+        if (self.remote is not None and not self.remote.reset_received
+                and self.remote.state != "CLOSED"):
+            self.remote.abort()
+        self.remote = None
+        self.state = self.DONE
+        if self._idle_event is not None:
+            self._idle_event.cancel()
+        self.conn.close()
+
+    def _connect_succeeded(self) -> None:
+        if self.state != self.CONNECTING:
+            if self.remote is not None and self.remote.state != "CLOSED":
+                self.remote.abort()
+            return
+        if self._connect_event is not None:
+            self._connect_event.cancel()
+        self.state = self.PROXY
+        self.sim.bus.incr("obfs.session.proxied")
+        remote = self.remote
+        remote.on_data = self._proxy_remote_data
+        remote.on_remote_fin = self._remote_closed
+        remote.on_reset = self._remote_reset
+        if self._pending:
+            remote.send(bytes(self._pending))
+            self._pending.clear()
+
+    def _proxy_remote_data(self, data: bytes) -> None:
+        assert self._tx is not None
+        self.conn.send(self._tx.encode(data))
+        self._arm_idle()
+
+    def _remote_closed(self) -> None:
+        if self.state == self.PROXY:
+            self.state = self.DONE
+            self.conn.close()
+            if self._idle_event is not None:
+                self._idle_event.cancel()
+
+    def _remote_reset(self) -> None:
+        if self.state == self.PROXY:
+            self.state = self.DONE
+            self.conn.abort()
+            if self._idle_event is not None:
+                self._idle_event.cancel()

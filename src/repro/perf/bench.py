@@ -93,7 +93,8 @@ def write_entries(path, entries: Iterable[BenchEntry]) -> None:
     Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
-def append_history(path, entries: Iterable[BenchEntry]) -> int:
+def append_history(path, entries: Iterable[BenchEntry], *,
+                   keep_last: int = 200) -> int:
     """Append one JSON line per measurement to the bench history log.
 
     ``BENCH_*.json`` snapshots are overwritten every run; the history
@@ -101,6 +102,12 @@ def append_history(path, entries: Iterable[BenchEntry]) -> int:
     durable schema ``{name, value, git_rev, timestamp}`` (timestamp in
     Unix seconds, UTC) so lines from different revisions stay
     comparable.  Returns the number of lines appended.
+
+    The log is bounded: after appending, only the newest ``keep_last``
+    lines per metric name survive (oldest rotate out, relative order
+    preserved), so the in-repo file cannot grow without limit.  Lines
+    that fail to parse are kept as-is rather than silently destroyed.
+    Pass ``keep_last=0`` to disable rotation.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -112,7 +119,33 @@ def append_history(path, entries: Iterable[BenchEntry]) -> int:
     ]
     with path.open("a") as fh:
         fh.write("".join(line + "\n" for line in lines))
+    if keep_last > 0:
+        _rotate_history(path, keep_last)
     return len(lines)
+
+
+def _rotate_history(path: Path, keep_last: int) -> None:
+    """Trim the history log to the newest ``keep_last`` lines per name."""
+    all_lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
+    counts: Dict[str, int] = {}
+    kept = [False] * len(all_lines)
+    for i in range(len(all_lines) - 1, -1, -1):
+        try:
+            name = json.loads(all_lines[i]).get("name")
+        except ValueError:
+            name = None
+        if not isinstance(name, str):
+            kept[i] = True
+            continue
+        if counts.get(name, 0) < keep_last:
+            counts[name] = counts.get(name, 0) + 1
+            kept[i] = True
+    if all(kept):
+        return
+    survivors = [ln for ln, keep in zip(all_lines, kept) if keep]
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text("".join(ln + "\n" for ln in survivors))
+    tmp.replace(path)
 
 
 def _best_of(fn: Callable[[], int], repeats: int) -> float:

@@ -1,0 +1,21 @@
+"""Protocol plane: registry-driven proxy stacks (see base.py)."""
+
+from .base import (
+    ProxyProtocol,
+    build_protocol,
+    get_protocol,
+    protocol_kinds,
+    register_protocol,
+)
+from .builtin import ObfsProtocol, ShadowsocksProtocol, VmessProtocol
+
+__all__ = [
+    "ObfsProtocol",
+    "ProxyProtocol",
+    "ShadowsocksProtocol",
+    "VmessProtocol",
+    "build_protocol",
+    "get_protocol",
+    "protocol_kinds",
+    "register_protocol",
+]

@@ -18,7 +18,13 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis import AnalysisPipeline, FlaggedConnections, VerdictRecords
+from ..analysis import (
+    AnalysisPipeline,
+    FlaggedConnections,
+    ProbeBlockDelays,
+    ProbeTally,
+    VerdictRecords,
+)
 from ..analysis.pipeline import series
 from ..defense import Brdgrd, harden
 from ..experiments import (
@@ -34,7 +40,8 @@ from ..experiments import (
 from ..gfw import BlockingPolicy, DetectorConfig, PassiveDetector, Reaction
 from ..net import Impairment
 from ..probesim import PROBE_LENGTH_SCHEDULE, build_random_probe_row, build_replay_table
-from ..shadowsocks import ShadowsocksClient, ShadowsocksServer, get_profile
+from ..protocols import build_protocol
+from ..shadowsocks import get_profile
 from ..workloads import CurlDriver, http_get_request
 from .events import EventBus
 from .scenario import Scenario, register
@@ -154,9 +161,11 @@ def _build_quickstart(params: QuickstartConfig) -> _QuickstartResult:
         impairment=impairment if impairment.active else None)
     server_host = world.add_server("ss-server", region="uk")
     client_host = world.add_client("client")
-    ShadowsocksServer(server_host, 8388, "pw", params.method, params.profile)
-    client = ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
-                               params.method)
+    proto = build_protocol({"kind": "shadowsocks", "password": "pw",
+                            "method": params.method,
+                            "profile": params.profile})
+    proto.make_server(server_host, 8388)
+    client = proto.make_client(client_host, server_host.ip, 8388)
     CurlDriver(client, rng=random.Random(params.seed),
                sites=["example.com", "gfw.report"]).run_schedule(
                    params.connections, 60.0)
@@ -353,6 +362,127 @@ BATCH_SUMMARIZERS = {
     "brdgrd": _summarize_brdgrd_batch,
     "blocking": _summarize_blocking_batch,
 }
+
+
+# ----------------------------------------------- Tor/obfs active probing
+
+
+@dataclass
+class TorProbingConfig:
+    """GFW active probing of Tor bridges with graded probe resistance.
+
+    Three bridges run side by side behind the entropy/VERSIONS detector:
+    vanilla Tor (DPI fingerprint + answers the forged handshake), obfs3
+    (random-looking but answers any correctly-sized block), and obfs4
+    (answers nothing it cannot authenticate).  The censor routes flagged
+    flows to the ``"tor"`` probing playbook: garbage + forged-VERSIONS
+    probes, confirmation bursts, and batched block rollout.
+    """
+
+    seed: int = 11
+    # Proxy-protocol spec (see repro.protocols) — a bare kind or a
+    # {"kind": ..., **params} mapping; per-bridge transports override
+    # its profile.  CLI shorthand: `run tor-probing --protocol SPEC`.
+    protocol: object = "obfs"
+    connections: int = 10
+    interval: float = 120.0
+    duration: float = 4 * 3600.0
+    batch_interval: float = 900.0
+    bridge_port: int = 443
+    bridges: Tuple[Tuple[str, str], ...] = (
+        ("vanilla", "tor-vanilla"),
+        ("obfs3", "obfs3"),
+        ("obfs4", "obfs4"),
+    )
+
+
+@dataclass
+class _TorProbingResult:
+    world: object
+    pipeline: AnalysisPipeline
+    bridges: Dict[str, Dict[str, str]]   # server ip -> {label, transport}
+
+
+def _build_tor_probing(config: TorProbingConfig) -> _TorProbingResult:
+    world = build_world(
+        seed=config.seed,
+        detectors="tor",
+        websites=["example.com"],
+        probe_behaviors={"tor": {"kind": "tor",
+                                 "batch_interval": config.batch_interval}},
+    )
+    pipeline = AnalysisPipeline({
+        "flagged": FlaggedConnections(),
+        "probes": ProbeTally(),
+        "delays": ProbeBlockDelays(),
+    })
+    pipeline.attach(world.bus)
+    spec = config.protocol
+    spec = {"kind": spec} if isinstance(spec, str) else dict(spec)
+    bridges: Dict[str, Dict[str, str]] = {}
+    for label, transport in config.bridges:
+        proto = build_protocol({**spec, "profile": transport})
+        server_host = world.add_server(f"{label}-bridge", region="uk")
+        client_host = world.add_client(f"{label}-client")
+        seed = derive_seed(config.seed, label)
+        proto.make_server(server_host, config.bridge_port,
+                          rng=random.Random(seed + 1))
+        client = proto.make_client(client_host, server_host.ip,
+                                   config.bridge_port,
+                                   rng=random.Random(seed + 2))
+        CurlDriver(client, rng=random.Random(seed + 3),
+                   sites=["example.com"]).run_schedule(config.connections,
+                                                       config.interval)
+        bridges[server_host.ip] = {"label": label, "transport": transport}
+    world.sim.run(until=config.duration)
+    return _TorProbingResult(world=world, pipeline=pipeline, bridges=bridges)
+
+
+def _summarize_tor_probing(result: _TorProbingResult) -> Dict[str, object]:
+    a = result.pipeline.outputs()
+    delays = a["delays"]
+    endpoints = delays["endpoints"]
+    counters = result.world.bus.counters  # type: ignore[attr-defined]
+    bridges = [
+        {
+            "label": info["label"],
+            "transport": info["transport"],
+            "ip": ip,
+            "probes": a["probes"]["by_server"].get(ip, 0),
+            "flagged_at": endpoints.get(ip, {}).get("flagged_at"),
+            "first_probe_at": endpoints.get(ip, {}).get("first_probe_at"),
+            "blocked": endpoints.get(ip, {}).get("blocked_at") is not None,
+            "blocked_at": endpoints.get(ip, {}).get("blocked_at"),
+        }
+        for ip, info in sorted(result.bridges.items())
+    ]
+    return {
+        "bridges": bridges,
+        "flagged": a["flagged"]["count"],
+        "probes": a["probes"]["count"],
+        "probes_by_type": a["probes"]["by_type"],
+        "confirmed": counters.get("scheduler.tor.confirmed", 0),
+        "blocks_scheduled": counters.get("scheduler.tor.block_scheduled", 0),
+        "blocked": delays["blocked"],
+        "flag_to_probe": delays["flag_to_probe"],
+        "probe_to_block": delays["probe_to_block"],
+        "flag_to_block": delays["flag_to_block"],
+    }
+
+
+register(Scenario(
+    name="tor-probing",
+    title="GFW Tor/obfs active probing (Winter & Lindskog timelines)",
+    params_type=TorProbingConfig,
+    build=_build_tor_probing,
+    summarize=_summarize_tor_probing,
+    analysis_of=_analysis_payload,
+    description="Vanilla Tor, obfs3, and obfs4 bridges under the Tor "
+                "detector and the per-protocol probing engine: garbage + "
+                "forged-VERSIONS probes, confirmation bursts, and batched "
+                "block rollout; reports flag->probe->block delay series.",
+    tags=("gfw", "tor", "probing", "protocol"),
+))
 
 
 # ------------------------------------------------- §5.1 probesim sweeps
@@ -635,10 +765,12 @@ def _run_defense_case(config: DefenseMatrixConfig, method: str, profile_name: st
     if use_brdgrd:
         world.net.add_middlebox(Brdgrd(server_host.ip, config.server_port,
                                        rng=random.Random(seed)))
-    ShadowsocksServer(server_host, config.server_port, "pw", method, profile,
+    proto = build_protocol({"kind": "shadowsocks", "password": "pw",
+                            "method": method, "profile": profile_name})
+    proto.make_server(server_host, config.server_port, profile=profile,
                       rng=random.Random(seed + 1))
-    client = ShadowsocksClient(client_host, server_host.ip,
-                               config.server_port, "pw", method,
+    client = proto.make_client(client_host, server_host.ip,
+                               config.server_port,
                                rng=random.Random(seed + 2))
     CurlDriver(client, rng=random.Random(seed + 3),
                sites=["example.com"]).run_schedule(config.connections,
@@ -737,10 +869,13 @@ def _run_impairment_cell(config: ImpairmentMatrixConfig, loss: float,
     )
     server_host = world.add_server("server", region="uk")
     client_host = world.add_client("client")
-    ShadowsocksServer(server_host, config.server_port, "pw", config.method,
-                      config.profile, rng=random.Random(seed + 1))
-    client = ShadowsocksClient(client_host, server_host.ip,
-                               config.server_port, "pw", config.method,
+    proto = build_protocol({"kind": "shadowsocks", "password": "pw",
+                            "method": config.method,
+                            "profile": config.profile})
+    proto.make_server(server_host, config.server_port,
+                      rng=random.Random(seed + 1))
+    client = proto.make_client(client_host, server_host.ip,
+                               config.server_port,
                                rng=random.Random(seed + 2))
     CurlDriver(client, rng=random.Random(seed + 3),
                sites=["example.com"]).run_schedule(config.connections,
@@ -860,10 +995,12 @@ def _run_ensemble_case(config: DetectorEnsembleConfig, spec: object,
     server_host = world.add_server("server", region="uk")
     ss_client = world.add_client("ss-client")
     web_client = world.add_client("web-client", residential=True)
-    ShadowsocksServer(server_host, config.server_port, "pw", config.method,
-                      config.profile, rng=random.Random(seed + 1))
-    client = ShadowsocksClient(ss_client, server_host.ip, config.server_port,
-                               "pw", config.method,
+    proto = build_protocol({"kind": "shadowsocks", "password": "pw",
+                            "method": config.method,
+                            "profile": config.profile})
+    proto.make_server(server_host, config.server_port,
+                      rng=random.Random(seed + 1))
+    client = proto.make_client(ss_client, server_host.ip, config.server_port,
                                rng=random.Random(seed + 2))
     CurlDriver(client, rng=random.Random(seed + 3),
                sites=["example.com"]).run_schedule(config.connections,

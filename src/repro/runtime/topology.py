@@ -135,6 +135,7 @@ def build_world(
     scheduler_config: Optional[SchedulerConfig] = None,
     fleet_config: Optional[FleetConfig] = None,
     blocking_policy: Optional[BlockingPolicy] = None,
+    probe_behaviors: Optional[Dict[str, Any]] = None,
     websites: Optional[List[str]] = None,
     impairment: Optional[Impairment] = None,
     stream_captures: bool = False,
@@ -146,6 +147,10 @@ def build_world(
     :mod:`repro.gfw.stages`) selecting the in-path detector pipeline;
     ``None`` keeps the paper's passive classifier configured by
     ``detector_config``.
+
+    ``probe_behaviors`` maps protocol names to probing-behaviour specs
+    (see :mod:`repro.gfw.probing`), overriding the playbook the censor
+    runs against flagged flows classified as that protocol.
 
     ``shard=(index, count)`` makes this world's censor one of ``count``
     disjoint sensors over the flow space: its flow table only admits
@@ -177,6 +182,7 @@ def build_world(
         scheduler_config=scheduler_config,
         fleet_config=fleet_config,
         blocking_policy=blocking_policy,
+        probe_behaviors=probe_behaviors,
         shard=shard,
     )
     world = World(sim=sim, net=net, gfw=gfw, rng=rng,

@@ -49,6 +49,7 @@ SCENARIO_OVERRIDES = {
                   ["entropy", {"kind": "entropy", "threshold": 7.2}]]},
     "scale-1m": {"flows": 2000, "block_size": 256},
     "quickstart": {"connections": 6},
+    "tor-probing": {"connections": 4, "interval": 60.0, "duration": 3600.0},
 }
 
 

@@ -1,0 +1,116 @@
+"""Protocol-plane invariants: registry construction changes no bytes.
+
+Two guarantees pin the PR-10 refactor:
+
+* **Golden hashes** — every builtin scenario's canonical result bytes at
+  seed 0 (small tier-1 parameterizations) match the sha256 values
+  captured *before* scenario builders and experiment harnesses moved to
+  ``repro.protocols`` registry construction and before the probing
+  engine was extracted into per-protocol behaviours.  Since the pinned
+  runs were produced by direct ``ShadowsocksServer(...)`` construction
+  and the monolithic scheduler, a match proves registry-built stacks and
+  behaviour-dispatched probing are byte-identical on every builtin.
+* **Side-by-side identity** — a world built through
+  :func:`repro.protocols.build_protocol` and one built by direct
+  constructor calls produce identical event-bus snapshots for both the
+  Shadowsocks and VMess stacks.
+"""
+
+import hashlib
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.gfw import DetectorConfig
+from repro.protocols import build_protocol, get_protocol, protocol_kinds
+from repro.runtime import run_scenario
+from repro.runtime.topology import build_world
+from repro.shadowsocks import ShadowsocksClient, ShadowsocksServer
+from repro.vmess import VmessClient, VmessServer
+from repro.workloads import CurlDriver
+
+from .test_batched_datapath import SCENARIO_OVERRIDES
+
+GOLDEN_PATH = pathlib.Path(__file__).parent.parent / "data" / "scenario_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_table_covers_every_builtin_scenario():
+    assert set(GOLDEN) == set(SCENARIO_OVERRIDES)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_scenario_bytes_match_pre_refactor_golden(name):
+    result = run_scenario(name, seed=0, overrides=SCENARIO_OVERRIDES[name],
+                          use_cache=False)
+    digest = hashlib.sha256(result.canonical_bytes()).hexdigest()
+    assert digest == GOLDEN[name]
+
+
+# ------------------------------------------------- side-by-side identity
+
+
+def _world_snapshot(attach_stack):
+    world = build_world(seed=5, detector_config=DetectorConfig(base_rate=1.0),
+                        websites=["example.com"])
+    server_host = world.add_server("server", region="uk")
+    client_host = world.add_client("client")
+    client = attach_stack(server_host, client_host)
+    CurlDriver(client, rng=random.Random(13),
+               sites=["example.com"]).run_schedule(6, 60.0)
+    world.sim.run(until=7200.0)
+    return world.bus.snapshot(), [
+        (r.time_sent, r.src_ip, r.probe.probe_type, bytes(r.probe.payload),
+         r.reaction)
+        for r in world.gfw.probe_log
+    ]
+
+
+def test_registry_shadowsocks_identical_to_direct():
+    def direct(server_host, client_host):
+        ShadowsocksServer(server_host, 8388, "pw", "aes-128-gcm",
+                          "ss-libev-3.3.1", rng=random.Random(11))
+        return ShadowsocksClient(client_host, server_host.ip, 8388, "pw",
+                                 "aes-128-gcm", rng=random.Random(12))
+
+    def registry(server_host, client_host):
+        proto = build_protocol({"kind": "shadowsocks", "password": "pw",
+                                "method": "aes-128-gcm",
+                                "profile": "ss-libev-3.3.1"})
+        proto.make_server(server_host, 8388, rng=random.Random(11))
+        return proto.make_client(client_host, server_host.ip, 8388,
+                                 rng=random.Random(12))
+
+    assert _world_snapshot(registry) == _world_snapshot(direct)
+
+
+def test_registry_vmess_identical_to_direct():
+    uid = bytes(range(16))
+
+    def direct(server_host, client_host):
+        VmessServer(server_host, 10086, uid, "v2ray-legacy",
+                    rng=random.Random(11))
+        return VmessClient(client_host, server_host.ip, 10086, uid,
+                           rng=random.Random(12))
+
+    def registry(server_host, client_host):
+        proto = build_protocol({"kind": "vmess", "user_id": uid.hex(),
+                                "profile": "v2ray-legacy"})
+        proto.make_server(server_host, 10086, rng=random.Random(11))
+        return proto.make_client(client_host, server_host.ip, 10086,
+                                 rng=random.Random(12))
+
+    assert _world_snapshot(registry) == _world_snapshot(direct)
+
+
+# --------------------------------------------------------- registry API
+
+
+def test_spec_round_trips():
+    for kind in protocol_kinds():
+        proto = get_protocol(kind)
+        rebuilt = build_protocol(proto.spec())
+        assert rebuilt.spec() == proto.spec()
+        assert rebuilt.probe_behavior == proto.probe_behavior

@@ -1,0 +1,73 @@
+"""The proxy-protocol registry: specs, factories, probing playbooks."""
+
+import pytest
+
+from repro.protocols import (
+    ObfsProtocol,
+    ProxyProtocol,
+    ShadowsocksProtocol,
+    VmessProtocol,
+    build_protocol,
+    get_protocol,
+    protocol_kinds,
+    register_protocol,
+)
+
+
+def test_builtin_kinds_registered():
+    assert {"shadowsocks", "vmess", "obfs"} <= set(protocol_kinds())
+
+
+def test_bare_string_builds_defaults():
+    proto = build_protocol("shadowsocks")
+    assert isinstance(proto, ShadowsocksProtocol)
+    assert proto.password == "pw"
+    assert proto.method == "chacha20-ietf-poly1305"
+
+
+def test_mapping_spec_overrides_params():
+    proto = build_protocol({"kind": "obfs", "profile": "obfs3",
+                            "node_id": "b1"})
+    assert isinstance(proto, ObfsProtocol)
+    assert proto.profile == "obfs3"
+    assert proto.node_id == "b1"
+
+
+def test_instance_passes_through():
+    proto = VmessProtocol(profile="v2ray-legacy")
+    assert build_protocol(proto) is proto
+
+
+def test_unknown_kind_raises_with_known_list():
+    with pytest.raises(KeyError, match="shadowsocks"):
+        build_protocol("no-such-protocol")
+
+
+def test_spec_missing_kind_raises():
+    with pytest.raises(ValueError, match="kind"):
+        build_protocol({"profile": "obfs4"})
+
+
+def test_spec_rebuilds_equivalent_protocol():
+    for kind in protocol_kinds():
+        proto = get_protocol(kind)
+        assert build_protocol(proto.spec()).spec() == proto.spec()
+
+
+def test_probe_behavior_routing():
+    assert get_protocol("shadowsocks").probe_behavior == "shadowsocks"
+    assert get_protocol("vmess").probe_behavior == "shadowsocks"
+    assert get_protocol("obfs").probe_behavior == "tor"
+
+
+def test_register_requires_kind():
+    class Anonymous(ProxyProtocol):
+        kind = ""
+
+    with pytest.raises(ValueError):
+        register_protocol(Anonymous)
+
+
+def test_vmess_user_id_hex_round_trip():
+    proto = build_protocol({"kind": "vmess", "user_id": "00" * 16})
+    assert proto.user_id_bytes == b"\x00" * 16

@@ -1,0 +1,138 @@
+"""Per-protocol probing engine and the tor-probing scenario."""
+
+import pytest
+
+from repro.analysis import ProbeBlockDelays
+from repro.gfw import behavior_kinds, build_behavior
+from repro.gfw.prober import ProbeRecord, Reaction
+from repro.gfw.probes import Probe, ProbeType
+from repro.gfw.probing import ShadowsocksProbeBehavior, TorProbeBehavior
+from repro.runtime import run_scenario
+
+OVERRIDES = {"connections": 4, "interval": 60.0, "duration": 3600.0}
+
+
+# --------------------------------------------------------- behavior registry
+
+
+def test_builtin_behaviors_registered():
+    assert {"shadowsocks", "tor"} <= set(behavior_kinds())
+
+
+def test_build_behavior_from_bare_kind_and_mapping():
+    sched = object()
+    assert isinstance(build_behavior("shadowsocks", sched),
+                      ShadowsocksProbeBehavior)
+    tor = build_behavior({"kind": "tor", "batch_interval": 300.0}, sched)
+    assert isinstance(tor, TorProbeBehavior)
+    assert tor.batch_interval == 300.0
+
+
+def test_behavior_spec_round_trips():
+    sched = object()
+    for kind in behavior_kinds():
+        behavior = build_behavior(kind, sched)
+        rebuilt = build_behavior(behavior.spec(), sched)
+        assert rebuilt.spec() == behavior.spec()
+
+
+def test_unknown_behavior_kind_raises():
+    with pytest.raises(KeyError):
+        build_behavior("no-such-playbook", object())
+
+
+def _record(probe_type, reaction):
+    return ProbeRecord(probe=Probe(probe_type, b"x"), server_ip="1.2.3.4",
+                       server_port=443, src_ip="5.6.7.8", src_port=1234,
+                       time_sent=0.0, tsval=0, process_name="p",
+                       reaction=reaction)
+
+
+def test_tor_confirmation_matrix():
+    behavior = build_behavior("tor", object())
+    # VERSIONS reply or an answered garbage block confirms a bridge.
+    assert behavior._confirms(_record(ProbeType.TORH, Reaction.DATA))
+    assert behavior._confirms(_record(ProbeType.GARBAGE, Reaction.DATA))
+    # Timeouts and closes do not; neither does an answered replay.
+    assert not behavior._confirms(_record(ProbeType.TORH, Reaction.TIMEOUT))
+    assert not behavior._confirms(_record(ProbeType.GARBAGE, Reaction.FINACK))
+    assert not behavior._confirms(_record(ProbeType.R1, Reaction.DATA))
+
+
+# ------------------------------------------------------ delay analyzer unit
+
+
+def _flag(ip, t):
+    return {"kind": "flow.flagged", "responder_ip": ip, "responder_port": 443,
+            "time": t}
+
+
+def _probe_ev(ip, t):
+    return {"kind": "probe", "server_ip": ip, "server_port": 443, "time": t}
+
+
+def _block(ip, t):
+    return {"kind": "block", "ip": ip, "port": 443, "time": t,
+            "unblock_time": None}
+
+
+def test_probe_block_delays_first_occurrence_only():
+    a = ProbeBlockDelays()
+    for ev in (_flag("a", 10.0), _flag("a", 5.0), _probe_ev("a", 20.0),
+               _probe_ev("a", 12.0), _block("a", 900.0), _block("a", 40.0)):
+        a.observe(ev)
+    out = a.finalize()
+    assert out["endpoints"]["a"] == {"flagged_at": 5.0, "first_probe_at": 12.0,
+                                     "blocked_at": 40.0}
+    assert out["flag_to_probe"]["mean"] == 7.0
+    assert out["probe_to_block"]["mean"] == 28.0
+    assert out["flag_to_block"]["mean"] == 35.0
+
+
+def test_probe_block_delays_merge_is_order_insensitive():
+    events = [_flag("a", 1.0), _probe_ev("a", 3.0), _block("a", 9.0),
+              _flag("b", 2.0), _probe_ev("b", 7.0)]
+    one = ProbeBlockDelays()
+    for ev in events:
+        one.observe(ev)
+    left, right = ProbeBlockDelays(), ProbeBlockDelays()
+    for i, ev in enumerate(events):
+        (left if i % 2 else right).observe(ev)
+    left.merge(right)
+    assert left.finalize() == one.finalize()
+
+
+def test_probe_block_delays_state_round_trip():
+    a = ProbeBlockDelays()
+    for ev in (_flag("a", 1.0), _probe_ev("a", 2.0), _block("a", 3.0)):
+        a.observe(ev)
+    b = ProbeBlockDelays()
+    b.load_state(a.state_dict())
+    assert b.finalize() == a.finalize()
+
+
+# ---------------------------------------------------------- scenario smoke
+
+
+def test_tor_probing_scenario_grades_the_transports():
+    result = run_scenario("tor-probing", seed=0, overrides=OVERRIDES,
+                          use_cache=False)
+    by_label = {b["label"]: b for b in result.payload["bridges"]}
+    assert set(by_label) == {"vanilla", "obfs3", "obfs4"}
+    # Winter & Lindskog: vanilla answers the forged handshake, obfs3
+    # answers the garbage block, obfs4 answers nothing -> never blocked.
+    assert by_label["vanilla"]["blocked"]
+    assert by_label["obfs3"]["blocked"]
+    assert not by_label["obfs4"]["blocked"]
+    assert by_label["obfs4"]["probes"] > 0
+    # Probe-to-block delays cluster at the batch boundary, not at zero.
+    assert result.payload["probe_to_block"]["count"] == 2
+    assert result.payload["probe_to_block"]["min"] > 60.0
+    assert result.payload["confirmed"] == 2
+
+
+def test_tor_probing_protocol_override_rejects_unknown_kind():
+    with pytest.raises(KeyError):
+        run_scenario("tor-probing", seed=0,
+                     overrides=dict(OVERRIDES, protocol="nope"),
+                     use_cache=False)
